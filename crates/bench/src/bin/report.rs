@@ -1,0 +1,66 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! report [OUT_DIR] [SECTION...]
+//!
+//! SECTION: fig1 fig2 fig3 fig4 table1 fig5 table2 fig6 fig7 table3 fig8
+//!          fig9 ablation-priority   (default: all)
+//! OUT_DIR: where CSVs go (default: ./results)
+//! ```
+
+use ignem_bench::{Report, Section};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (out, wanted): (String, Vec<String>) = match args.split_first() {
+        Some((first, rest))
+            if !first.starts_with("fig")
+                && !first.starts_with("table")
+                && !first.starts_with("ablation")
+                && !first.starts_with("extension") =>
+        {
+            (first.clone(), rest.to_vec())
+        }
+        _ => ("results".to_string(), args),
+    };
+    let mut report = Report::new(&out);
+    let sections: Vec<Section> = if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        report.all()
+    } else {
+        wanted
+            .iter()
+            .map(|w| match w.as_str() {
+                "fig1" => report.fig1(),
+                "fig2" => report.fig2(),
+                "fig3" => report.fig3(),
+                "fig4" => report.fig4(),
+                "table1" => report.table1(),
+                "fig5" => report.fig5(),
+                "table2" => report.table2(),
+                "fig6" => report.fig6(),
+                "fig7" => report.fig7(),
+                "table3" => report.table3(),
+                "fig8" => report.fig8(),
+                "fig9" => report.fig9(),
+                "ablation-priority" => report.ablation_priority(),
+                "ablation-concurrency" => report.ablation_concurrency(),
+                "ablation-replicas" => report.ablation_replicas(),
+                "ablation-eviction" => report.ablation_eviction(),
+                "ablation-heartbeat" => report.ablation_heartbeat(),
+                "ablation-jitter" => report.ablation_jitter(),
+                "extension-benefit" => report.extension_benefit_aware(),
+                "extension-iterative" => report.extension_iterative(),
+                "extension-caching" => report.extension_caching(),
+                other => {
+                    eprintln!("unknown section: {other}");
+                    std::process::exit(2);
+                }
+            })
+            .collect()
+    };
+    for s in sections {
+        println!("==================== {} ====================", s.id);
+        println!("{}\n", s.text);
+    }
+    println!("CSV series written to {out}/");
+}

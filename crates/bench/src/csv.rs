@@ -1,0 +1,59 @@
+//! Tiny CSV writer (no external dependency needed for plain numeric CSV).
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Writes rows of string-able cells to `<dir>/<name>.csv` with a header.
+///
+/// # Panics
+///
+/// Panics on IO errors (report generation is a batch tool; failing loudly
+/// is the right behaviour) or if a row width disagrees with the header.
+pub fn write_csv<P: AsRef<Path>>(
+    dir: P,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> PathBuf {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width mismatch in {name}");
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    path
+}
+
+/// Formats a float with fixed precision for CSV cells.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_round_trips() {
+        let dir = std::env::temp_dir().join("ignem-csv-test");
+        let path = write_csv(
+            &dir,
+            "t",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec![f(0.5, 2), f(1.5, 2)]],
+        );
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n0.50,1.50\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let dir = std::env::temp_dir().join("ignem-csv-test2");
+        write_csv(&dir, "bad", &["a", "b"], &[vec!["1".into()]]);
+    }
+}

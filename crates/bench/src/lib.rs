@@ -1,0 +1,15 @@
+//! # ignem-bench — the paper's evaluation, regenerated
+//!
+//! One function per table and figure of the Ignem paper (§II motivation
+//! figures and the full §IV evaluation), all driven by the deterministic
+//! cluster simulator. The `report` binary renders every section and writes
+//! the raw series as CSV; `benches/` wraps the same experiments in
+//! Criterion for `cargo bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod report;
+
+pub use report::{Report, Section, REPORT_SEED};

@@ -1,0 +1,1422 @@
+//! The integrated cluster simulation.
+//!
+//! [`World`] wires every substrate into one deterministic discrete-event
+//! simulation of the paper's testbed: per-node disks and memory stores, the
+//! network fabric, the HDFS-like NameNode, the Ignem master and slaves, and
+//! the heartbeat-driven compute framework. A run executes a *workload plan*
+//! (a list of [`PlannedJob`]s, each one or more MapReduce stages) under one
+//! of the three file-system configurations and produces [`RunMetrics`].
+//!
+//! ## Where lead-time comes from
+//!
+//! Exactly the paper's §II-C sources, modelled explicitly: the submitter
+//! overhead + optional artificial sleep, the wait for a node heartbeat
+//! (3 s interval), task queueing behind busy slots, and per-task launch
+//! overhead. Ignem migrates during all of them.
+//!
+//! ## Failure injection
+//!
+//! Faults can be scheduled before the run: master failover (slaves purge
+//! reference lists), slave process restarts (migrated data discarded, reads
+//! cancelled), whole-node failures (tasks re-executed elsewhere, replicas
+//! dropped from location queries) and job kills (exercising the
+//! threshold-triggered dead-job cleanup).
+
+use std::collections::{HashMap, HashSet};
+
+use ignem_compute::job::{JobInput, JobSpec};
+use ignem_compute::slots::Slots;
+use ignem_compute::tracker::{
+    choose_map_task, choose_reduce_task, JobTracker, MapInput, TaskId, TaskKind,
+};
+use ignem_core::command::{JobId, MigrateCommand, MigrateRequest};
+use ignem_core::master::IgnemMaster;
+use ignem_core::slave::{IgnemSlave, SlaveAction};
+use ignem_dfs::block::{split_into_blocks, BlockId};
+use ignem_dfs::client::{plan_read, ReadSource};
+use ignem_dfs::namenode::NameNode;
+use ignem_netsim::{Fabric, NodeId, TransferId};
+use ignem_simcore::event::Engine;
+use ignem_simcore::rng::SimRng;
+use ignem_simcore::stats::TimeWeighted;
+use ignem_simcore::time::{SimDuration, SimTime};
+use ignem_simcore::trace::TraceSink;
+use ignem_storage::disk::{Completion, Disk, IoKind, RequestId};
+use ignem_storage::memstore::{MemStore, Residency};
+
+use crate::config::{ClusterConfig, FsMode};
+use crate::metrics::{BlockRead, JobResult, PlanResult, ReadKind, RunMetrics};
+
+/// One workload entry: a job (or multi-stage query) with a submission time.
+#[derive(Debug, Clone)]
+pub struct PlannedJob {
+    /// Display name (stage jobs get `-s<k>` suffixes from their specs).
+    pub name: String,
+    /// Submission offset from the start of the run.
+    pub submit: SimDuration,
+    /// The MapReduce stages, run sequentially.
+    pub stages: Vec<JobSpec>,
+}
+
+impl PlannedJob {
+    /// A single-stage planned job.
+    pub fn single(name: impl Into<String>, submit: SimDuration, spec: JobSpec) -> Self {
+        PlannedJob {
+            name: name.into(),
+            submit,
+            stages: vec![spec],
+        }
+    }
+}
+
+/// A fault to inject at a point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The Ignem master crashes and restarts empty (§III-A5).
+    MasterFail,
+    /// The slave process on a node restarts; migrated data is discarded.
+    SlaveRestart(NodeId),
+    /// A whole server fails permanently.
+    NodeFail(NodeId),
+    /// A planned job is killed before completing (no evict is ever sent —
+    /// exercises threshold-triggered dead-job cleanup).
+    KillPlan(usize),
+}
+
+#[derive(Debug)]
+enum Event {
+    Submit(usize),
+    Queued(JobId),
+    Heartbeat(u32),
+    DiskTimer(u32, u64),
+    RamTimer(u32, u64),
+    NetTimer(u64),
+    TaskLaunched(TaskId),
+    TaskComputeDone(TaskId),
+    DeliverMigrates(u32, Vec<MigrateCommand>),
+    DeliverEvict(u32, JobId),
+    LivenessReply(u32, Vec<JobId>),
+    Inject(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum DiskOwner {
+    MapRead {
+        task: TaskId,
+        kind: ReadKind,
+        block: Option<BlockId>,
+        serving: u32,
+        started: SimTime,
+    },
+    Migration {
+        block: BlockId,
+    },
+    /// Re-replication read of an under-replicated block (after a node
+    /// failure); on completion the bytes are written to `target`.
+    Rereplicate {
+        block: BlockId,
+        target: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NetOwner {
+    MapRead {
+        task: TaskId,
+        block: BlockId,
+        serving: u32,
+        started: SimTime,
+    },
+    Shuffle {
+        task: TaskId,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct PlanState {
+    current_stage: usize,
+    submitted_at: Option<SimTime>,
+    finished: bool,
+    stage1_input: u64,
+}
+
+/// The integrated simulator (see module docs).
+pub struct World {
+    cfg: ClusterConfig,
+    mode: FsMode,
+    engine: Engine<Event>,
+    rng: SimRng,
+
+    namenode: NameNode,
+    master: IgnemMaster,
+    slaves: Vec<IgnemSlave>,
+    mems: Vec<MemStore<BlockId>>,
+    disks: Vec<Disk>,
+    rams: Vec<Disk>,
+    net: Fabric,
+    node_alive: Vec<bool>,
+
+    disk_gen: Vec<u64>,
+    ram_gen: Vec<u64>,
+    net_gen: u64,
+
+    tracker: JobTracker,
+    slots: Slots,
+
+    next_job: u64,
+    next_req: u64,
+    next_xfer: u64,
+
+    disk_owner: HashMap<(u32, RequestId), DiskOwner>,
+    ram_owner: HashMap<(u32, RequestId), DiskOwner>,
+    net_owner: HashMap<TransferId, NetOwner>,
+    migration_req: HashMap<(u32, BlockId), RequestId>,
+
+    plans: Vec<PlannedJob>,
+    plan_state: Vec<PlanState>,
+    job_to_plan: HashMap<JobId, (usize, usize)>,
+    task_launched_at: HashMap<TaskId, SimTime>,
+    job_submit_time: HashMap<JobId, SimTime>,
+    job_spec: HashMap<JobId, JobSpec>,
+    job_migrated: HashSet<JobId>,
+    live_jobs: HashSet<JobId>,
+
+    hypothetical: Vec<TimeWeighted>,
+    hyp_assign: HashMap<JobId, Vec<(u32, u64)>>,
+
+    faults: Vec<(SimTime, Fault)>,
+    unfinished_plans: usize,
+    rerep_queue: Vec<BlockId>,
+    rerep_active: bool,
+    trace: Option<Box<dyn TraceSink>>,
+    metrics: RunMetrics,
+}
+
+impl World {
+    /// Builds a world: creates the cluster, loads `files` into the DFS
+    /// (path, bytes), pins inputs if the mode is
+    /// [`FsMode::HdfsInputsInRam`], and schedules the workload plan and
+    /// fault list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration or duplicate file paths.
+    pub fn new(
+        cfg: ClusterConfig,
+        mode: FsMode,
+        files: &[(String, u64)],
+        plans: Vec<PlannedJob>,
+        faults: Vec<(SimTime, Fault)>,
+    ) -> Self {
+        cfg.validate();
+        let mut engine = Engine::new(cfg.seed);
+        let mut rng = engine.rng().fork();
+
+        let mut namenode = NameNode::new(cfg.dfs);
+        for n in 0..cfg.nodes {
+            namenode.register_node(NodeId(n as u32));
+        }
+        for (path, bytes) in files {
+            namenode
+                .create_file(path, *bytes, &mut rng)
+                .unwrap_or_else(|e| panic!("loading {path}: {e}"));
+        }
+
+        let mut mems: Vec<MemStore<BlockId>> =
+            (0..cfg.nodes).map(|_| MemStore::new(cfg.mem_capacity)).collect();
+        if mode == FsMode::HdfsInputsInRam {
+            // vmtouch: lock every input replica in memory before the run.
+            for n in 0..cfg.nodes {
+                for info in namenode.blocks_on(NodeId(n as u32)) {
+                    if info.bytes > 0 {
+                        mems[n]
+                            .insert(SimTime::ZERO, info.id, info.bytes, Residency::Pinned)
+                            .expect("inputs exceed cluster RAM");
+                    }
+                }
+            }
+        }
+
+        let slaves = (0..cfg.nodes)
+            .map(|n| IgnemSlave::new(NodeId(n as u32), cfg.ignem))
+            .collect();
+        let disks = (0..cfg.nodes).map(|_| Disk::new(cfg.disk)).collect();
+        let rams = (0..cfg.nodes).map(|_| Disk::new(cfg.ram)).collect();
+        let net = Fabric::new(cfg.nodes, cfg.net);
+        let slots = Slots::new(cfg.nodes, cfg.compute.slots_per_node);
+
+        // Schedule the plan, heartbeats and faults.
+        for (i, p) in plans.iter().enumerate() {
+            assert!(!p.stages.is_empty(), "plan {i} has no stages");
+            engine.schedule_at(SimTime::ZERO + p.submit, Event::Submit(i));
+        }
+        let hb = cfg.compute.heartbeat;
+        for n in 0..cfg.nodes {
+            let offset = SimDuration::from_micros(hb.as_micros() * n as u64 / cfg.nodes as u64);
+            engine.schedule_at(SimTime::ZERO + offset, Event::Heartbeat(n as u32));
+        }
+        for (i, (at, _)) in faults.iter().enumerate() {
+            engine.schedule_at(*at, Event::Inject(i));
+        }
+
+        let unfinished = plans.len();
+        let plan_state = plans
+            .iter()
+            .map(|_| PlanState {
+                current_stage: 0,
+                submitted_at: None,
+                finished: false,
+                stage1_input: 0,
+            })
+            .collect();
+        World {
+            mode,
+            engine,
+            rng,
+            namenode,
+            master: IgnemMaster::with_config(cfg.master),
+            slaves,
+            mems,
+            disks,
+            rams,
+            net,
+            node_alive: vec![true; cfg.nodes],
+            disk_gen: vec![0; cfg.nodes],
+            ram_gen: vec![0; cfg.nodes],
+            net_gen: 0,
+            tracker: JobTracker::new(),
+            slots,
+            next_job: 0,
+            next_req: 0,
+            next_xfer: 0,
+            disk_owner: HashMap::new(),
+            ram_owner: HashMap::new(),
+            net_owner: HashMap::new(),
+            migration_req: HashMap::new(),
+            plans,
+            plan_state,
+            job_to_plan: HashMap::new(),
+            task_launched_at: HashMap::new(),
+            job_submit_time: HashMap::new(),
+            job_spec: HashMap::new(),
+            job_migrated: HashSet::new(),
+            live_jobs: HashSet::new(),
+            hypothetical: (0..cfg.nodes).map(|_| TimeWeighted::new(0.0, true)).collect(),
+            hyp_assign: HashMap::new(),
+            faults,
+            unfinished_plans: unfinished,
+            rerep_queue: Vec::new(),
+            rerep_active: false,
+            trace: None,
+            metrics: RunMetrics::default(),
+            cfg,
+        }
+    }
+
+    /// Installs a trace sink; every major state transition (job lifecycle,
+    /// migrations, evictions, faults) is recorded with its simulated time.
+    /// Tracing is free when no sink is installed.
+    pub fn with_trace(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Emits a trace record if a sink is installed.
+    fn trace(&mut self, category: &'static str, msg: impl FnOnce() -> String) {
+        if let Some(sink) = self.trace.as_mut() {
+            let now = self.engine.now();
+            sink.record(now, category, msg());
+        }
+    }
+
+    /// The NameNode (for test assertions and custom setup).
+    pub fn namenode(&self) -> &NameNode {
+        &self.namenode
+    }
+
+    /// Runs the simulation to completion and returns the metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event count exceeds a safety bound (a stuck
+    /// simulation) or a block becomes unreadable (all replicas dead).
+    pub fn run(mut self) -> RunMetrics {
+        const MAX_EVENTS: u64 = 200_000_000;
+        while let Some(ev) = self.engine.pop() {
+            self.handle(ev);
+            assert!(
+                self.engine.processed() < MAX_EVENTS,
+                "simulation exceeded {MAX_EVENTS} events — likely stuck"
+            );
+        }
+        self.finalize()
+    }
+
+    fn finalize(mut self) -> RunMetrics {
+        let end = self
+            .metrics
+            .jobs
+            .iter()
+            .map(|j| j.submitted + SimDuration::from_secs_f64(j.duration))
+            .max()
+            .unwrap_or(self.engine.now());
+        self.metrics.makespan = end;
+        self.metrics.mem_series = self.mems.iter().map(|m| m.occupancy_changes()).collect();
+        self.metrics.hypothetical_series = self
+            .hypothetical
+            .iter()
+            .map(|h| h.sample_series_raw().to_vec())
+            .collect();
+        for s in &self.slaves {
+            let st = s.stats();
+            let agg = &mut self.metrics.slave_stats;
+            agg.commands += st.commands;
+            agg.migrated += st.migrated;
+            agg.migrated_bytes += st.migrated_bytes;
+            agg.deduped += st.deduped;
+            agg.discarded += st.discarded;
+            agg.wasted_reads += st.wasted_reads;
+            agg.evicted += st.evicted;
+            agg.purges += st.purges;
+            agg.liveness_queries += st.liveness_queries;
+        }
+        self.metrics.master_stats = self.master.stats();
+        self.metrics.disk_utilization = self
+            .disks
+            .iter()
+            .map(|d| d.utilization(end))
+            .collect();
+        self.metrics
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Submit(plan) => self.on_submit(plan),
+            Event::Queued(job) => self.on_queued(job),
+            Event::Heartbeat(n) => self.on_heartbeat(n),
+            Event::DiskTimer(n, gen) => self.on_disk_timer(n, gen),
+            Event::RamTimer(n, gen) => self.on_ram_timer(n, gen),
+            Event::NetTimer(gen) => self.on_net_timer(gen),
+            Event::TaskLaunched(t) => self.on_task_launched(t),
+            Event::TaskComputeDone(t) => self.on_task_compute_done(t),
+            Event::DeliverMigrates(n, cmds) => self.on_deliver_migrates(n, cmds),
+            Event::DeliverEvict(n, job) => self.on_deliver_evict(n, job),
+            Event::LivenessReply(n, dead) => self.on_liveness_reply(n, dead),
+            Event::Inject(i) => self.on_inject(i),
+        }
+    }
+
+    fn on_submit(&mut self, plan: usize) {
+        let now = self.engine.now();
+        let stage = self.plan_state[plan].current_stage;
+        let spec = self.plans[plan].stages[stage].clone();
+        let job = JobId(self.next_job);
+        self.next_job += 1;
+        if self.trace.is_some() {
+            let msg = format!("{} submitted as {job} (stage {stage})", self.plans[plan].name);
+            self.trace("job", || msg);
+        }
+        self.job_to_plan.insert(job, (plan, stage));
+        self.job_submit_time.insert(job, now);
+        self.live_jobs.insert(job);
+        if self.plan_state[plan].submitted_at.is_none() {
+            self.plan_state[plan].submitted_at = Some(now);
+            self.plan_state[plan].stage1_input = self.input_bytes_of(&spec);
+        }
+
+        // Hypothetical instantaneous scheme: whole input appears in memory
+        // (one replica per block) at submission, vanishes at completion.
+        if let JobInput::DfsFiles(files) = &spec.input {
+            let mut assigns: Vec<(u32, u64)> = Vec::new();
+            for f in files {
+                for info in self.namenode.file_blocks(f).expect("input file missing") {
+                    let locs = self.namenode.locations(info.id).expect("block vanished");
+                    if locs.is_empty() || info.bytes == 0 {
+                        continue;
+                    }
+                    let n = self.rng.choose(&locs).0;
+                    assigns.push((n, info.bytes));
+                }
+            }
+            for &(n, bytes) in &assigns {
+                self.hypothetical[n as usize].add(now, bytes as f64);
+            }
+            self.hyp_assign.insert(job, assigns);
+        }
+
+        // The job-submitter's Ignem hook.
+        if self.mode == FsMode::Ignem && spec.submit.migrate.is_some() {
+            if let JobInput::DfsFiles(files) = &spec.input {
+                let req = MigrateRequest {
+                    job,
+                    files: files.clone(),
+                    mode: spec.submit.migrate.expect("checked above"),
+                    submitted: now,
+                };
+                let batches = self
+                    .master
+                    .handle_migrate(&req, &self.namenode, &mut self.rng)
+                    .expect("migrate request referenced missing file");
+                self.job_migrated.insert(job);
+                let rpc = self.net.rpc_latency();
+                for b in batches {
+                    self.engine
+                        .schedule_in(rpc, Event::DeliverMigrates(b.to.0, b.migrates));
+                }
+            }
+        }
+
+        self.job_spec.insert(job, spec.clone());
+        // Lead-time sources between submission and schedulability: the
+        // submitter itself, any artificial sleep (Fig. 8), and AM startup.
+        let delay = self.cfg.compute.submit_overhead
+            + spec.submit.extra_lead_time
+            + self.cfg.compute.am_overhead;
+        self.engine.schedule_in(delay, Event::Queued(job));
+    }
+
+    fn input_bytes_of(&self, spec: &JobSpec) -> u64 {
+        match &spec.input {
+            JobInput::DfsFiles(files) => files
+                .iter()
+                .map(|f| self.namenode.open(f).expect("input file missing").bytes)
+                .sum(),
+            JobInput::Cached(b) => *b,
+        }
+    }
+
+    fn on_queued(&mut self, job: JobId) {
+        if !self.live_jobs.contains(&job) {
+            return; // killed while in the submitter
+        }
+        let now = self.engine.now();
+        let spec = self.job_spec[&job].clone();
+        let inputs: Vec<MapInput> = match &spec.input {
+            JobInput::DfsFiles(files) => {
+                let mut v = Vec::new();
+                for f in files {
+                    for info in self.namenode.file_blocks(f).expect("input file missing") {
+                        if info.bytes > 0 {
+                            v.push(MapInput {
+                                block: Some(info.id),
+                                bytes: info.bytes,
+                            });
+                        }
+                    }
+                }
+                v
+            }
+            JobInput::Cached(bytes) => split_into_blocks(*bytes, self.cfg.dfs.block_size)
+                .into_iter()
+                .map(|b| MapInput {
+                    block: None,
+                    bytes: b,
+                })
+                .collect(),
+        };
+        let submitted = self.job_submit_time[&job];
+        if inputs.is_empty() {
+            // Degenerate job (zero-byte input): completes instantly.
+            self.finish_job_record(job, submitted, now, &spec);
+            return;
+        }
+        self.tracker.submit(job, spec, submitted, now, &inputs);
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    fn on_heartbeat(&mut self, n: u32) {
+        if !self.node_alive[n as usize] {
+            return;
+        }
+        self.assign_tasks(NodeId(n), false);
+        if self.cfg.compute.speculation && n == 0 {
+            // One straggler sweep per heartbeat round (node 0's beat).
+            self.check_stragglers();
+        }
+        if self.unfinished_plans > 0 {
+            self.engine
+                .schedule_in(self.cfg.compute.heartbeat, Event::Heartbeat(n));
+        }
+    }
+
+    /// Speculative execution: duplicate map tasks that have been running
+    /// far longer than their job's mean completed-map time.
+    fn check_stragglers(&mut self) {
+        let now = self.engine.now();
+        let threshold = self.cfg.compute.speculation_threshold;
+        let mut to_speculate = Vec::new();
+        let jobs: Vec<JobId> = self.tracker.jobs().map(|j| j.id).collect();
+        for job in jobs {
+            let j = self.tracker.job(job);
+            if j.is_finished() {
+                continue;
+            }
+            let done: Vec<f64> = j
+                .map_tasks
+                .iter()
+                .filter_map(|t| self.tracker.task(*t).duration())
+                .collect();
+            if done.len() < 3 {
+                continue; // not enough signal
+            }
+            let mean = done.iter().sum::<f64>() / done.len() as f64;
+            for &t in &j.map_tasks {
+                let rec = self.tracker.task(t);
+                if let (ignem_compute::tracker::TaskState::Assigned(_), Some(at)) =
+                    (rec.state, rec.assigned_at)
+                {
+                    let elapsed = now.duration_since(at).as_secs_f64();
+                    if elapsed > threshold * mean {
+                        to_speculate.push(t);
+                    }
+                }
+            }
+        }
+        for t in to_speculate {
+            if self.tracker.speculate(t).is_some() {
+                self.metrics.speculated += 1;
+                if self.trace.is_some() {
+                    let msg = format!("straggler {t:?} speculated");
+                    self.trace("task", || msg);
+                }
+            }
+        }
+    }
+
+    /// Cancels any in-flight IO owned by `task` (a cancelled speculative
+    /// attempt).
+    fn cancel_task_io(&mut self, task: TaskId) {
+        let now = self.engine.now();
+        let disk_keys: Vec<(u32, RequestId)> = self
+            .disk_owner
+            .iter()
+            .filter(|(_, o)| matches!(o, DiskOwner::MapRead { task: t, .. } if *t == task))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in disk_keys {
+            self.disk_owner.remove(&key);
+            let done = self.disks[key.0 as usize].cancel(now, key.1);
+            self.process_disk(key.0, done);
+            self.resched_disk(key.0);
+        }
+        let ram_keys: Vec<(u32, RequestId)> = self
+            .ram_owner
+            .iter()
+            .filter(|(_, o)| matches!(o, DiskOwner::MapRead { task: t, .. } if *t == task))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in ram_keys {
+            self.ram_owner.remove(&key);
+            let done = self.rams[key.0 as usize].cancel(now, key.1);
+            self.process_ram(key.0, done);
+            self.resched_ram(key.0);
+        }
+        let xfers: Vec<TransferId> = self
+            .net_owner
+            .iter()
+            .filter(|(_, o)| matches!(o, NetOwner::MapRead { task: t, .. } if *t == task))
+            .map(|(k, _)| *k)
+            .collect();
+        for id in xfers {
+            self.net_owner.remove(&id);
+            let done = self.net.cancel(now, id);
+            self.process_net(done);
+            self.resched_net();
+        }
+    }
+
+    /// Fills free slots on `node`. At heartbeats any task may be assigned;
+    /// on container reuse (`reuse = true`, immediately after a completion)
+    /// Tez hands the freed container a new task without waiting for the
+    /// next ResourceManager heartbeat — but a *brand-new* job's first tasks
+    /// still wait for a heartbeat, preserving that lead-time source.
+    fn assign_tasks(&mut self, node: NodeId, reuse: bool) {
+        let now = self.engine.now();
+        loop {
+            if self.slots.free(node) == 0 {
+                break;
+            }
+            let mems = &self.mems;
+            let alive = &self.node_alive;
+            let namenode = &self.namenode;
+            let pick = choose_map_task(
+                &self.tracker,
+                node,
+                |nd, b| alive[nd.0 as usize] && mems[nd.0 as usize].contains(&b),
+                |nd, b| {
+                    namenode
+                        .locations(b)
+                        .map(|l| l.contains(&nd))
+                        .unwrap_or(false)
+                },
+            )
+            .or_else(|| choose_reduce_task(&self.tracker));
+            let Some(task) = pick else { break };
+            if reuse && self.tracker.job(self.tracker.task(task).job).started_tasks() == 0 {
+                // Container reuse only applies to jobs whose AM is already
+                // running tasks; fresh jobs wait for a heartbeat.
+                break;
+            }
+            assert!(self.slots.acquire(node), "slot vanished");
+            if self.trace.is_some() {
+                let job = self.tracker.task(task).job;
+                let msg = format!("task {task:?} of {job} assigned to {node}");
+                self.trace("task", || msg);
+            }
+            self.tracker.assign(now, task, node);
+            self.engine.schedule_in(
+                self.cfg.compute.task_launch_overhead,
+                Event::TaskLaunched(task),
+            );
+            if reuse {
+                break; // one task per freed container
+            }
+        }
+    }
+
+    fn on_task_launched(&mut self, task: TaskId) {
+        let rec = *self.tracker.task(task);
+        let ignem_compute::tracker::TaskState::Assigned(node) = rec.state else {
+            return; // requeued by a node failure while launching
+        };
+        // Task runtimes are measured from launch (first byte of IO), the
+        // way the paper's Table II / Fig. 2 report mapper durations.
+        self.task_launched_at.insert(task, self.engine.now());
+        match rec.kind {
+            TaskKind::Map { block, bytes } => self.start_map_read(task, node, block, bytes),
+            TaskKind::Reduce { .. } => self.start_shuffle(task, node, rec.job),
+        }
+    }
+
+    fn start_map_read(&mut self, task: TaskId, node: NodeId, block: Option<BlockId>, bytes: u64) {
+        let now = self.engine.now();
+        let source = match block {
+            None => ReadSource::LocalMemory, // cached intermediate
+            Some(b) => {
+                let mems = &self.mems;
+                let alive = &self.node_alive;
+                plan_read(
+                    &self.namenode,
+                    node,
+                    b,
+                    |nd, blk| alive[nd.0 as usize] && mems[nd.0 as usize].contains(&blk),
+                    &mut self.rng,
+                )
+                .expect("block unreadable (all replicas dead)")
+            }
+        };
+        match source {
+            ReadSource::LocalMemory => {
+                let owner = DiskOwner::MapRead {
+                    task,
+                    kind: ReadKind::Memory,
+                    block,
+                    serving: node.0,
+                    started: now,
+                };
+                self.submit_ram(node.0, bytes, owner);
+            }
+            ReadSource::RemoteMemory(holder) => {
+                let id = TransferId(self.next_xfer);
+                self.next_xfer += 1;
+                self.net_owner.insert(
+                    id,
+                    NetOwner::MapRead {
+                        task,
+                        block: block.expect("remote read of cached input"),
+                        serving: holder.0,
+                        started: now,
+                    },
+                );
+                let done = self.net.start(now, id, holder, node, bytes.max(1));
+                self.process_net(done);
+                self.resched_net();
+            }
+            ReadSource::LocalDisk => {
+                let owner = DiskOwner::MapRead {
+                    task,
+                    kind: ReadKind::LocalDisk,
+                    block,
+                    serving: node.0,
+                    started: now,
+                };
+                self.submit_disk(node.0, IoKind::Read, bytes, owner);
+            }
+            ReadSource::RemoteDisk(r) => {
+                // Bottlenecked by the remote disk (10 GbE is faster).
+                let owner = DiskOwner::MapRead {
+                    task,
+                    kind: ReadKind::RemoteDisk,
+                    block,
+                    serving: r.0,
+                    started: now,
+                };
+                self.submit_disk(r.0, IoKind::Read, bytes, owner);
+            }
+        }
+    }
+
+    fn start_shuffle(&mut self, task: TaskId, node: NodeId, job: JobId) {
+        let now = self.engine.now();
+        let spec = &self.job_spec[&job];
+        let reducers = spec.reducers.max(1) as u64;
+        let share = spec.shuffle_bytes / reducers;
+        let remote = share * (self.cfg.nodes as u64 - 1) / self.cfg.nodes as u64;
+        if remote == 0 || self.cfg.nodes == 1 {
+            self.schedule_reduce_compute(task, job, share);
+            return;
+        }
+        // Pick a random alive source other than the reducer's node.
+        let sources: Vec<NodeId> = (0..self.cfg.nodes as u32)
+            .map(NodeId)
+            .filter(|&nd| nd != node && self.node_alive[nd.0 as usize])
+            .collect();
+        if sources.is_empty() {
+            self.schedule_reduce_compute(task, job, share);
+            return;
+        }
+        let src = *self.rng.choose(&sources);
+        let id = TransferId(self.next_xfer);
+        self.next_xfer += 1;
+        self.net_owner.insert(id, NetOwner::Shuffle { task });
+        let done = self.net.start(now, id, src, node, remote);
+        self.process_net(done);
+        self.resched_net();
+    }
+
+    fn schedule_reduce_compute(&mut self, task: TaskId, job: JobId, share: u64) {
+        let spec = &self.job_spec[&job];
+        let secs = share as f64 / spec.reduce_cpu_rate * self.jitter();
+        self.engine.schedule_in(
+            SimDuration::from_secs_f64(secs),
+            Event::TaskComputeDone(task),
+        );
+    }
+
+    /// A mean-one log-normal compute-time multiplier (1.0 when jitter is
+    /// disabled).
+    fn jitter(&mut self) -> f64 {
+        let sigma = self.cfg.compute.compute_jitter_sigma;
+        if sigma == 0.0 {
+            return 1.0;
+        }
+        let mu = -sigma * sigma / 2.0;
+        (mu + sigma * ignem_simcore::dist::standard_normal(&mut self.rng)).exp()
+    }
+
+    fn on_task_compute_done(&mut self, task: TaskId) {
+        let now = self.engine.now();
+        let rec = *self.tracker.task(task);
+        let ignem_compute::tracker::TaskState::Assigned(node) = rec.state else {
+            return; // node failed mid-compute; task requeued
+        };
+        if let TaskKind::Reduce { .. } = rec.kind {
+            // Write this reducer's output share (buffered; flush contends).
+            let spec = &self.job_spec[&rec.job];
+            let share = spec.output_bytes / spec.reducers.max(1) as u64;
+            if share > 0 {
+                let done = self.disks[node.0 as usize].buffered_write(now, share);
+                self.process_disk(node.0, done);
+                self.resched_disk(node.0);
+            }
+        }
+        let outcome = self.tracker.complete(now, task);
+        self.slots.release(node);
+        if let Some((loser, loser_node)) = outcome.cancelled_attempt {
+            self.task_launched_at.remove(&loser);
+            self.cancel_task_io(loser);
+            if let Some(nd) = loser_node {
+                if self.node_alive[nd.0 as usize] {
+                    self.slots.release(nd);
+                    // The freed container can take new work immediately.
+                    self.assign_tasks(nd, true);
+                }
+            }
+        }
+        if let Some(launched) = self.task_launched_at.remove(&task) {
+            let d = now.duration_since(launched).as_secs_f64();
+            match rec.kind {
+                TaskKind::Map { .. } => self.metrics.map_task_secs.push(d),
+                TaskKind::Reduce { .. } => self.metrics.reduce_task_secs.push(d),
+            }
+        }
+        if outcome.job_finished {
+            self.on_job_finished(rec.job);
+        }
+        // Tez container reuse: the freed slot takes another task at once.
+        if self.node_alive[node.0 as usize] {
+            self.assign_tasks(node, true);
+        }
+    }
+
+    fn on_job_finished(&mut self, job: JobId) {
+        let now = self.engine.now();
+        let spec = self.job_spec[&job].clone();
+        let submitted = self.job_submit_time[&job];
+        self.finish_job_record(job, submitted, now, &spec);
+    }
+
+    fn finish_job_record(&mut self, job: JobId, submitted: SimTime, now: SimTime, spec: &JobSpec) {
+        let (plan, stage) = self.job_to_plan[&job];
+        self.live_jobs.remove(&job);
+        // Hypothetical scheme evicts at completion.
+        if let Some(assigns) = self.hyp_assign.remove(&job) {
+            for (n, bytes) in assigns {
+                self.hypothetical[n as usize].add(now, -(bytes as f64));
+            }
+        }
+        // Job completion evict (paper: the submitter issues it).
+        if self.job_migrated.remove(&job) {
+            let rpc = self.net.rpc_latency();
+            for b in self.master.handle_evict(job) {
+                for j in b.evicts {
+                    self.engine.schedule_in(rpc, Event::DeliverEvict(b.to.0, j));
+                }
+            }
+        }
+        if self.trace.is_some() {
+            let msg = format!(
+                "{} ({job}) finished after {:.2}s",
+                spec.name,
+                now.duration_since(submitted).as_secs_f64()
+            );
+            self.trace("job", || msg);
+        }
+        self.metrics.jobs.push(JobResult {
+            name: spec.name.clone(),
+            plan,
+            stage,
+            input_bytes: self.input_bytes_of(spec),
+            submitted,
+            duration: now.duration_since(submitted).as_secs_f64(),
+        });
+        // Advance the plan.
+        let state = &mut self.plan_state[plan];
+        if stage + 1 < self.plans[plan].stages.len() {
+            state.current_stage = stage + 1;
+            self.engine.schedule_now(Event::Submit(plan));
+        } else if !state.finished {
+            state.finished = true;
+            let started = state.submitted_at.expect("plan finished before submit");
+            self.metrics.plans.push(PlanResult {
+                name: self.plans[plan].name.clone(),
+                plan,
+                input_bytes: state.stage1_input,
+                duration: now.duration_since(started).as_secs_f64(),
+            });
+            self.unfinished_plans -= 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ignem plumbing
+    // ------------------------------------------------------------------
+
+    fn on_deliver_migrates(&mut self, n: u32, cmds: Vec<MigrateCommand>) {
+        if !self.node_alive[n as usize] {
+            return;
+        }
+        let now = self.engine.now();
+        let actions = self.slaves[n as usize].enqueue(now, cmds, &mut self.mems[n as usize]);
+        self.process_slave_actions(n, actions);
+    }
+
+    fn on_deliver_evict(&mut self, n: u32, job: JobId) {
+        if !self.node_alive[n as usize] {
+            return;
+        }
+        let now = self.engine.now();
+        let actions = self.slaves[n as usize].on_evict_job(now, job, &mut self.mems[n as usize]);
+        self.process_slave_actions(n, actions);
+    }
+
+    fn on_liveness_reply(&mut self, n: u32, dead: Vec<JobId>) {
+        if !self.node_alive[n as usize] {
+            return;
+        }
+        let now = self.engine.now();
+        let actions =
+            self.slaves[n as usize].on_liveness_result(now, dead, &mut self.mems[n as usize]);
+        self.process_slave_actions(n, actions);
+    }
+
+    fn process_slave_actions(&mut self, n: u32, actions: Vec<SlaveAction>) {
+        for a in actions {
+            match a {
+                SlaveAction::StartRead { block, bytes } => {
+                    if self.trace.is_some() {
+                        let msg = format!("node{n} starts migrating {block} ({bytes} bytes)");
+                        self.trace("migration", || msg);
+                    }
+                    let owner = DiskOwner::Migration { block };
+                    let req = self.submit_disk(n, IoKind::Migration, bytes, owner);
+                    self.migration_req.insert((n, block), req);
+                }
+                SlaveAction::CancelRead { block } => {
+                    if let Some(req) = self.migration_req.remove(&(n, block)) {
+                        self.disk_owner.remove(&(n, req));
+                        let now = self.engine.now();
+                        let done = self.disks[n as usize].cancel(now, req);
+                        self.process_disk(n, done);
+                        self.resched_disk(n);
+                    }
+                }
+                SlaveAction::QueryJobLiveness { jobs } => {
+                    let dead: Vec<JobId> = jobs
+                        .into_iter()
+                        .filter(|j| !self.live_jobs.contains(j))
+                        .collect();
+                    let rpc = self.net.rpc_latency() * 2;
+                    self.engine.schedule_in(rpc, Event::LivenessReply(n, dead));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // IO plumbing
+    // ------------------------------------------------------------------
+
+    fn alloc_req(&mut self) -> RequestId {
+        let id = RequestId(self.next_req);
+        self.next_req += 1;
+        id
+    }
+
+    fn submit_disk(&mut self, n: u32, kind: IoKind, bytes: u64, owner: DiskOwner) -> RequestId {
+        let now = self.engine.now();
+        let id = self.alloc_req();
+        self.disk_owner.insert((n, id), owner);
+        let done = self.disks[n as usize].submit(now, id, kind, bytes.max(1));
+        self.process_disk(n, done);
+        self.resched_disk(n);
+        id
+    }
+
+    fn submit_ram(&mut self, n: u32, bytes: u64, owner: DiskOwner) -> RequestId {
+        let now = self.engine.now();
+        let id = self.alloc_req();
+        self.ram_owner.insert((n, id), owner);
+        let done = self.rams[n as usize].submit(now, id, IoKind::Read, bytes.max(1));
+        self.process_ram(n, done);
+        self.resched_ram(n);
+        id
+    }
+
+    fn resched_disk(&mut self, n: u32) {
+        self.disk_gen[n as usize] += 1;
+        let gen = self.disk_gen[n as usize];
+        if let Some(t) = self.disks[n as usize].next_event() {
+            self.engine.schedule_at(t, Event::DiskTimer(n, gen));
+        }
+    }
+
+    fn resched_ram(&mut self, n: u32) {
+        self.ram_gen[n as usize] += 1;
+        let gen = self.ram_gen[n as usize];
+        if let Some(t) = self.rams[n as usize].next_event() {
+            self.engine.schedule_at(t, Event::RamTimer(n, gen));
+        }
+    }
+
+    fn resched_net(&mut self) {
+        self.net_gen += 1;
+        let gen = self.net_gen;
+        if let Some(t) = self.net.next_event() {
+            self.engine.schedule_at(t, Event::NetTimer(gen));
+        }
+    }
+
+    fn on_disk_timer(&mut self, n: u32, gen: u64) {
+        if gen != self.disk_gen[n as usize] {
+            return;
+        }
+        let now = self.engine.now();
+        let done = self.disks[n as usize].advance(now);
+        self.process_disk(n, done);
+        self.resched_disk(n);
+    }
+
+    fn on_ram_timer(&mut self, n: u32, gen: u64) {
+        if gen != self.ram_gen[n as usize] {
+            return;
+        }
+        let now = self.engine.now();
+        let done = self.rams[n as usize].advance(now);
+        self.process_ram(n, done);
+        self.resched_ram(n);
+    }
+
+    fn on_net_timer(&mut self, gen: u64) {
+        if gen != self.net_gen {
+            return;
+        }
+        let now = self.engine.now();
+        let done = self.net.advance(now);
+        self.process_net(done);
+        self.resched_net();
+    }
+
+    fn process_disk(&mut self, n: u32, done: Vec<Completion>) {
+        for c in done {
+            let Some(owner) = self.disk_owner.remove(&(n, c.id)) else {
+                continue; // cancelled
+            };
+            match owner {
+                DiskOwner::Migration { block } => {
+                    if self.trace.is_some() {
+                        let msg = format!("node{n} finished migrating {block}");
+                        self.trace("migration", || msg);
+                    }
+                    self.migration_req.remove(&(n, block));
+                    let now = self.engine.now();
+                    let actions =
+                        self.slaves[n as usize].on_read_done(now, block, &mut self.mems[n as usize]);
+                    self.process_slave_actions(n, actions);
+                }
+                DiskOwner::MapRead {
+                    task,
+                    kind,
+                    block,
+                    serving,
+                    started,
+                } => self.finish_map_read(task, kind, block, serving, started, c.bytes),
+                DiskOwner::Rereplicate { block, target } => {
+                    self.rerep_active = false;
+                    if self.node_alive[target as usize] {
+                        let now = self.engine.now();
+                        let done = self.disks[target as usize].buffered_write(now, c.bytes);
+                        self.process_disk(target, done);
+                        self.resched_disk(target);
+                        self.namenode
+                            .add_replica(block, NodeId(target))
+                            .expect("re-replication target vanished");
+                        self.metrics.rereplicated += 1;
+                    }
+                    self.start_next_rereplication();
+                }
+            }
+        }
+    }
+
+    /// Starts the next queued re-replication (one at a time cluster-wide,
+    /// like HDFS's throttled replication monitor).
+    fn start_next_rereplication(&mut self) {
+        if self.rerep_active {
+            return;
+        }
+        while let Some(block) = self.rerep_queue.pop() {
+            let Ok(locations) = self.namenode.locations(block) else {
+                continue;
+            };
+            if locations.is_empty() {
+                continue; // lost block: nothing to copy from
+            }
+            let holders: Vec<NodeId> = locations;
+            let candidates: Vec<NodeId> = (0..self.cfg.nodes as u32)
+                .map(NodeId)
+                .filter(|n| self.node_alive[n.0 as usize] && !holders.contains(n))
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            let source = *self.rng.choose(&holders);
+            let target = *self.rng.choose(&candidates);
+            let bytes = self
+                .namenode
+                .block_info(block)
+                .expect("block vanished")
+                .bytes;
+            let owner = DiskOwner::Rereplicate {
+                block,
+                target: target.0,
+            };
+            self.rerep_active = true;
+            self.submit_disk(source.0, IoKind::Read, bytes, owner);
+            return;
+        }
+    }
+
+    fn process_ram(&mut self, n: u32, done: Vec<Completion>) {
+        for c in done {
+            let Some(owner) = self.ram_owner.remove(&(n, c.id)) else {
+                continue;
+            };
+            if let DiskOwner::MapRead {
+                task,
+                kind,
+                block,
+                serving,
+                started,
+            } = owner
+            {
+                self.finish_map_read(task, kind, block, serving, started, c.bytes);
+            }
+        }
+    }
+
+    fn process_net(&mut self, done: Vec<ignem_netsim::TransferDone>) {
+        for t in done {
+            let Some(owner) = self.net_owner.remove(&t.id) else {
+                continue;
+            };
+            match owner {
+                NetOwner::MapRead {
+                    task,
+                    block,
+                    serving,
+                    started,
+                } => self.finish_map_read(
+                    task,
+                    ReadKind::Memory,
+                    Some(block),
+                    serving,
+                    started,
+                    t.bytes,
+                ),
+                NetOwner::Shuffle { task } => {
+                    let rec = *self.tracker.task(task);
+                    if let ignem_compute::tracker::TaskState::Assigned(_) = rec.state {
+                        let spec = &self.job_spec[&rec.job];
+                        let share = spec.shuffle_bytes / spec.reducers.max(1) as u64;
+                        self.schedule_reduce_compute(task, rec.job, share);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_map_read(
+        &mut self,
+        task: TaskId,
+        kind: ReadKind,
+        block: Option<BlockId>,
+        serving: u32,
+        started: SimTime,
+        bytes: u64,
+    ) {
+        let now = self.engine.now();
+        let rec = *self.tracker.task(task);
+        let ignem_compute::tracker::TaskState::Assigned(_) = rec.state else {
+            return; // requeued meanwhile
+        };
+        if block.is_some() {
+            self.metrics.block_reads.push(BlockRead {
+                bytes,
+                secs: now.duration_since(started).as_secs_f64(),
+                kind,
+            });
+        }
+        // Optional PACMan-style page cache on the serving node.
+        if self.cfg.cache_reads && self.node_alive[serving as usize] {
+            if let Some(b) = block {
+                match kind {
+                    ReadKind::Memory => self.mems[serving as usize].touch(&b),
+                    ReadKind::LocalDisk | ReadKind::RemoteDisk => {
+                        self.mems[serving as usize].insert_cached(now, b, bytes);
+                    }
+                }
+            }
+        }
+        // HDFS reads carry the job id; the serving slave reacts (implicit
+        // eviction / missed-read cleanup).
+        if self.mode == FsMode::Ignem {
+            if let Some(b) = block {
+                if self.node_alive[serving as usize] {
+                    let actions = self.slaves[serving as usize].on_block_read(
+                        now,
+                        b,
+                        rec.job,
+                        &mut self.mems[serving as usize],
+                    );
+                    self.process_slave_actions(serving, actions);
+                }
+            }
+        }
+        let rate = self.job_spec[&rec.job].map_cpu_rate;
+        let secs = bytes as f64 / rate * self.jitter();
+        self.engine.schedule_in(
+            SimDuration::from_secs_f64(secs),
+            Event::TaskComputeDone(task),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    fn on_inject(&mut self, idx: usize) {
+        let now = self.engine.now();
+        if self.trace.is_some() {
+            let msg = format!("{:?}", self.faults[idx].1);
+            self.trace("fault", || msg);
+        }
+        match self.faults[idx].1 {
+            Fault::MasterFail => {
+                self.master.fail();
+                for n in 0..self.cfg.nodes {
+                    if self.node_alive[n] {
+                        let actions =
+                            self.slaves[n].on_master_failed(now, &mut self.mems[n]);
+                        self.process_slave_actions(n as u32, actions);
+                    }
+                }
+            }
+            Fault::SlaveRestart(node) => {
+                let n = node.0 as usize;
+                if self.node_alive[n] {
+                    let actions = self.slaves[n].fail(now, &mut self.mems[n]);
+                    self.process_slave_actions(node.0, actions);
+                }
+            }
+            Fault::NodeFail(node) => self.fail_node(node),
+            Fault::KillPlan(p) => self.kill_plan(p),
+        }
+    }
+
+    fn fail_node(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        if !self.node_alive[n] {
+            return;
+        }
+        let now = self.engine.now();
+        self.node_alive[n] = false;
+        self.namenode.mark_dead(node).expect("node registered");
+        // Slave dies with the node; cancel its migration read.
+        let actions = self.slaves[n].fail(now, &mut self.mems[n]);
+        self.process_slave_actions(node.0, actions);
+        // Requeue tasks that were running on the node and drop their slots.
+        let requeued = self.tracker.fail_node(node);
+        self.slots.clear_node(node);
+        let requeued: HashSet<TaskId> = requeued.into_iter().collect();
+        // Cancel in-flight IO owned by requeued tasks or served by the dead
+        // node, re-issuing reads for still-running remote readers.
+        let mut reissue: Vec<(TaskId, Option<BlockId>, u64)> = Vec::new();
+        let disk_keys: Vec<(u32, RequestId)> = self.disk_owner.keys().copied().collect();
+        for key in disk_keys {
+            let owner = self.disk_owner[&key];
+            if let DiskOwner::Rereplicate { block, target } = owner {
+                // A re-replication touched by the failure restarts later.
+                if key.0 == node.0 || target == node.0 {
+                    self.disk_owner.remove(&key);
+                    let done = self.disks[key.0 as usize].cancel(now, key.1);
+                    self.process_disk(key.0, done);
+                    self.resched_disk(key.0);
+                    self.rerep_active = false;
+                    self.rerep_queue.push(block);
+                }
+                continue;
+            }
+            if let DiskOwner::MapRead {
+                task,
+                block,
+                serving,
+                ..
+            } = owner
+            {
+                let dead_reader = requeued.contains(&task);
+                let dead_server = serving == node.0 || key.0 == node.0;
+                if dead_reader || dead_server {
+                    self.disk_owner.remove(&key);
+                    let done = self.disks[key.0 as usize].cancel(now, key.1);
+                    self.process_disk(key.0, done);
+                    self.resched_disk(key.0);
+                    if !dead_reader {
+                        let rec = *self.tracker.task(task);
+                        if let TaskKind::Map { bytes, .. } = rec.kind {
+                            reissue.push((task, block, bytes));
+                        }
+                    }
+                }
+            }
+        }
+        let ram_keys: Vec<(u32, RequestId)> = self.ram_owner.keys().copied().collect();
+        for key in ram_keys {
+            if key.0 != node.0 {
+                continue;
+            }
+            self.ram_owner.remove(&key);
+            let done = self.rams[key.0 as usize].cancel(now, key.1);
+            self.process_ram(key.0, done);
+            self.resched_ram(key.0);
+        }
+        let xfers: Vec<TransferId> = self.net_owner.keys().copied().collect();
+        for id in xfers {
+            let owner = self.net_owner[&id];
+            match owner {
+                NetOwner::MapRead {
+                    task,
+                    block,
+                    serving,
+                    ..
+                } => {
+                    let dead_reader = requeued.contains(&task);
+                    if dead_reader || serving == node.0 {
+                        self.net_owner.remove(&id);
+                        let done = self.net.cancel(now, id);
+                        self.process_net(done);
+                        self.resched_net();
+                        if !dead_reader {
+                            let rec = *self.tracker.task(task);
+                            if let TaskKind::Map { bytes, .. } = rec.kind {
+                                reissue.push((task, Some(block), bytes));
+                            }
+                        }
+                    }
+                }
+                NetOwner::Shuffle { task } => {
+                    if requeued.contains(&task) {
+                        self.net_owner.remove(&id);
+                        let done = self.net.cancel(now, id);
+                        self.process_net(done);
+                        self.resched_net();
+                    }
+                }
+            }
+        }
+        for (task, block, bytes) in reissue {
+            let rec = *self.tracker.task(task);
+            if let ignem_compute::tracker::TaskState::Assigned(reader) = rec.state {
+                self.start_map_read(task, reader, block, bytes);
+            }
+        }
+        // HDFS re-replicates the blocks that lost a replica.
+        self.rerep_queue.extend(self.namenode.under_replicated());
+        self.rerep_queue.sort();
+        self.rerep_queue.dedup();
+        self.start_next_rereplication();
+    }
+
+    fn kill_plan(&mut self, p: usize) {
+        if self.plan_state[p].finished {
+            return;
+        }
+        let now = self.engine.now();
+        let jobs: Vec<JobId> = self
+            .job_to_plan
+            .iter()
+            .filter(|(_, &(plan, _))| plan == p)
+            .map(|(&j, _)| j)
+            .collect();
+        for job in jobs {
+            self.tracker.kill_job(job);
+            self.live_jobs.remove(&job);
+            if let Some(assigns) = self.hyp_assign.remove(&job) {
+                for (n, bytes) in assigns {
+                    self.hypothetical[n as usize].add(now, -(bytes as f64));
+                }
+            }
+            // Note: deliberately NO evict to Ignem — the paper's dead-job
+            // cleanup (threshold + liveness query) must reclaim the refs.
+        }
+        self.plan_state[p].finished = true;
+        self.unfinished_plans -= 1;
+    }
+}

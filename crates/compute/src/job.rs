@@ -1,0 +1,151 @@
+//! Job specifications.
+//!
+//! A [`JobSpec`] describes one MapReduce-style job the way the SWIM trace
+//! does: input bytes (as DFS files), shuffle bytes, output bytes, plus
+//! compute rates that determine how much non-IO work the tasks do. Hive
+//! queries are modelled as a sequence of such jobs (see
+//! `ignem-workloads::tpcds`).
+
+use ignem_core::command::EvictionMode;
+use ignem_simcore::time::SimDuration;
+
+/// Where a job's map input comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobInput {
+    /// Cold files in the DFS — the case Ignem targets.
+    DfsFiles(Vec<String>),
+    /// Intermediate data of a previous stage, recently written and thus
+    /// resident in the page cache (Hive stage ≥ 2). `bytes` total, split
+    /// into synthetic block-sized map inputs.
+    Cached(u64),
+}
+
+/// How the job-submitter interacts with Ignem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// If set, the submitter issues an Ignem migrate call for the job's
+    /// input files (with this eviction mode) before submitting.
+    pub migrate: Option<EvictionMode>,
+    /// Artificial sleep between the migrate call and job submission —
+    /// the paper's Fig. 8 *Ignem+10s* experiment. Counted in job duration.
+    pub extra_lead_time: SimDuration,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        SubmitOptions {
+            migrate: None,
+            extra_lead_time: SimDuration::ZERO,
+        }
+    }
+}
+
+impl SubmitOptions {
+    /// Plain HDFS submission (no migration).
+    pub fn plain() -> Self {
+        SubmitOptions::default()
+    }
+
+    /// Submission with an Ignem migrate call (explicit eviction).
+    pub fn with_migration() -> Self {
+        SubmitOptions {
+            migrate: Some(EvictionMode::Explicit),
+            ..SubmitOptions::default()
+        }
+    }
+}
+
+/// One MapReduce-style job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Human-readable name (for reports).
+    pub name: String,
+    /// Map-stage input.
+    pub input: JobInput,
+    /// Total bytes moved map → reduce (0 for map-only jobs).
+    pub shuffle_bytes: u64,
+    /// Total bytes the reduce stage writes back to the DFS.
+    pub output_bytes: u64,
+    /// Number of reduce tasks (0 = map-only job).
+    pub reducers: usize,
+    /// Map CPU processing rate over input bytes (bytes/s). Determines the
+    /// compute portion of a map task after its input read.
+    pub map_cpu_rate: f64,
+    /// Reduce CPU processing rate over shuffle bytes (bytes/s).
+    pub reduce_cpu_rate: f64,
+    /// Submitter behaviour.
+    pub submit: SubmitOptions,
+}
+
+impl JobSpec {
+    /// A convenience constructor with typical CPU rates; callers override
+    /// fields as needed.
+    pub fn new(name: impl Into<String>, input: JobInput) -> Self {
+        JobSpec {
+            name: name.into(),
+            input,
+            shuffle_bytes: 0,
+            output_bytes: 0,
+            reducers: 0,
+            map_cpu_rate: 200e6,
+            reduce_cpu_rate: 100e6,
+            submit: SubmitOptions::default(),
+        }
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive CPU rates, shuffle without reducers, or an
+    /// empty file list.
+    pub fn validate(&self) {
+        assert!(
+            self.map_cpu_rate.is_finite() && self.map_cpu_rate > 0.0,
+            "bad map cpu rate"
+        );
+        assert!(
+            self.reduce_cpu_rate.is_finite() && self.reduce_cpu_rate > 0.0,
+            "bad reduce cpu rate"
+        );
+        if self.shuffle_bytes > 0 || self.output_bytes > 0 {
+            assert!(self.reducers > 0, "shuffle/output requires reducers");
+        }
+        if let JobInput::DfsFiles(files) = &self.input {
+            assert!(!files.is_empty(), "empty input file list");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_map_only_plain() {
+        let j = JobSpec::new("wc", JobInput::DfsFiles(vec!["/in".into()]));
+        j.validate();
+        assert_eq!(j.reducers, 0);
+        assert_eq!(j.submit.migrate, None);
+    }
+
+    #[test]
+    fn submit_options() {
+        assert!(SubmitOptions::with_migration().migrate.is_some());
+        assert!(SubmitOptions::plain().migrate.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires reducers")]
+    fn shuffle_without_reducers_rejected() {
+        let mut j = JobSpec::new("bad", JobInput::Cached(100));
+        j.shuffle_bytes = 10;
+        j.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input file list")]
+    fn empty_files_rejected() {
+        JobSpec::new("bad", JobInput::DfsFiles(vec![])).validate();
+    }
+}

@@ -1,0 +1,51 @@
+//! DFS error types.
+
+use crate::block::BlockId;
+use ignem_netsim::NodeId;
+
+/// Errors returned by namespace and location operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// A file with this path already exists.
+    FileExists(String),
+    /// No file with this path exists.
+    FileNotFound(String),
+    /// The block id is unknown.
+    BlockNotFound(BlockId),
+    /// The node id is unknown to the namenode.
+    UnknownNode(NodeId),
+    /// No alive datanode is available to place or serve a replica.
+    NoAliveNodes,
+}
+
+impl std::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfsError::FileExists(p) => write!(f, "file already exists: {p}"),
+            DfsError::FileNotFound(p) => write!(f, "file not found: {p}"),
+            DfsError::BlockNotFound(b) => write!(f, "block not found: {b}"),
+            DfsError::UnknownNode(n) => write!(f, "unknown datanode: {n}"),
+            DfsError::NoAliveNodes => write!(f, "no alive datanodes"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DfsError::FileNotFound("/a".into()).to_string(),
+            "file not found: /a"
+        );
+        assert_eq!(
+            DfsError::BlockNotFound(BlockId(1)).to_string(),
+            "block not found: blk_1"
+        );
+        assert_eq!(DfsError::NoAliveNodes.to_string(), "no alive datanodes");
+    }
+}

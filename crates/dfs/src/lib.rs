@@ -1,0 +1,44 @@
+//! # ignem-dfs — HDFS-like distributed file system layer
+//!
+//! The file-system substrate Ignem extends: a [`namenode::NameNode`] holding
+//! the namespace (files → blocks) and block locations (blocks → datanodes,
+//! with replication and liveness), plus the client-side read-path planner
+//! ([`client::plan_read`]) that prefers memory-resident replicas.
+//!
+//! Data *timing* (how long a read takes) lives in `ignem-storage` /
+//! `ignem-netsim`; this crate is the metadata authority, mirroring how the
+//! real NameNode never touches data bytes.
+//!
+//! ```
+//! use ignem_dfs::prelude::*;
+//! use ignem_netsim::NodeId;
+//! use ignem_simcore::rng::SimRng;
+//!
+//! let mut nn = NameNode::new(DfsConfig::default());
+//! for n in 0..8 { nn.register_node(NodeId(n)); }
+//! let mut rng = SimRng::new(1);
+//! nn.create_file("/logs/day1", 1 << 30, &mut rng)?;
+//! assert_eq!(nn.file_blocks("/logs/day1")?.len(), 16); // 1 GiB / 64 MiB
+//! # Ok::<(), ignem_dfs::error::DfsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod client;
+pub mod error;
+pub mod namenode;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::block::{BlockId, BlockInfo, FileId, DEFAULT_BLOCK_SIZE};
+    pub use crate::client::{plan_read, ReadSource};
+    pub use crate::error::DfsError;
+    pub use crate::namenode::{DfsConfig, FileMeta, NameNode};
+}
+
+pub use block::{BlockId, BlockInfo, FileId};
+pub use client::{plan_read, ReadSource};
+pub use error::DfsError;
+pub use namenode::{DfsConfig, FileMeta, NameNode};

@@ -1,0 +1,108 @@
+//! The Ignem wire protocol: client → master requests and master → slave
+//! command batches.
+//!
+//! The paper batches migration commands between the master and slaves "to
+//! reduce RPC communication overheads" (§III-A6); [`SlaveBatch`] is that
+//! batch.
+
+use ignem_dfs::block::BlockId;
+use ignem_netsim::NodeId;
+use ignem_simcore::time::SimTime;
+
+/// Identifies a job across the compute and migration planes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job_{}", self.0)
+    }
+}
+
+/// How a job's reference-list entries are released (paper §III-A4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvictionMode {
+    /// The job submitter issues an explicit evict instruction on completion.
+    Explicit,
+    /// The slave drops the job's reference as soon as the job reads the
+    /// block ("a job can opt into this implicit eviction mode").
+    Implicit,
+}
+
+/// A client → master migration request: "a list of files that a job will
+/// soon need to read".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrateRequest {
+    /// The requesting job.
+    pub job: JobId,
+    /// Paths of the job's input files.
+    pub files: Vec<String>,
+    /// Eviction mode for all of this job's blocks.
+    pub mode: EvictionMode,
+    /// Job submission time (the prioritization tie-breaker).
+    pub submitted: SimTime,
+}
+
+/// One master → slave migration instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrateCommand {
+    /// The job that will read the block.
+    pub job: JobId,
+    /// The block to read into memory.
+    pub block: BlockId,
+    /// The block's size.
+    pub bytes: u64,
+    /// Eviction mode for the reference created.
+    pub mode: EvictionMode,
+    /// The job's **total input size** — the slave's prioritization key
+    /// ("prioritize migration for blocks belonging to jobs with smaller
+    /// input sizes").
+    pub job_input_bytes: u64,
+    /// The job's submission time — the tie-breaker.
+    pub submitted: SimTime,
+}
+
+/// A batched set of commands for one slave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlaveBatch {
+    /// Destination slave.
+    pub to: NodeId,
+    /// Blocks to migrate.
+    pub migrates: Vec<MigrateCommand>,
+    /// Jobs whose references should be released.
+    pub evicts: Vec<JobId>,
+}
+
+impl SlaveBatch {
+    /// Creates an empty batch for `to`.
+    pub fn new(to: NodeId) -> Self {
+        SlaveBatch {
+            to,
+            migrates: Vec::new(),
+            evicts: Vec::new(),
+        }
+    }
+
+    /// Whether the batch carries no commands.
+    pub fn is_empty(&self) -> bool {
+        self.migrates.is_empty() && self.evicts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_emptiness() {
+        let mut b = SlaveBatch::new(NodeId(1));
+        assert!(b.is_empty());
+        b.evicts.push(JobId(1));
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn job_id_display() {
+        assert_eq!(JobId(9).to_string(), "job_9");
+    }
+}

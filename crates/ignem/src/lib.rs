@@ -1,0 +1,73 @@
+//! # ignem-core — upward migration of cold data
+//!
+//! The paper's contribution: a master–slave framework that migrates a job's
+//! **cold input data** from disk into memory during the job's *lead-time*
+//! (queueing delay, scheduler heartbeats, JVM warm-up), so the job's map
+//! tasks read from RAM instead of a cold, contended disk.
+//!
+//! * [`command`] — the client/master/slave protocol (migrate & evict,
+//!   batched per slave).
+//! * [`master`] — file → block resolution, single-replica choice, per-job
+//!   eviction routing, soft-state failure semantics.
+//! * [`slave`] — the migration queue (one block at a time,
+//!   smallest-job-first), reference-list eviction (explicit & implicit),
+//!   memory threshold + dead-job cleanup, do-not-harm, purge-on-failure.
+//! * [`policy`] — queue ordering (the §IV-C-5 prioritization ablation).
+//!
+//! The crate is pure protocol + policy logic: timing (how long the
+//! migration read takes, how much lead-time exists) comes from the
+//! `ignem-cluster` simulation that hosts these components.
+//!
+//! ```
+//! use ignem_core::prelude::*;
+//! use ignem_dfs::prelude::*;
+//! use ignem_netsim::NodeId;
+//! use ignem_simcore::{rng::SimRng, time::SimTime};
+//! use ignem_storage::memstore::MemStore;
+//!
+//! // A minimal end-to-end protocol walk on one node.
+//! let mut nn = NameNode::new(DfsConfig { block_size: 64 << 20, replication: 1 });
+//! nn.register_node(NodeId(0));
+//! let mut rng = SimRng::new(7);
+//! nn.create_file("/input", 64 << 20, &mut rng)?;
+//!
+//! let mut master = IgnemMaster::new();
+//! let mut slave = IgnemSlave::new(NodeId(0), IgnemConfig::default());
+//! let mut mem: MemStore<BlockId> = MemStore::new(1 << 34);
+//!
+//! let batches = master.handle_migrate(&MigrateRequest {
+//!     job: JobId(1),
+//!     files: vec!["/input".into()],
+//!     mode: EvictionMode::Explicit,
+//!     submitted: SimTime::ZERO,
+//! }, &nn, &mut rng)?;
+//!
+//! // The cluster layer would turn StartRead into a disk request; here we
+//! // complete it immediately.
+//! let actions = slave.enqueue(SimTime::ZERO, batches[0].migrates.clone(), &mut mem);
+//! let SlaveAction::StartRead { block, .. } = actions[0] else { panic!() };
+//! slave.on_read_done(SimTime::from_secs(1), block, &mut mem);
+//! assert!(mem.contains(&block)); // the job's read will now hit memory
+//! # Ok::<(), ignem_dfs::error::DfsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod master;
+pub mod policy;
+pub mod slave;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::command::{EvictionMode, JobId, MigrateCommand, MigrateRequest, SlaveBatch};
+    pub use crate::master::{IgnemMaster, MasterStats};
+    pub use crate::policy::{Policy, QueueKey};
+    pub use crate::slave::{IgnemConfig, IgnemSlave, SlaveAction, SlaveStats};
+}
+
+pub use command::{EvictionMode, JobId, MigrateCommand, MigrateRequest, SlaveBatch};
+pub use master::IgnemMaster;
+pub use policy::Policy;
+pub use slave::{IgnemConfig, IgnemSlave, SlaveAction};

@@ -1,0 +1,348 @@
+//! The Ignem master.
+//!
+//! Lives inside the NameNode in the paper's implementation. It is the
+//! *what* of migration: clients send it file lists, it maps files to blocks
+//! using the file system's metadata, chooses **one random replica** per
+//! block to migrate (§III-A2 — network bandwidth makes extra copies
+//! wasteful), and batches per-slave command lists (§III-A6). Slaves decide
+//! *how* and *when*.
+//!
+//! The master also remembers, per job, which slaves received migration
+//! commands so that the job's eventual evict instruction is routed to
+//! exactly those slaves. This state is soft: on master failure it is lost,
+//! and slaves purge their reference lists to stay consistent with the new
+//! master's empty state (§III-A5).
+
+use std::collections::BTreeMap;
+
+use ignem_dfs::error::DfsError;
+use ignem_dfs::namenode::NameNode;
+use ignem_netsim::NodeId;
+use ignem_simcore::rng::SimRng;
+
+use crate::command::{JobId, MigrateCommand, MigrateRequest, SlaveBatch};
+#[cfg(test)]
+use crate::command::EvictionMode;
+
+/// Master-side configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MasterConfig {
+    /// How many replicas of each block to migrate. The paper chooses **1**
+    /// (§III-A2): extra copies waste disk bandwidth and memory because the
+    /// network is fast enough to read a remote migrated replica. Higher
+    /// values exist for the ablation benches.
+    pub replicas_to_migrate: usize,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        MasterConfig {
+            replicas_to_migrate: 1,
+        }
+    }
+}
+
+/// Counters the master keeps about its own activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MasterStats {
+    /// Migrate requests received.
+    pub migrate_requests: u64,
+    /// Individual block migration commands issued.
+    pub blocks_assigned: u64,
+    /// Evict requests received.
+    pub evict_requests: u64,
+    /// Evict requests for jobs the master had no state for (e.g. after a
+    /// master failure).
+    pub unknown_evicts: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct JobRecord {
+    /// Slaves that received at least one migrate command for this job.
+    slaves: Vec<NodeId>,
+}
+
+/// The Ignem master (see module docs).
+///
+/// ```
+/// use ignem_core::command::{EvictionMode, JobId, MigrateRequest};
+/// use ignem_core::master::IgnemMaster;
+/// use ignem_dfs::namenode::{DfsConfig, NameNode};
+/// use ignem_netsim::NodeId;
+/// use ignem_simcore::{rng::SimRng, time::SimTime};
+///
+/// let mut nn = NameNode::new(DfsConfig::default());
+/// for n in 0..4 { nn.register_node(NodeId(n)); }
+/// let mut rng = SimRng::new(1);
+/// nn.create_file("/in", 256 << 20, &mut rng)?;
+///
+/// let mut master = IgnemMaster::new();
+/// let batches = master.handle_migrate(
+///     &MigrateRequest {
+///         job: JobId(1),
+///         files: vec!["/in".into()],
+///         mode: EvictionMode::Explicit,
+///         submitted: SimTime::ZERO,
+///     },
+///     &nn,
+///     &mut rng,
+/// )?;
+/// let total: usize = batches.iter().map(|b| b.migrates.len()).sum();
+/// assert_eq!(total, 4); // one command per 64 MiB block, one replica each
+/// # Ok::<(), ignem_dfs::error::DfsError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IgnemMaster {
+    config: MasterConfig,
+    jobs: BTreeMap<JobId, JobRecord>,
+    stats: MasterStats,
+}
+
+impl IgnemMaster {
+    /// Creates a master with empty state and the paper's defaults.
+    pub fn new() -> Self {
+        IgnemMaster::default()
+    }
+
+    /// Creates a master with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas_to_migrate` is zero.
+    pub fn with_config(config: MasterConfig) -> Self {
+        assert!(config.replicas_to_migrate > 0, "zero replicas to migrate");
+        IgnemMaster {
+            config,
+            ..IgnemMaster::default()
+        }
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> MasterStats {
+        self.stats
+    }
+
+    /// Number of jobs with live migration state.
+    pub fn tracked_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Handles a client migrate request: resolves files to blocks, picks one
+    /// random **alive** replica per block, and returns per-slave batches.
+    /// Blocks with no alive replica are skipped (the file system will
+    /// re-replicate them eventually; migration is best-effort).
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::FileNotFound`] if any requested file does not exist; no
+    /// commands are issued in that case.
+    pub fn handle_migrate(
+        &mut self,
+        req: &MigrateRequest,
+        namenode: &NameNode,
+        rng: &mut SimRng,
+    ) -> Result<Vec<SlaveBatch>, DfsError> {
+        self.stats.migrate_requests += 1;
+        // Resolve everything first so the request is all-or-nothing.
+        let mut blocks = Vec::new();
+        for path in &req.files {
+            blocks.extend(namenode.file_blocks(path)?);
+        }
+        let job_input_bytes: u64 = blocks.iter().map(|b| b.bytes).sum();
+
+        let mut batches: BTreeMap<NodeId, SlaveBatch> = BTreeMap::new();
+        for info in blocks {
+            if info.bytes == 0 {
+                continue;
+            }
+            let locations = namenode.locations(info.id)?;
+            if locations.is_empty() {
+                continue;
+            }
+            let mut candidates = locations.clone();
+            rng.shuffle(&mut candidates);
+            let k = self.config.replicas_to_migrate.max(1).min(candidates.len());
+            for &target in &candidates[..k] {
+                batches
+                    .entry(target)
+                    .or_insert_with(|| SlaveBatch::new(target))
+                    .migrates
+                    .push(MigrateCommand {
+                        job: req.job,
+                        block: info.id,
+                        bytes: info.bytes,
+                        mode: req.mode,
+                        job_input_bytes,
+                        submitted: req.submitted,
+                    });
+                self.stats.blocks_assigned += 1;
+            }
+        }
+
+        let record = self.jobs.entry(req.job).or_default();
+        for &slave in batches.keys() {
+            if !record.slaves.contains(&slave) {
+                record.slaves.push(slave);
+            }
+        }
+        Ok(batches.into_values().collect())
+    }
+
+    /// Handles a job-completion evict request, returning evict batches for
+    /// every slave that ever received a migrate command for the job.
+    /// Unknown jobs (e.g. after master failover) produce no batches.
+    pub fn handle_evict(&mut self, job: JobId) -> Vec<SlaveBatch> {
+        self.stats.evict_requests += 1;
+        let Some(record) = self.jobs.remove(&job) else {
+            self.stats.unknown_evicts += 1;
+            return Vec::new();
+        };
+        record
+            .slaves
+            .into_iter()
+            .map(|slave| {
+                let mut b = SlaveBatch::new(slave);
+                b.evicts.push(job);
+                b
+            })
+            .collect()
+    }
+
+    /// Simulates a master crash + restart: all soft state is lost. The
+    /// cluster layer must subsequently call each slave's
+    /// [`on_master_failed`](crate::slave::IgnemSlave::on_master_failed) so
+    /// slaves purge reference lists and stay consistent (§III-A5).
+    pub fn fail(&mut self) {
+        self.jobs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ignem_dfs::namenode::DfsConfig;
+    use ignem_simcore::time::SimTime;
+    use ignem_simcore::units::MIB;
+
+    fn setup(nodes: u32) -> (NameNode, SimRng) {
+        let mut nn = NameNode::new(DfsConfig::default());
+        for n in 0..nodes {
+            nn.register_node(NodeId(n));
+        }
+        (nn, SimRng::new(3))
+    }
+
+    fn request(job: u64, files: Vec<&str>) -> MigrateRequest {
+        MigrateRequest {
+            job: JobId(job),
+            files: files.into_iter().map(String::from).collect(),
+            mode: EvictionMode::Explicit,
+            submitted: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn one_replica_per_block() {
+        let (mut nn, mut rng) = setup(8);
+        nn.create_file("/f", 10 * 64 * MIB, &mut rng).unwrap();
+        let mut m = IgnemMaster::new();
+        let batches = m
+            .handle_migrate(&request(1, vec!["/f"]), &nn, &mut rng)
+            .unwrap();
+        let total: usize = batches.iter().map(|b| b.migrates.len()).sum();
+        assert_eq!(total, 10);
+        // Every command targets a node that actually holds the replica.
+        for b in &batches {
+            for c in &b.migrates {
+                assert!(nn.locations(c.block).unwrap().contains(&b.to));
+            }
+        }
+        assert_eq!(m.stats().blocks_assigned, 10);
+    }
+
+    #[test]
+    fn job_input_bytes_spans_all_files() {
+        let (mut nn, mut rng) = setup(4);
+        nn.create_file("/a", 64 * MIB, &mut rng).unwrap();
+        nn.create_file("/b", 32 * MIB, &mut rng).unwrap();
+        let mut m = IgnemMaster::new();
+        let batches = m
+            .handle_migrate(&request(1, vec!["/a", "/b"]), &nn, &mut rng)
+            .unwrap();
+        for b in &batches {
+            for c in &b.migrates {
+                assert_eq!(c.job_input_bytes, 96 * MIB);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_file_fails_whole_request() {
+        let (mut nn, mut rng) = setup(4);
+        nn.create_file("/a", 64 * MIB, &mut rng).unwrap();
+        let mut m = IgnemMaster::new();
+        let err = m
+            .handle_migrate(&request(1, vec!["/a", "/missing"]), &nn, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, DfsError::FileNotFound("/missing".into()));
+        // No state recorded for the failed request.
+        assert_eq!(m.tracked_jobs(), 0);
+    }
+
+    #[test]
+    fn evict_targets_only_involved_slaves() {
+        let (mut nn, mut rng) = setup(8);
+        nn.create_file("/f", 4 * 64 * MIB, &mut rng).unwrap();
+        let mut m = IgnemMaster::new();
+        let batches = m
+            .handle_migrate(&request(1, vec!["/f"]), &nn, &mut rng)
+            .unwrap();
+        let migrate_slaves: Vec<NodeId> = batches.iter().map(|b| b.to).collect();
+        let evicts = m.handle_evict(JobId(1));
+        let evict_slaves: Vec<NodeId> = evicts.iter().map(|b| b.to).collect();
+        assert_eq!(migrate_slaves, evict_slaves);
+        assert!(evicts.iter().all(|b| b.evicts == vec![JobId(1)]));
+        // Second evict is a no-op (job state removed).
+        assert!(m.handle_evict(JobId(1)).is_empty());
+        assert_eq!(m.stats().unknown_evicts, 1);
+    }
+
+    #[test]
+    fn failure_clears_state() {
+        let (mut nn, mut rng) = setup(4);
+        nn.create_file("/f", 64 * MIB, &mut rng).unwrap();
+        let mut m = IgnemMaster::new();
+        m.handle_migrate(&request(1, vec!["/f"]), &nn, &mut rng)
+            .unwrap();
+        assert_eq!(m.tracked_jobs(), 1);
+        m.fail();
+        assert_eq!(m.tracked_jobs(), 0);
+        assert!(m.handle_evict(JobId(1)).is_empty());
+    }
+
+    #[test]
+    fn dead_replica_holders_are_never_chosen() {
+        let (mut nn, mut rng) = setup(4);
+        nn.create_file("/f", 20 * 64 * MIB, &mut rng).unwrap();
+        nn.mark_dead(NodeId(0)).unwrap();
+        let mut m = IgnemMaster::new();
+        let batches = m
+            .handle_migrate(&request(1, vec!["/f"]), &nn, &mut rng)
+            .unwrap();
+        assert!(batches.iter().all(|b| b.to != NodeId(0)));
+    }
+
+    #[test]
+    fn repeated_migrate_extends_job_record() {
+        let (mut nn, mut rng) = setup(4);
+        nn.create_file("/a", 64 * MIB, &mut rng).unwrap();
+        nn.create_file("/b", 64 * MIB, &mut rng).unwrap();
+        let mut m = IgnemMaster::new();
+        m.handle_migrate(&request(1, vec!["/a"]), &nn, &mut rng)
+            .unwrap();
+        m.handle_migrate(&request(1, vec!["/b"]), &nn, &mut rng)
+            .unwrap();
+        assert_eq!(m.tracked_jobs(), 1);
+        assert!(!m.handle_evict(JobId(1)).is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Migration-queue scheduling policies.
+//!
+//! Ignem slaves do **not** drain their migration queue FIFO: they
+//! "prioritize migration for blocks belonging to jobs with smaller input
+//! sizes … If two jobs have exactly the same input size we use job
+//! submission time as a tie-breaker" (§III-A1). Disabling this
+//! prioritization costs ~15% of Ignem's benefit in the paper's §IV-C-5
+//! ablation, which `bench`'s `ablation-priority` experiment reproduces via
+//! [`Policy::Fifo`].
+
+use ignem_simcore::time::SimTime;
+
+/// Sort key describing one queued migration for policy decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueKey {
+    /// Smallest total input size among jobs waiting on this block.
+    pub job_input_bytes: u64,
+    /// Earliest submission time among those jobs.
+    pub submitted: SimTime,
+    /// Arrival order of the command at this slave (FIFO key).
+    pub arrival: u64,
+}
+
+/// The queue-ordering policy of a slave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// The paper's default: smallest job input first, submission-time
+    /// tie-break, arrival order as the final tie-break.
+    #[default]
+    SmallestJobFirst,
+    /// Plain arrival order (the §IV-C-5 ablation).
+    Fifo,
+    /// The paper's §IV-E **future-work** idea, implemented here: "a
+    /// migration scheme that can infer the Ignem speed-up curve for
+    /// different jobs can potentially use this information to prioritize
+    /// jobs which will benefit more." The speed-up curve peaks where a
+    /// job's input just fits what migration can deliver within the
+    /// lead-time (`sweet_spot_bytes`): below it, bigger jobs gain more
+    /// absolute time; above it, the migratable fraction shrinks. The
+    /// policy therefore serves fully-migratable jobs largest-first, then
+    /// over-sized jobs smallest-first.
+    BenefitAware {
+        /// Estimated input size migration can fully cover in the typical
+        /// lead-time (disks × migration rate × lead-time).
+        sweet_spot_bytes: u64,
+    },
+}
+
+impl Policy {
+    /// Compares two queued migrations; the **lesser** is migrated first.
+    pub fn cmp(&self, a: &QueueKey, b: &QueueKey) -> std::cmp::Ordering {
+        match self {
+            Policy::SmallestJobFirst => a
+                .job_input_bytes
+                .cmp(&b.job_input_bytes)
+                .then(a.submitted.cmp(&b.submitted))
+                .then(a.arrival.cmp(&b.arrival)),
+            Policy::Fifo => a.arrival.cmp(&b.arrival),
+            Policy::BenefitAware { sweet_spot_bytes } => {
+                let class = |k: &QueueKey| k.job_input_bytes > *sweet_spot_bytes;
+                let rank = |k: &QueueKey| {
+                    if k.job_input_bytes <= *sweet_spot_bytes {
+                        // Fully migratable: larger input = larger benefit.
+                        sweet_spot_bytes - k.job_input_bytes
+                    } else {
+                        // Oversized: smaller input = larger covered fraction.
+                        k.job_input_bytes
+                    }
+                };
+                class(a)
+                    .cmp(&class(b))
+                    .then(rank(a).cmp(&rank(b)))
+                    .then(a.submitted.cmp(&b.submitted))
+                    .then(a.arrival.cmp(&b.arrival))
+            }
+        }
+    }
+
+    /// Index of the entry to migrate next, or `None` if the queue is empty.
+    pub fn select(&self, keys: &[QueueKey]) -> Option<usize> {
+        keys.iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| self.cmp(a, b))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(input: u64, sub_us: u64, arrival: u64) -> QueueKey {
+        QueueKey {
+            job_input_bytes: input,
+            submitted: SimTime::from_micros(sub_us),
+            arrival,
+        }
+    }
+
+    #[test]
+    fn smallest_job_first_prefers_small_inputs() {
+        let keys = vec![key(500, 0, 0), key(100, 10, 1), key(300, 5, 2)];
+        assert_eq!(Policy::SmallestJobFirst.select(&keys), Some(1));
+    }
+
+    #[test]
+    fn submission_time_breaks_ties() {
+        let keys = vec![key(100, 20, 0), key(100, 10, 1)];
+        assert_eq!(Policy::SmallestJobFirst.select(&keys), Some(1));
+    }
+
+    #[test]
+    fn arrival_breaks_remaining_ties() {
+        let keys = vec![key(100, 10, 5), key(100, 10, 2)];
+        assert_eq!(Policy::SmallestJobFirst.select(&keys), Some(1));
+    }
+
+    #[test]
+    fn fifo_ignores_sizes() {
+        let keys = vec![key(500, 0, 0), key(100, 10, 1)];
+        assert_eq!(Policy::Fifo.select(&keys), Some(0));
+    }
+
+    #[test]
+    fn empty_queue_selects_none() {
+        assert_eq!(Policy::SmallestJobFirst.select(&[]), None);
+        assert_eq!(Policy::Fifo.select(&[]), None);
+    }
+
+    #[test]
+    fn default_is_smallest_job_first() {
+        assert_eq!(Policy::default(), Policy::SmallestJobFirst);
+    }
+
+    #[test]
+    fn benefit_aware_prefers_largest_fully_migratable() {
+        let p = Policy::BenefitAware {
+            sweet_spot_bytes: 1000,
+        };
+        // All three below the sweet spot: largest wins.
+        let keys = vec![key(200, 0, 0), key(900, 0, 1), key(500, 0, 2)];
+        assert_eq!(p.select(&keys), Some(1));
+    }
+
+    #[test]
+    fn benefit_aware_demotes_oversized_jobs() {
+        let p = Policy::BenefitAware {
+            sweet_spot_bytes: 1000,
+        };
+        // An oversized job loses to any fully-migratable one...
+        let keys = vec![key(5000, 0, 0), key(10, 0, 1)];
+        assert_eq!(p.select(&keys), Some(1));
+        // ...and among oversized jobs, the smaller wins.
+        let keys = vec![key(5000, 0, 0), key(2000, 0, 1)];
+        assert_eq!(p.select(&keys), Some(1));
+    }
+}

@@ -1,0 +1,958 @@
+//! The Ignem slave: the *how* and *when* of migration.
+//!
+//! One slave runs inside each DataNode. It implements the paper's §III-A
+//! mechanisms in full:
+//!
+//! * a **migration queue** drained by a [`Policy`] (smallest-job-first by
+//!   default), migrating **one block at a time** to avoid disk-seek
+//!   thrashing, **work-conserving** (never idle while work is queued and
+//!   memory is available);
+//! * **reference lists**: each migrated block holds the set of job IDs
+//!   expected to read it; a block is evicted exactly when its list empties
+//!   (explicit evict command, implicit eviction on read, or dead-job
+//!   cleanup) — so the migration buffer cannot leak;
+//! * the **do-not-harm rule**: a resident block is never evicted to make
+//!   room for another migration; blocked migrations wait;
+//! * a **memory-occupancy threshold** that triggers a scheduler liveness
+//!   query to garbage-collect references held by failed jobs;
+//! * **failure handling**: on master failure the slave purges all reference
+//!   lists (consistency with the new master's empty state); on slave
+//!   restart all migrated data is discarded.
+//!
+//! The slave is engine-agnostic: it owns no clock and performs no IO.
+//! Methods return [`SlaveAction`]s that the cluster layer converts into
+//! disk requests and scheduler queries, and the cluster feeds completions
+//! back in. The per-node memory ([`MemStore`]) is owned by the cluster and
+//! passed in, since pinned (vmtouch) blocks share it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ignem_dfs::block::BlockId;
+use ignem_netsim::NodeId;
+use ignem_simcore::time::{SimDuration, SimTime};
+use ignem_storage::memstore::{MemStore, Residency};
+
+use crate::command::{EvictionMode, JobId, MigrateCommand};
+use crate::policy::{Policy, QueueKey};
+
+/// Configuration of a slave.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IgnemConfig {
+    /// Maximum bytes of migrated data the slave may hold ("Ignem limits the
+    /// amount of migrated data to a configurable maximum threshold").
+    pub buffer_capacity: u64,
+    /// Occupancy fraction of `buffer_capacity` at which a blocked slave
+    /// queries the scheduler for dead jobs (§III-A4 cleanup).
+    pub cleanup_threshold: f64,
+    /// Minimum time between consecutive liveness queries, so a persistently
+    /// blocked slave does not hammer the scheduler.
+    pub liveness_cooldown: SimDuration,
+    /// Maximum concurrent migration reads per slave. The paper uses **1**
+    /// ("each slave only migrates one block at a time") to avoid disk
+    /// bandwidth degradation from concurrent reads; higher values exist for
+    /// the ablation benches.
+    pub max_concurrent_migrations: usize,
+    /// Queue-ordering policy.
+    pub policy: Policy,
+}
+
+impl Default for IgnemConfig {
+    /// 16 GiB buffer (plenty per §II-C2's worst-case 12.5 GB analysis),
+    /// cleanup at 80% occupancy, smallest-job-first.
+    fn default() -> Self {
+        IgnemConfig {
+            buffer_capacity: 16 << 30,
+            cleanup_threshold: 0.8,
+            liveness_cooldown: SimDuration::from_secs(5),
+            max_concurrent_migrations: 1,
+            policy: Policy::SmallestJobFirst,
+        }
+    }
+}
+
+/// An instruction from the slave to its host (the cluster layer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlaveAction {
+    /// Issue a migration read of `bytes` for `block` on this node's disk;
+    /// call [`IgnemSlave::on_read_done`] when it completes.
+    StartRead {
+        /// Block to read.
+        block: BlockId,
+        /// Block size.
+        bytes: u64,
+    },
+    /// Cancel the in-flight migration read for `block` (slave restart).
+    CancelRead {
+        /// Block whose read should be cancelled.
+        block: BlockId,
+    },
+    /// Ask the cluster scheduler which of `jobs` are no longer running and
+    /// call [`IgnemSlave::on_liveness_result`] with the dead ones.
+    QueryJobLiveness {
+        /// Candidate jobs (every job holding references on this slave).
+        jobs: Vec<JobId>,
+    },
+}
+
+/// Slave activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlaveStats {
+    /// Migrate commands received.
+    pub commands: u64,
+    /// Blocks successfully migrated into memory.
+    pub migrated: u64,
+    /// Bytes successfully migrated into memory.
+    pub migrated_bytes: u64,
+    /// Commands satisfied by a block already resident or in flight
+    /// (reference added, no extra read).
+    pub deduped: u64,
+    /// Queued migrations discarded because every interested job already
+    /// read the block (missed reads) or died.
+    pub discarded: u64,
+    /// Migration reads that completed with no interested job left; the
+    /// block was dropped without entering memory.
+    pub wasted_reads: u64,
+    /// Blocks evicted (reference list emptied).
+    pub evicted: u64,
+    /// Full purges performed (master failure / slave restart).
+    pub purges: u64,
+    /// Liveness queries issued.
+    pub liveness_queries: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Waiter {
+    job: JobId,
+    mode: EvictionMode,
+    job_input_bytes: u64,
+    submitted: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct QueuedBlock {
+    bytes: u64,
+    waiters: Vec<Waiter>,
+    arrival: u64,
+}
+
+impl QueuedBlock {
+    fn key(&self) -> QueueKey {
+        QueueKey {
+            job_input_bytes: self
+                .waiters
+                .iter()
+                .map(|w| w.job_input_bytes)
+                .min()
+                .unwrap_or(u64::MAX),
+            submitted: self
+                .waiters
+                .iter()
+                .map(|w| w.submitted)
+                .min()
+                .unwrap_or(SimTime::MAX),
+            arrival: self.arrival,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CurrentMigration {
+    bytes: u64,
+    waiters: Vec<Waiter>,
+}
+
+/// The per-DataNode migration agent (see module docs).
+#[derive(Debug, Clone)]
+pub struct IgnemSlave {
+    node: NodeId,
+    config: IgnemConfig,
+    queue: BTreeMap<BlockId, QueuedBlock>,
+    current: BTreeMap<BlockId, CurrentMigration>,
+    /// Reference lists of **resident migrated** blocks.
+    refs: BTreeMap<BlockId, Vec<(JobId, EvictionMode)>>,
+    /// Paper §III-B2: "Each slave has a hash-map that maps a job's ID to the
+    /// list of blocks migrated for the job" — the eviction index. Tracks
+    /// resident, queued and in-flight interest.
+    job_blocks: BTreeMap<JobId, BTreeSet<BlockId>>,
+    arrivals: u64,
+    liveness_pending: bool,
+    last_liveness: Option<SimTime>,
+    stats: SlaveStats,
+}
+
+impl IgnemSlave {
+    /// Creates a slave for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cleanup threshold is outside `(0, 1]` or the buffer
+    /// capacity is zero.
+    pub fn new(node: NodeId, config: IgnemConfig) -> Self {
+        assert!(config.buffer_capacity > 0, "zero buffer capacity");
+        assert!(
+            config.cleanup_threshold > 0.0 && config.cleanup_threshold <= 1.0,
+            "cleanup threshold must be in (0, 1]"
+        );
+        IgnemSlave {
+            node,
+            config,
+            queue: BTreeMap::new(),
+            current: BTreeMap::new(),
+            refs: BTreeMap::new(),
+            job_blocks: BTreeMap::new(),
+            arrivals: 0,
+            liveness_pending: false,
+            last_liveness: None,
+            stats: SlaveStats::default(),
+        }
+    }
+
+    /// The node this slave runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The slave's configuration.
+    pub fn config(&self) -> &IgnemConfig {
+        &self.config
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> SlaveStats {
+        self.stats
+    }
+
+    /// Number of blocks queued (not yet started).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether any migration read is in flight.
+    pub fn is_migrating(&self) -> bool {
+        !self.current.is_empty()
+    }
+
+    /// Number of migration reads in flight.
+    pub fn in_flight_migrations(&self) -> usize {
+        self.current.len()
+    }
+
+    /// The reference list of a resident migrated block, if any.
+    pub fn references(&self, block: BlockId) -> Option<&[(JobId, EvictionMode)]> {
+        self.refs.get(&block).map(|v| v.as_slice())
+    }
+
+    /// Jobs currently holding any reference (resident, queued or in flight).
+    pub fn interested_jobs(&self) -> Vec<JobId> {
+        self.job_blocks.keys().copied().collect()
+    }
+
+    /// Handles a batch of migrate commands from the master.
+    pub fn enqueue(
+        &mut self,
+        now: SimTime,
+        commands: Vec<MigrateCommand>,
+        mem: &mut MemStore<BlockId>,
+    ) -> Vec<SlaveAction> {
+        for cmd in commands {
+            self.stats.commands += 1;
+            let waiter = Waiter {
+                job: cmd.job,
+                mode: cmd.mode,
+                job_input_bytes: cmd.job_input_bytes,
+                submitted: cmd.submitted,
+            };
+            match mem.residency(&cmd.block) {
+                Some(Residency::Pinned) | Some(Residency::Cached) => {
+                    // Already in memory (pinned forever, or cache-retained);
+                    // nothing to migrate and no reference to manage. A
+                    // cached copy may later be LRU-evicted, in which case
+                    // the task simply falls back to a disk read.
+                    self.stats.deduped += 1;
+                }
+                Some(Residency::Migrated) => {
+                    // Resident: append a reference for this job.
+                    self.refs
+                        .entry(cmd.block)
+                        .or_default()
+                        .push((cmd.job, cmd.mode));
+                    self.index_interest(cmd.job, cmd.block);
+                    self.stats.deduped += 1;
+                }
+                None => {
+                    if let Some(cur) = self.current.get_mut(&cmd.block) {
+                        cur.waiters.push(waiter);
+                        self.index_interest(cmd.job, cmd.block);
+                        self.stats.deduped += 1;
+                        continue;
+                    }
+                    if let Some(q) = self.queue.get_mut(&cmd.block) {
+                        q.waiters.push(waiter);
+                        self.index_interest(cmd.job, cmd.block);
+                        self.stats.deduped += 1;
+                    } else {
+                        let arrival = self.arrivals;
+                        self.arrivals += 1;
+                        self.queue.insert(
+                            cmd.block,
+                            QueuedBlock {
+                                bytes: cmd.bytes,
+                                waiters: vec![waiter],
+                                arrival,
+                            },
+                        );
+                        self.index_interest(cmd.job, cmd.block);
+                    }
+                }
+            }
+        }
+        self.try_start(now, mem)
+    }
+
+    /// Completion callback for a migration read issued via
+    /// [`SlaveAction::StartRead`]. Inserts the block (if any job still
+    /// wants it) and starts the next migration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no migration for `block` is in flight.
+    pub fn on_read_done(
+        &mut self,
+        now: SimTime,
+        block: BlockId,
+        mem: &mut MemStore<BlockId>,
+    ) -> Vec<SlaveAction> {
+        let cur = self
+            .current
+            .remove(&block)
+            .expect("no migration in flight for block");
+        if cur.waiters.is_empty() {
+            // Everyone lost interest while the read was in flight.
+            self.stats.wasted_reads += 1;
+        } else {
+            match mem.insert(now, block, cur.bytes, Residency::Migrated) {
+                Ok(()) => {
+                    self.stats.migrated += 1;
+                    self.stats.migrated_bytes += cur.bytes;
+                    let list: Vec<(JobId, EvictionMode)> =
+                        cur.waiters.iter().map(|w| (w.job, w.mode)).collect();
+                    self.refs.insert(block, list);
+                }
+                Err(_) => {
+                    // Pinned data or other migrations squeezed us out
+                    // between the capacity check and completion; drop.
+                    self.stats.wasted_reads += 1;
+                    for w in &cur.waiters {
+                        self.unindex_interest(w.job, block);
+                    }
+                }
+            }
+        }
+        self.try_start(now, mem)
+    }
+
+    /// Handles an explicit evict instruction for `job` (forwarded by the
+    /// master when the job completes), releasing all its references.
+    pub fn on_evict_job(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        mem: &mut MemStore<BlockId>,
+    ) -> Vec<SlaveAction> {
+        self.release_job(now, job, mem);
+        self.try_start(now, mem)
+    }
+
+    /// Notifies the slave that `job` has **read** `block` (HDFS reads carry
+    /// the job ID, §III-B2). Applies implicit eviction if the job's
+    /// reference was created in [`EvictionMode::Implicit`], and discards
+    /// now-pointless queued or in-flight interest (the migration "missed").
+    pub fn on_block_read(
+        &mut self,
+        now: SimTime,
+        block: BlockId,
+        job: JobId,
+        mem: &mut MemStore<BlockId>,
+    ) -> Vec<SlaveAction> {
+        // Missed reads: drop queued interest.
+        let mut removed_interest = false;
+        let mut drop_queue_entry = false;
+        if let Some(q) = self.queue.get_mut(&block) {
+            if q.waiters.iter().any(|w| w.job == job) {
+                q.waiters.retain(|w| w.job != job);
+                removed_interest = true;
+                drop_queue_entry = q.waiters.is_empty();
+            }
+        }
+        if drop_queue_entry {
+            self.queue.remove(&block);
+            self.stats.discarded += 1;
+        }
+        // In-flight interest: the read is finishing anyway; this job no
+        // longer needs a reference afterwards.
+        if let Some(cur) = self.current.get_mut(&block) {
+            if cur.waiters.iter().any(|w| w.job == job) {
+                cur.waiters.retain(|w| w.job != job);
+                removed_interest = true;
+            }
+        }
+        // Implicit eviction of a resident reference.
+        let mut evict = false;
+        if let Some(list) = self.refs.get_mut(&block) {
+            if let Some(pos) = list
+                .iter()
+                .position(|&(j, m)| j == job && m == EvictionMode::Implicit)
+            {
+                list.remove(pos);
+                removed_interest = true;
+                evict = list.is_empty();
+            }
+        }
+        if removed_interest {
+            self.unindex_interest(job, block);
+        }
+        if evict {
+            self.refs.remove(&block);
+            mem.remove(now, &block);
+            self.stats.evicted += 1;
+        }
+        self.try_start(now, mem)
+    }
+
+    /// Master failure: purge **all** reference lists so the slave is
+    /// consistent with the new master's empty state (§III-A5). Queued work
+    /// is dropped; an in-flight read is allowed to finish and will be
+    /// discarded on completion.
+    pub fn on_master_failed(
+        &mut self,
+        now: SimTime,
+        mem: &mut MemStore<BlockId>,
+    ) -> Vec<SlaveAction> {
+        self.stats.purges += 1;
+        for (block, _) in std::mem::take(&mut self.refs) {
+            mem.remove(now, &block);
+            self.stats.evicted += 1;
+        }
+        self.queue.clear();
+        for cur in self.current.values_mut() {
+            cur.waiters.clear();
+        }
+        self.job_blocks.clear();
+        self.liveness_pending = false;
+        Vec::new()
+    }
+
+    /// Slave process failure + restart: all migrated data is discarded (the
+    /// OS reclaims it), in-flight work is cancelled, and the slave restarts
+    /// empty, ready for new commands (§III-A5).
+    pub fn fail(&mut self, now: SimTime, mem: &mut MemStore<BlockId>) -> Vec<SlaveAction> {
+        self.stats.purges += 1;
+        for (block, _) in std::mem::take(&mut self.refs) {
+            mem.remove(now, &block);
+        }
+        mem.purge_migrated(now);
+        self.queue.clear();
+        self.job_blocks.clear();
+        self.liveness_pending = false;
+        std::mem::take(&mut self.current)
+            .into_keys()
+            .map(|block| SlaveAction::CancelRead { block })
+            .collect()
+    }
+
+    /// Result of a [`SlaveAction::QueryJobLiveness`]: `dead` lists the
+    /// queried jobs the scheduler could not confirm as running. Their
+    /// references are released.
+    pub fn on_liveness_result(
+        &mut self,
+        now: SimTime,
+        dead: Vec<JobId>,
+        mem: &mut MemStore<BlockId>,
+    ) -> Vec<SlaveAction> {
+        self.liveness_pending = false;
+        for job in dead {
+            self.release_job(now, job, mem);
+        }
+        self.try_start(now, mem)
+    }
+
+    /// Releases every reference `job` holds: resident refs (evicting
+    /// emptied blocks), queued waiters (discarding emptied entries) and
+    /// in-flight waiters.
+    fn release_job(&mut self, now: SimTime, job: JobId, mem: &mut MemStore<BlockId>) {
+        let Some(blocks) = self.job_blocks.remove(&job) else {
+            return;
+        };
+        for block in blocks {
+            if let Some(list) = self.refs.get_mut(&block) {
+                list.retain(|&(j, _)| j != job);
+                if list.is_empty() {
+                    self.refs.remove(&block);
+                    mem.remove(now, &block);
+                    self.stats.evicted += 1;
+                }
+                continue;
+            }
+            if let Some(q) = self.queue.get_mut(&block) {
+                q.waiters.retain(|w| w.job != job);
+                if q.waiters.is_empty() {
+                    self.queue.remove(&block);
+                    self.stats.discarded += 1;
+                }
+                continue;
+            }
+            if let Some(cur) = self.current.get_mut(&block) {
+                cur.waiters.retain(|w| w.job != job);
+            }
+        }
+    }
+
+    /// Work-conserving start: if idle, start the highest-priority queued
+    /// migration that fits in the buffer. If space blocks progress past the
+    /// cleanup threshold, query job liveness.
+    fn try_start(&mut self, now: SimTime, mem: &mut MemStore<BlockId>) -> Vec<SlaveAction> {
+        let mut actions = Vec::new();
+        if self.current.len() >= self.config.max_concurrent_migrations
+            || self.queue.is_empty()
+        {
+            return actions;
+        }
+        // Order candidate blocks by policy.
+        let mut entries: Vec<(BlockId, QueueKey, u64)> = self
+            .queue
+            .iter()
+            .map(|(&b, q)| (b, q.key(), q.bytes))
+            .collect();
+        entries.sort_by(|a, b| self.config.policy.cmp(&a.1, &b.1));
+
+        let mut blocked = false;
+        for (block, _, bytes) in entries {
+            if self.current.len() >= self.config.max_concurrent_migrations {
+                break;
+            }
+            // Budget accounts for resident data plus reads in flight.
+            let inflight_bytes: u64 = self.current.values().map(|c| c.bytes).sum();
+            let budget_left = self
+                .config
+                .buffer_capacity
+                .saturating_sub(mem.migrated_used())
+                .saturating_sub(inflight_bytes);
+            if bytes <= budget_left && bytes <= mem.available().saturating_sub(inflight_bytes) {
+                let q = self.queue.remove(&block).expect("queued block vanished");
+                self.current.insert(
+                    block,
+                    CurrentMigration {
+                        bytes: q.bytes,
+                        waiters: q.waiters,
+                    },
+                );
+                actions.push(SlaveAction::StartRead {
+                    block,
+                    bytes: q.bytes,
+                });
+                continue;
+            }
+            blocked = true;
+        }
+        if blocked && !self.liveness_pending {
+            let occupancy = mem.migrated_used() as f64 / self.config.buffer_capacity as f64;
+            let cooled = self
+                .last_liveness
+                .is_none_or(|t| now >= t + self.config.liveness_cooldown);
+            if occupancy >= self.config.cleanup_threshold && cooled {
+                self.liveness_pending = true;
+                self.last_liveness = Some(now);
+                self.stats.liveness_queries += 1;
+                actions.push(SlaveAction::QueryJobLiveness {
+                    jobs: self.interested_jobs(),
+                });
+            }
+        }
+        actions
+    }
+
+    fn index_interest(&mut self, job: JobId, block: BlockId) {
+        self.job_blocks.entry(job).or_default().insert(block);
+    }
+
+    fn unindex_interest(&mut self, job: JobId, block: BlockId) {
+        if let Some(set) = self.job_blocks.get_mut(&job) {
+            set.remove(&block);
+            if set.is_empty() {
+                self.job_blocks.remove(&job);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ignem_simcore::units::{GIB, MIB};
+
+    const B64: u64 = 64 * MIB;
+
+    fn slave() -> (IgnemSlave, MemStore<BlockId>) {
+        (
+            IgnemSlave::new(NodeId(0), IgnemConfig::default()),
+            MemStore::new(128 * GIB),
+        )
+    }
+
+    fn cmd(job: u64, block: u64, input: u64, submitted_s: u64) -> MigrateCommand {
+        MigrateCommand {
+            job: JobId(job),
+            block: BlockId(block),
+            bytes: B64,
+            mode: EvictionMode::Explicit,
+            job_input_bytes: input,
+            submitted: SimTime::from_secs(submitted_s),
+        }
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn migrates_one_block_at_a_time() {
+        let (mut s, mut mem) = slave();
+        let actions = s.enqueue(t(0), vec![cmd(1, 10, B64, 0), cmd(1, 11, B64, 0)], &mut mem);
+        assert_eq!(actions.len(), 1, "only one read at a time");
+        assert!(s.is_migrating());
+        assert_eq!(s.queue_len(), 1);
+        // Completing the first starts the second (work-conserving).
+        let SlaveAction::StartRead { block, .. } = actions[0].clone() else {
+            panic!("expected StartRead");
+        };
+        let next = s.on_read_done(t(1), block, &mut mem);
+        assert_eq!(next.len(), 1);
+        assert!(mem.contains(&block));
+    }
+
+    #[test]
+    fn smallest_job_first_ordering() {
+        let (mut s, mut mem) = slave();
+        // Big job arrives first, small job second; small must migrate first
+        // once the current (big) block finishes.
+        let a1 = s.enqueue(t(0), vec![cmd(1, 10, 100 * B64, 0)], &mut mem);
+        s.enqueue(t(0), vec![cmd(1, 11, 100 * B64, 0)], &mut mem);
+        s.enqueue(t(0), vec![cmd(2, 20, B64, 1)], &mut mem);
+        assert_eq!(
+            a1,
+            vec![SlaveAction::StartRead {
+                block: BlockId(10),
+                bytes: B64
+            }]
+        );
+        // No preemption: block 10 finishes, then the small job's block 20.
+        let next = s.on_read_done(t(1), BlockId(10), &mut mem);
+        assert_eq!(
+            next,
+            vec![SlaveAction::StartRead {
+                block: BlockId(20),
+                bytes: B64
+            }]
+        );
+    }
+
+    #[test]
+    fn fifo_policy_ignores_job_size() {
+        let mut s = IgnemSlave::new(
+            NodeId(0),
+            IgnemConfig {
+                policy: Policy::Fifo,
+                ..IgnemConfig::default()
+            },
+        );
+        let mut mem = MemStore::new(128 * GIB);
+        s.enqueue(t(0), vec![cmd(1, 10, 100 * B64, 0)], &mut mem);
+        s.enqueue(t(0), vec![cmd(1, 11, 100 * B64, 0)], &mut mem);
+        s.enqueue(t(0), vec![cmd(2, 20, B64, 1)], &mut mem);
+        let next = s.on_read_done(t(1), BlockId(10), &mut mem);
+        assert_eq!(
+            next,
+            vec![SlaveAction::StartRead {
+                block: BlockId(11),
+                bytes: B64
+            }]
+        );
+    }
+
+    #[test]
+    fn reference_list_shared_by_jobs() {
+        let (mut s, mut mem) = slave();
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0)], &mut mem);
+        s.on_read_done(t(1), BlockId(10), &mut mem);
+        // Second job asks for the same (now resident) block: dedup + ref.
+        s.enqueue(t(2), vec![cmd(2, 10, B64, 2)], &mut mem);
+        assert_eq!(s.stats().deduped, 1);
+        assert_eq!(s.references(BlockId(10)).unwrap().len(), 2);
+        // Evicting job 1 keeps the block; evicting job 2 releases it.
+        s.on_evict_job(t(3), JobId(1), &mut mem);
+        assert!(mem.contains(&BlockId(10)));
+        s.on_evict_job(t(4), JobId(2), &mut mem);
+        assert!(!mem.contains(&BlockId(10)));
+        assert_eq!(s.stats().evicted, 1);
+    }
+
+    #[test]
+    fn implicit_eviction_on_read() {
+        let (mut s, mut mem) = slave();
+        let mut c = cmd(1, 10, B64, 0);
+        c.mode = EvictionMode::Implicit;
+        s.enqueue(t(0), vec![c], &mut mem);
+        s.on_read_done(t(1), BlockId(10), &mut mem);
+        assert!(mem.contains(&BlockId(10)));
+        s.on_block_read(t(2), BlockId(10), JobId(1), &mut mem);
+        assert!(!mem.contains(&BlockId(10)), "implicit eviction must fire");
+    }
+
+    #[test]
+    fn explicit_mode_survives_reads() {
+        let (mut s, mut mem) = slave();
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0)], &mut mem);
+        s.on_read_done(t(1), BlockId(10), &mut mem);
+        s.on_block_read(t(2), BlockId(10), JobId(1), &mut mem);
+        assert!(
+            mem.contains(&BlockId(10)),
+            "explicit refs only die on evict"
+        );
+        s.on_evict_job(t(3), JobId(1), &mut mem);
+        assert!(!mem.contains(&BlockId(10)));
+    }
+
+    #[test]
+    fn missed_read_discards_queued_migration() {
+        let (mut s, mut mem) = slave();
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0), cmd(1, 11, B64, 0)], &mut mem);
+        // Job reads block 11 from disk before its migration starts.
+        s.on_block_read(t(1), BlockId(11), JobId(1), &mut mem);
+        assert_eq!(s.queue_len(), 0);
+        assert_eq!(s.stats().discarded, 1);
+        // Completing block 10 should not start anything.
+        let next = s.on_read_done(t(2), BlockId(10), &mut mem);
+        assert!(next.is_empty());
+    }
+
+    #[test]
+    fn read_during_flight_wastes_migration() {
+        let (mut s, mut mem) = slave();
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0)], &mut mem);
+        // The job reads the block (from disk) while migration is in flight.
+        s.on_block_read(t(1), BlockId(10), JobId(1), &mut mem);
+        let next = s.on_read_done(t(2), BlockId(10), &mut mem);
+        assert!(next.is_empty());
+        assert!(!mem.contains(&BlockId(10)));
+        assert_eq!(s.stats().wasted_reads, 1);
+    }
+
+    #[test]
+    fn buffer_capacity_blocks_but_never_evicts() {
+        // Do-not-harm: resident blocks are never evicted for new arrivals.
+        let mut s = IgnemSlave::new(
+            NodeId(0),
+            IgnemConfig {
+                buffer_capacity: B64, // exactly one block
+                ..IgnemConfig::default()
+            },
+        );
+        let mut mem = MemStore::new(128 * GIB);
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0)], &mut mem);
+        s.on_read_done(t(1), BlockId(10), &mut mem);
+        assert!(mem.contains(&BlockId(10)));
+        // Second block cannot start: buffer full; block 10 must stay.
+        let actions = s.enqueue(t(2), vec![cmd(2, 11, B64, 2)], &mut mem);
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, SlaveAction::StartRead { .. })));
+        assert!(mem.contains(&BlockId(10)));
+        assert_eq!(s.queue_len(), 1);
+        // Once job 1 evicts, the queued migration starts (work-conserving).
+        let next = s.on_evict_job(t(3), JobId(1), &mut mem);
+        assert_eq!(
+            next,
+            vec![SlaveAction::StartRead {
+                block: BlockId(11),
+                bytes: B64
+            }]
+        );
+    }
+
+    #[test]
+    fn threshold_triggers_liveness_query_once() {
+        let mut s = IgnemSlave::new(
+            NodeId(0),
+            IgnemConfig {
+                buffer_capacity: B64,
+                cleanup_threshold: 0.5,
+                ..IgnemConfig::default()
+            },
+        );
+        let mut mem = MemStore::new(128 * GIB);
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0)], &mut mem);
+        s.on_read_done(t(1), BlockId(10), &mut mem);
+        let a1 = s.enqueue(t(2), vec![cmd(2, 11, B64, 2)], &mut mem);
+        assert_eq!(
+            a1,
+            vec![SlaveAction::QueryJobLiveness {
+                jobs: vec![JobId(1), JobId(2)]
+            }]
+        );
+        // No duplicate query while one is pending.
+        let a2 = s.enqueue(t(3), vec![cmd(3, 12, B64, 3)], &mut mem);
+        assert!(a2.is_empty());
+        assert_eq!(s.stats().liveness_queries, 1);
+        // Scheduler says job 1 is dead: its block is evicted and the next
+        // migration starts.
+        let a3 = s.on_liveness_result(t(4), vec![JobId(1)], &mut mem);
+        assert!(!mem.contains(&BlockId(10)));
+        assert!(matches!(a3[0], SlaveAction::StartRead { .. }));
+    }
+
+    #[test]
+    fn master_failure_purges_references() {
+        let (mut s, mut mem) = slave();
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0), cmd(1, 11, B64, 0)], &mut mem);
+        s.on_read_done(t(1), BlockId(10), &mut mem);
+        // Block 11's migration is now in flight; 10 is resident.
+        s.on_master_failed(t(2), &mut mem);
+        assert!(!mem.contains(&BlockId(10)), "resident blocks purged");
+        assert_eq!(s.queue_len(), 0);
+        // In-flight read completes and is discarded.
+        let next = s.on_read_done(t(3), BlockId(11), &mut mem);
+        assert!(next.is_empty());
+        assert!(!mem.contains(&BlockId(11)));
+        assert_eq!(s.stats().wasted_reads, 1);
+    }
+
+    #[test]
+    fn slave_failure_cancels_and_purges() {
+        let (mut s, mut mem) = slave();
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0), cmd(1, 11, B64, 0)], &mut mem);
+        s.on_read_done(t(1), BlockId(10), &mut mem);
+        let actions = s.fail(t(2), &mut mem);
+        assert_eq!(
+            actions,
+            vec![SlaveAction::CancelRead {
+                block: BlockId(11)
+            }]
+        );
+        assert_eq!(mem.migrated_used(), 0);
+        assert!(!s.is_migrating());
+        // The restarted slave accepts new commands.
+        let next = s.enqueue(t(3), vec![cmd(2, 20, B64, 3)], &mut mem);
+        assert!(matches!(next[0], SlaveAction::StartRead { .. }));
+    }
+
+    #[test]
+    fn pinned_blocks_are_deduped_without_refs() {
+        let (mut s, mut mem) = slave();
+        mem.insert(t(0), BlockId(10), B64, Residency::Pinned).unwrap();
+        let actions = s.enqueue(t(0), vec![cmd(1, 10, B64, 0)], &mut mem);
+        assert!(actions.is_empty());
+        assert_eq!(s.stats().deduped, 1);
+        assert!(s.references(BlockId(10)).is_none());
+        // Evicting the job must not touch the pinned block.
+        s.on_evict_job(t(1), JobId(1), &mut mem);
+        assert!(mem.contains(&BlockId(10)));
+    }
+
+    #[test]
+    fn cached_blocks_are_deduped_like_pinned() {
+        let (mut s, mut mem) = slave();
+        assert!(mem.insert_cached(t(0), BlockId(10), B64));
+        let actions = s.enqueue(t(0), vec![cmd(1, 10, B64, 0)], &mut mem);
+        assert!(actions.is_empty(), "no migration for a cached block");
+        assert_eq!(s.stats().deduped, 1);
+        assert!(s.references(BlockId(10)).is_none());
+    }
+
+    #[test]
+    fn concurrent_migrations_when_configured() {
+        let mut s = IgnemSlave::new(
+            NodeId(0),
+            IgnemConfig {
+                max_concurrent_migrations: 3,
+                ..IgnemConfig::default()
+            },
+        );
+        let mut mem = MemStore::new(128 * GIB);
+        let actions = s.enqueue(
+            t(0),
+            vec![
+                cmd(1, 10, B64, 0),
+                cmd(1, 11, B64, 0),
+                cmd(1, 12, B64, 0),
+                cmd(1, 13, B64, 0),
+            ],
+            &mut mem,
+        );
+        let reads = actions
+            .iter()
+            .filter(|a| matches!(a, SlaveAction::StartRead { .. }))
+            .count();
+        assert_eq!(reads, 3, "three concurrent reads allowed");
+        assert_eq!(s.in_flight_migrations(), 3);
+        assert_eq!(s.queue_len(), 1);
+        // Completing one starts the fourth.
+        let next = s.on_read_done(t(1), BlockId(10), &mut mem);
+        assert_eq!(next.len(), 1);
+        assert_eq!(s.in_flight_migrations(), 3);
+    }
+
+    #[test]
+    fn duplicate_request_while_in_flight_shares_read() {
+        let (mut s, mut mem) = slave();
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0)], &mut mem);
+        let a = s.enqueue(t(0), vec![cmd(2, 10, B64, 0)], &mut mem);
+        assert!(a.is_empty(), "no second read for the same block");
+        s.on_read_done(t(1), BlockId(10), &mut mem);
+        assert_eq!(s.references(BlockId(10)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn work_conserving_smaller_block_skips_blocked_larger() {
+        // A huge queued block that doesn't fit must not stall a small one
+        // that does.
+        let mut s = IgnemSlave::new(
+            NodeId(0),
+            IgnemConfig {
+                buffer_capacity: 2 * B64,
+                ..IgnemConfig::default()
+            },
+        );
+        let mut mem = MemStore::new(128 * GIB);
+        // Resident block eats half the budget.
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0)], &mut mem);
+        s.on_read_done(t(1), BlockId(10), &mut mem);
+        // Job 2 (smaller input) wants a block bigger than remaining budget;
+        // job 3 wants one that fits.
+        let mut big = cmd(2, 11, B64, 2);
+        big.bytes = 2 * B64;
+        let actions = s.enqueue(t(2), vec![big, cmd(3, 12, 10 * B64, 3)], &mut mem);
+        assert!(
+            actions.contains(&SlaveAction::StartRead {
+                block: BlockId(12),
+                bytes: B64
+            }),
+            "should skip the blocked larger block: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn stats_track_migrated_bytes() {
+        let (mut s, mut mem) = slave();
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0)], &mut mem);
+        s.on_read_done(t(1), BlockId(10), &mut mem);
+        assert_eq!(s.stats().migrated, 1);
+        assert_eq!(s.stats().migrated_bytes, B64);
+    }
+
+    #[test]
+    #[should_panic(expected = "no migration in flight")]
+    fn completion_without_flight_panics() {
+        let (mut s, mut mem) = slave();
+        s.on_read_done(t(0), BlockId(1), &mut mem);
+    }
+}

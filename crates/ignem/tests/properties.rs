@@ -1,0 +1,175 @@
+//! Property-based tests for Ignem's buffer-leak-freedom and consistency
+//! invariants (paper §III-A4: "How does Ignem avoid memory leaks in its
+//! migration buffer?").
+
+use ignem_core::command::{EvictionMode, JobId, MigrateCommand};
+use ignem_core::policy::Policy;
+use ignem_core::slave::{IgnemConfig, IgnemSlave, SlaveAction};
+use ignem_dfs::block::BlockId;
+use ignem_netsim::NodeId;
+use ignem_simcore::time::SimTime;
+use ignem_storage::memstore::MemStore;
+use proptest::prelude::*;
+
+const MIB: u64 = 1 << 20;
+const B64: u64 = 64 * MIB;
+
+/// A randomly generated slave interaction step.
+#[derive(Debug, Clone)]
+enum Step {
+    Migrate { job: u64, block: u64, input: u64 },
+    CompleteRead,
+    EvictJob { job: u64 },
+    ReadBlock { job: u64, block: u64 },
+    MasterFail,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0u64..6, 0u64..12, 1u64..50).prop_map(|(job, block, input)| Step::Migrate {
+            job,
+            block,
+            input: input * B64,
+        }),
+        4 => Just(Step::CompleteRead),
+        2 => (0u64..6).prop_map(|job| Step::EvictJob { job }),
+        2 => (0u64..6, 0u64..12).prop_map(|(job, block)| Step::ReadBlock { job, block }),
+        1 => Just(Step::MasterFail),
+    ]
+}
+
+/// Drives a slave through an arbitrary interaction sequence, mirroring what
+/// the cluster layer would do, while checking invariants at each step.
+fn run_steps(steps: Vec<Step>, policy: Policy, implicit: bool) -> Result<(), TestCaseError> {
+    let mut slave = IgnemSlave::new(
+        NodeId(0),
+        IgnemConfig {
+            buffer_capacity: 4 * B64, // tight, to exercise blocking
+            cleanup_threshold: 0.5,
+            policy,
+            ..IgnemConfig::default()
+        },
+    );
+    let mut mem: MemStore<BlockId> = MemStore::new(8 * B64);
+    let mut in_flight: Option<BlockId> = None;
+    let mut cancelled = false;
+    let mut clock = 0u64;
+    let mode = if implicit {
+        EvictionMode::Implicit
+    } else {
+        EvictionMode::Explicit
+    };
+
+    let handle = |actions: Vec<SlaveAction>,
+                      in_flight: &mut Option<BlockId>,
+                      cancelled: &mut bool| {
+        for a in actions {
+            match a {
+                SlaveAction::StartRead { block, .. } => {
+                    assert!(in_flight.is_none(), "two concurrent migration reads");
+                    *in_flight = Some(block);
+                    *cancelled = false;
+                }
+                SlaveAction::CancelRead { block } => {
+                    assert_eq!(*in_flight, Some(block));
+                    *in_flight = None;
+                    *cancelled = true;
+                }
+                SlaveAction::QueryJobLiveness { .. } => {}
+            }
+        }
+    };
+
+    for step in steps {
+        clock += 1;
+        let now = SimTime::from_secs(clock);
+        let actions = match step {
+            Step::Migrate { job, block, input } => slave.enqueue(
+                now,
+                vec![MigrateCommand {
+                    job: JobId(job),
+                    block: BlockId(block),
+                    bytes: B64,
+                    mode,
+                    job_input_bytes: input,
+                    submitted: now,
+                }],
+                &mut mem,
+            ),
+            Step::CompleteRead => match in_flight.take() {
+                Some(block) => slave.on_read_done(now, block, &mut mem),
+                None => continue,
+            },
+            Step::EvictJob { job } => slave.on_evict_job(now, JobId(job), &mut mem),
+            Step::ReadBlock { job, block } => {
+                slave.on_block_read(now, BlockId(block), JobId(job), &mut mem)
+            }
+            Step::MasterFail => slave.on_master_failed(now, &mut mem),
+        };
+        handle(actions, &mut in_flight, &mut cancelled);
+
+        // INVARIANT: one migration at a time.
+        prop_assert_eq!(slave.is_migrating(), in_flight.is_some());
+        // INVARIANT: every resident migrated block has a non-empty ref list.
+        prop_assert_eq!(
+            mem.migrated_used() as usize / B64 as usize,
+            count_ref_blocks(&slave),
+            "resident migrated blocks must equal ref-listed blocks"
+        );
+        // INVARIANT: migrated bytes never exceed the configured budget.
+        prop_assert!(mem.migrated_used() <= 4 * B64);
+    }
+
+    // Drain: finish any in-flight read, then evict every job. The buffer
+    // must come back to zero — no leaks.
+    clock += 1;
+    if let Some(block) = in_flight.take() {
+        let a = slave.on_read_done(SimTime::from_secs(clock), block, &mut mem);
+        handle(a, &mut in_flight, &mut cancelled);
+        // Completion may start another; keep finishing.
+        while let Some(b) = in_flight.take() {
+            clock += 1;
+            let a = slave.on_read_done(SimTime::from_secs(clock), b, &mut mem);
+            handle(a, &mut in_flight, &mut cancelled);
+        }
+    }
+    for job in 0..6u64 {
+        clock += 1;
+        let a = slave.on_evict_job(SimTime::from_secs(clock), JobId(job), &mut mem);
+        handle(a, &mut in_flight, &mut cancelled);
+        while let Some(b) = in_flight.take() {
+            clock += 1;
+            let a = slave.on_read_done(SimTime::from_secs(clock), b, &mut mem);
+            handle(a, &mut in_flight, &mut cancelled);
+        }
+    }
+    prop_assert_eq!(mem.migrated_used(), 0, "migration buffer leaked");
+    Ok(())
+}
+
+fn count_ref_blocks(slave: &IgnemSlave) -> usize {
+    // Resident blocks are exactly those with a reference list; probe the
+    // visible block-id space.
+    (0..12u64)
+        .filter(|&b| slave.references(BlockId(b)).is_some())
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn no_leak_explicit_sjf(steps in proptest::collection::vec(step_strategy(), 1..60)) {
+        run_steps(steps, Policy::SmallestJobFirst, false)?;
+    }
+
+    #[test]
+    fn no_leak_implicit_sjf(steps in proptest::collection::vec(step_strategy(), 1..60)) {
+        run_steps(steps, Policy::SmallestJobFirst, true)?;
+    }
+
+    #[test]
+    fn no_leak_explicit_fifo(steps in proptest::collection::vec(step_strategy(), 1..60)) {
+        run_steps(steps, Policy::Fifo, false)?;
+    }
+}

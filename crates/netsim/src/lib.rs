@@ -1,0 +1,319 @@
+//! # ignem-netsim — cluster network fabric
+//!
+//! A deliberately simple network model, matching the paper's observation
+//! (§III-A2, citing Flat Datacenter Storage) that *network bandwidth is not
+//! a bottleneck in current data centres*: a non-blocking core connects
+//! per-node NICs, so a transfer is limited only by its **receiver's NIC
+//! share** (the receiver is the hot spot for fan-in shuffle traffic and
+//! remote block reads, the only flows the simulation routes over the
+//! network). Every RPC costs a fixed small latency.
+//!
+//! The fabric is engine-agnostic like every substrate: drive it with
+//! [`Fabric::advance`] / [`Fabric::next_event`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use ignem_simcore::flow::{FlowId, FlowResource};
+use ignem_simcore::time::{SimDuration, SimTime};
+
+/// Identifies a server in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Identifies a network transfer. Caller-assigned; unique among in-flight
+/// transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransferId(pub u64);
+
+/// A finished network transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferDone {
+    /// The transfer's id.
+    pub id: TransferId,
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Payload size.
+    pub bytes: u64,
+    /// Submission time.
+    pub started: SimTime,
+    /// Completion time.
+    pub finished: SimTime,
+}
+
+impl TransferDone {
+    /// End-to-end duration.
+    pub fn duration(&self) -> SimDuration {
+        self.finished.duration_since(self.started)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    from: NodeId,
+    to: NodeId,
+    bytes: u64,
+    started: SimTime,
+}
+
+/// Configuration of the fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Per-NIC bandwidth in bytes/s (the paper's testbed: 10 Gbps).
+    pub nic_bandwidth: f64,
+    /// One-way latency charged to each transfer and RPC.
+    pub latency: SimDuration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            nic_bandwidth: 10e9 / 8.0, // 10 Gbps in bytes/s
+            latency: SimDuration::from_micros(300),
+        }
+    }
+}
+
+/// The cluster network (see crate docs).
+///
+/// ```
+/// use ignem_netsim::{Fabric, NetConfig, NodeId, TransferId};
+/// use ignem_simcore::time::SimTime;
+///
+/// let mut net = Fabric::new(4, NetConfig::default());
+/// net.start(SimTime::ZERO, TransferId(1), NodeId(0), NodeId(1), 125_000_000);
+/// let mut done = vec![];
+/// while let Some(t) = net.next_event() {
+///     done.extend(net.advance(t));
+/// }
+/// // 125 MB over a 1.25 GB/s NIC: ~0.1 s + latency.
+/// assert!((done[0].duration().as_secs_f64() - 0.1003).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    config: NetConfig,
+    downlinks: Vec<FlowResource>,
+    inflight: BTreeMap<TransferId, Inflight>,
+}
+
+impl Fabric {
+    /// Creates a fabric connecting `nodes` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or the bandwidth is not positive.
+    pub fn new(nodes: usize, config: NetConfig) -> Self {
+        assert!(nodes > 0, "fabric needs at least one node");
+        assert!(
+            config.nic_bandwidth.is_finite() && config.nic_bandwidth > 0.0,
+            "bad NIC bandwidth"
+        );
+        Fabric {
+            config,
+            downlinks: (0..nodes)
+                .map(|_| FlowResource::new(config.nic_bandwidth, 0.0))
+                .collect(),
+            inflight: BTreeMap::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.downlinks.len()
+    }
+
+    /// The one-way RPC latency (applies to control messages).
+    pub fn rpc_latency(&self) -> SimDuration {
+        self.config.latency
+    }
+
+    /// Number of in-flight transfers.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Starts a transfer of `bytes` from `from` to `to`. Propagation latency
+    /// is modelled as an initial quiet period on the receiver NIC.
+    /// Returns transfers that completed while advancing to `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown node, a duplicate id, zero bytes, or a
+    /// self-transfer (local data never crosses the network).
+    pub fn start(
+        &mut self,
+        now: SimTime,
+        id: TransferId,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+    ) -> Vec<TransferDone> {
+        assert!(bytes > 0, "zero-byte transfer");
+        assert!(from != to, "self-transfer should be served locally");
+        assert!(
+            (from.0 as usize) < self.nodes() && (to.0 as usize) < self.nodes(),
+            "unknown node"
+        );
+        assert!(!self.inflight.contains_key(&id), "duplicate transfer id");
+        self.inflight.insert(
+            id,
+            Inflight {
+                from,
+                to,
+                bytes,
+                started: now,
+            },
+        );
+        // Latency as a "seek" on the receiver NIC; it does not consume
+        // bandwidth share (degradation is 0 so seeking flows are harmless).
+        let done = self.downlinks[to.0 as usize].add(
+            now,
+            FlowId(id.0),
+            bytes as f64,
+            self.config.latency,
+        );
+        self.collect(to, done)
+    }
+
+    /// Cancels an in-flight transfer. Unknown ids are ignored.
+    pub fn cancel(&mut self, now: SimTime, id: TransferId) -> Vec<TransferDone> {
+        let Some(info) = self.inflight.get(&id).copied() else {
+            return Vec::new();
+        };
+        let done = self.downlinks[info.to.0 as usize].cancel(now, FlowId(id.0));
+        self.inflight.remove(&id);
+        self.collect(info.to, done)
+    }
+
+    /// Earliest instant any transfer state changes, or `None` if idle.
+    pub fn next_event(&self) -> Option<SimTime> {
+        self.downlinks
+            .iter()
+            .filter_map(|nic| nic.next_event())
+            .min()
+    }
+
+    /// Advances every NIC to `now` (NICs whose internal clock is already
+    /// past `now` — e.g. because a transfer started on them later — are
+    /// left untouched), returning finished transfers.
+    pub fn advance(&mut self, now: SimTime) -> Vec<TransferDone> {
+        let mut out = Vec::new();
+        for i in 0..self.downlinks.len() {
+            let t = now.max(self.downlinks[i].clock());
+            let done = self.downlinks[i].advance(t);
+            out.extend(self.collect(NodeId(i as u32), done));
+        }
+        out.sort_by_key(|t| (t.finished, t.id));
+        out
+    }
+
+    fn collect(&mut self, _node: NodeId, flows: Vec<FlowId>) -> Vec<TransferDone> {
+        flows
+            .into_iter()
+            .map(|fid| {
+                let id = TransferId(fid.0);
+                let info = self
+                    .inflight
+                    .remove(&id)
+                    .expect("completion for unknown transfer");
+                TransferDone {
+                    id,
+                    from: info.from,
+                    to: info.to,
+                    bytes: info.bytes,
+                    started: info.started,
+                    finished: self.downlinks[info.to.0 as usize].clock(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ignem_simcore::units::MB;
+
+    fn drain(net: &mut Fabric) -> Vec<TransferDone> {
+        let mut all = Vec::new();
+        let mut guard = 0;
+        while let Some(t) = net.next_event() {
+            all.extend(net.advance(t));
+            guard += 1;
+            assert!(guard < 10_000, "fabric failed to drain");
+        }
+        all
+    }
+
+    #[test]
+    fn single_transfer_gets_full_nic() {
+        let mut net = Fabric::new(2, NetConfig::default());
+        net.start(SimTime::ZERO, TransferId(1), NodeId(0), NodeId(1), 1250 * MB);
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 1);
+        // 1.25 GB at 1.25 GB/s = 1 s (+ 300 us latency).
+        assert!((done[0].duration().as_secs_f64() - 1.0003).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fan_in_shares_receiver_nic() {
+        let mut net = Fabric::new(3, NetConfig::default());
+        net.start(SimTime::ZERO, TransferId(1), NodeId(0), NodeId(2), 1250 * MB);
+        net.start(SimTime::ZERO, TransferId(2), NodeId(1), NodeId(2), 1250 * MB);
+        let done = drain(&mut net);
+        assert_eq!(done.len(), 2);
+        for d in &done {
+            assert!(d.duration().as_secs_f64() > 1.9, "fan-in must share");
+        }
+    }
+
+    #[test]
+    fn different_receivers_do_not_interfere() {
+        let mut net = Fabric::new(4, NetConfig::default());
+        net.start(SimTime::ZERO, TransferId(1), NodeId(0), NodeId(2), 1250 * MB);
+        net.start(SimTime::ZERO, TransferId(2), NodeId(1), NodeId(3), 1250 * MB);
+        let done = drain(&mut net);
+        for d in &done {
+            assert!((d.duration().as_secs_f64() - 1.0003).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cancel_drops_transfer() {
+        let mut net = Fabric::new(2, NetConfig::default());
+        net.start(SimTime::ZERO, TransferId(1), NodeId(0), NodeId(1), 1250 * MB);
+        net.cancel(SimTime::from_secs_f64(0.1), TransferId(1));
+        assert_eq!(net.in_flight(), 0);
+        assert!(drain(&mut net).is_empty());
+    }
+
+    #[test]
+    fn rpc_latency_exposed() {
+        let net = Fabric::new(1, NetConfig::default());
+        assert_eq!(net.rpc_latency(), SimDuration::from_micros(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-transfer")]
+    fn self_transfer_rejected() {
+        let mut net = Fabric::new(2, NetConfig::default());
+        net.start(SimTime::ZERO, TransferId(1), NodeId(0), NodeId(0), MB);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn unknown_node_rejected() {
+        let mut net = Fabric::new(2, NetConfig::default());
+        net.start(SimTime::ZERO, TransferId(1), NodeId(0), NodeId(7), MB);
+    }
+}

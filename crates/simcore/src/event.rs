@@ -1,0 +1,341 @@
+//! The discrete-event engine: a time-ordered event queue with cancellation.
+//!
+//! [`Engine`] owns the simulation clock, the pending-event queue and the
+//! root RNG. Components schedule payloads of a user-chosen event type `E`;
+//! the driver loop pops them in `(time, insertion order)` order:
+//!
+//! ```
+//! use ignem_simcore::{event::Engine, time::SimDuration};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut engine: Engine<Ev> = Engine::new(42);
+//! engine.schedule_in(SimDuration::from_secs(1), Ev::Ping(7));
+//! let mut seen = vec![];
+//! while let Some(ev) = engine.pop() {
+//!     match ev { Ev::Ping(n) => seen.push(n) }
+//! }
+//! assert_eq!(seen, vec![7]);
+//! assert_eq!(engine.now().as_secs_f64(), 1.0);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// A handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// Heap key: events fire in time order; ties break by insertion order, which
+/// gives the deterministic FIFO semantics the protocols rely on.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    at: SimTime,
+    seq: u64,
+}
+
+struct Entry<E> {
+    key: Key,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// The discrete-event simulation engine.
+///
+/// Generic over the event payload type `E` so each simulation defines its own
+/// closed event vocabulary (an enum), keeping dispatch exhaustive and
+/// allocation-free.
+pub struct Engine<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<u64>,
+    rng: SimRng,
+    processed: u64,
+}
+
+impl<E> std::fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at time zero with a seeded root RNG.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            rng: SimRng::new(seed),
+            processed: 0,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Whether any events remain.
+    pub fn is_idle(&self) -> bool {
+        self.heap.len() == self.cancelled.len()
+    }
+
+    /// The engine's root RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            key: Key { at, seq },
+            payload,
+        }));
+        EventId(seq)
+    }
+
+    /// Schedules `payload` after `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Schedules `payload` to fire immediately (at the current time, after
+    /// any already-queued events for this instant).
+    pub fn schedule_now(&mut self, payload: E) -> EventId {
+        self.schedule_at(self.now, payload)
+    }
+
+    /// Cancels a scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when no (uncancelled) events remain.
+    pub fn pop(&mut self) -> Option<E> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.key.seq) {
+                continue;
+            }
+            debug_assert!(entry.key.at >= self.now, "time went backwards");
+            self.now = entry.key.at;
+            self.processed += 1;
+            return Some(entry.payload);
+        }
+        None
+    }
+
+    /// Peeks at the timestamp of the next event without firing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.key.seq) {
+                let seq = entry.key.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.key.at);
+        }
+        None
+    }
+
+    /// Runs the simulation to completion, dispatching each event to
+    /// `handler`. The handler may schedule further events.
+    ///
+    /// ```
+    /// use ignem_simcore::{event::Engine, time::SimDuration};
+    ///
+    /// let mut engine: Engine<u32> = Engine::new(0);
+    /// engine.schedule_in(SimDuration::from_secs(1), 3);
+    /// let mut total = 0;
+    /// engine.run(|eng, n| {
+    ///     total += n;
+    ///     if n > 1 {
+    ///         eng.schedule_in(SimDuration::from_secs(1), n - 1);
+    ///     }
+    /// });
+    /// assert_eq!(total, 3 + 2 + 1);
+    /// ```
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Engine<E>, E)) {
+        while let Some(ev) = self.pop() {
+            handler(self, ev);
+        }
+    }
+
+    /// Runs until the clock would pass `deadline`; events at exactly
+    /// `deadline` are processed. Returns the number of events handled.
+    pub fn run_until(
+        &mut self,
+        deadline: SimTime,
+        mut handler: impl FnMut(&mut Engine<E>, E),
+    ) -> u64 {
+        let mut handled = 0;
+        while let Some(t) = self.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let ev = self.pop().expect("peeked event vanished");
+            handler(self, ev);
+            handled += 1;
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        handled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e: Engine<u32> = Engine::new(0);
+        e.schedule_at(SimTime::from_micros(30), 3);
+        e.schedule_at(SimTime::from_micros(10), 1);
+        e.schedule_at(SimTime::from_micros(20), 2);
+        let mut got = vec![];
+        e.run(|_, v| got.push(v));
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut e: Engine<u32> = Engine::new(0);
+        let t = SimTime::from_micros(5);
+        for i in 0..10 {
+            e.schedule_at(t, i);
+        }
+        let mut got = vec![];
+        e.run(|_, v| got.push(v));
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_suppresses_events() {
+        let mut e: Engine<u32> = Engine::new(0);
+        let a = e.schedule_at(SimTime::from_micros(1), 1);
+        e.schedule_at(SimTime::from_micros(2), 2);
+        e.cancel(a);
+        let mut got = vec![];
+        e.run(|_, v| got.push(v));
+        assert_eq!(got, vec![2]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut e: Engine<u32> = Engine::new(0);
+        let a = e.schedule_at(SimTime::from_micros(1), 1);
+        assert_eq!(e.pop(), Some(1));
+        e.cancel(a); // must not panic or corrupt
+        assert_eq!(e.pop(), None);
+    }
+
+    #[test]
+    fn clock_advances_to_event_time() {
+        let mut e: Engine<()> = Engine::new(0);
+        e.schedule_at(SimTime::from_secs_f64(2.5), ());
+        e.pop();
+        assert_eq!(e.now(), SimTime::from_secs_f64(2.5));
+    }
+
+    #[test]
+    fn schedule_during_run_works() {
+        let mut e: Engine<u32> = Engine::new(0);
+        e.schedule_in(SimDuration::from_secs(1), 5);
+        let mut count = 0;
+        e.run(|eng, n| {
+            count += 1;
+            if n > 0 {
+                eng.schedule_in(SimDuration::from_secs(1), n - 1);
+            }
+        });
+        assert_eq!(count, 6);
+        assert_eq!(e.now().as_secs_f64(), 6.0);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e: Engine<u32> = Engine::new(0);
+        e.schedule_at(SimTime::from_secs_f64(1.0), 1);
+        e.schedule_at(SimTime::from_secs_f64(5.0), 2);
+        let mut got = vec![];
+        let n = e.run_until(SimTime::from_secs_f64(2.0), |_, v| got.push(v));
+        assert_eq!(n, 1);
+        assert_eq!(got, vec![1]);
+        assert_eq!(e.now(), SimTime::from_secs_f64(2.0));
+        // Remaining event still fires later.
+        e.run(|_, v| got.push(v));
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut e: Engine<u32> = Engine::new(0);
+        let a = e.schedule_at(SimTime::from_micros(1), 1);
+        e.schedule_at(SimTime::from_micros(2), 2);
+        e.cancel(a);
+        assert_eq!(e.peek_time(), Some(SimTime::from_micros(2)));
+    }
+
+    #[test]
+    fn is_idle_accounts_for_cancellations() {
+        let mut e: Engine<u32> = Engine::new(0);
+        assert!(e.is_idle());
+        let a = e.schedule_at(SimTime::from_micros(1), 1);
+        assert!(!e.is_idle());
+        e.cancel(a);
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_scheduling() {
+        let mut e: Engine<u32> = Engine::new(0);
+        e.schedule_at(SimTime::from_secs(5), 1);
+        e.pop();
+        e.schedule_at(SimTime::from_secs(1), 2);
+    }
+}

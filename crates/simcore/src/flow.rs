@@ -1,0 +1,447 @@
+//! Fluid-flow modelling of shared, rate-limited resources.
+//!
+//! Disks and NICs are modelled as *processor-sharing* servers: `n` concurrent
+//! transfers each progress at an equal share of the device's effective
+//! capacity. For mechanical disks the effective capacity itself shrinks as
+//! concurrency rises (seek thrashing), captured by a **degradation factor**
+//! `d`: with `n` active requests the device delivers
+//! `C / (1 + d·(n − 1))` bytes/s in total, split evenly among transferring
+//! flows. This is the phenomenon Ignem exploits by migrating one block at a
+//! time (paper §III-A1) and the reason Fig. 1's HDD reads are so slow under
+//! concurrent mappers.
+//!
+//! [`FlowResource`] is a pure state machine: callers drive it with
+//! [`FlowResource::advance`] and query [`FlowResource::next_event`] to learn
+//! when the earliest internal change (a seek finishing or a flow completing)
+//! occurs. It never schedules events itself, which keeps it independently
+//! testable and lets the cluster simulation map changes onto engine timers.
+
+use std::collections::BTreeMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies one flow (transfer) on a resource. Caller-assigned; must be
+/// unique among concurrently active flows on the same resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Positioning (disk seek); occupies the device but transfers no bytes.
+    Seeking { until: SimTime },
+    /// Transferring bytes at the current shared rate.
+    Transferring,
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    remaining: f64, // bytes
+    phase: Phase,
+}
+
+/// A shared resource carrying fluid flows (see module docs).
+///
+/// ```
+/// use ignem_simcore::flow::{FlowId, FlowResource};
+/// use ignem_simcore::time::{SimDuration, SimTime};
+///
+/// // 100 MB/s, no degradation.
+/// let mut disk = FlowResource::new(100e6, 0.0);
+/// let t0 = SimTime::ZERO;
+/// disk.add(t0, FlowId(1), 50e6, SimDuration::ZERO);
+/// // Alone, the 50 MB flow finishes after 0.5 s.
+/// assert_eq!(disk.next_event(), Some(SimTime::from_secs_f64(0.5)));
+/// let done = disk.advance(SimTime::from_secs_f64(0.5));
+/// assert_eq!(done, vec![FlowId(1)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowResource {
+    capacity: f64,    // bytes/sec at concurrency 1
+    degradation: f64, // d in C / (1 + d (n-1))
+    flows: BTreeMap<FlowId, Flow>,
+    clock: SimTime,
+    // Lifetime accounting (drives utilisation figures).
+    bytes_completed: f64,
+    busy: SimDuration,
+}
+
+/// Sub-microsecond residue: a flow with at most this much transfer time left
+/// counts as complete (absorbs integer-microsecond rounding).
+const COMPLETION_SLACK_SECS: f64 = 2e-6;
+
+impl FlowResource {
+    /// Creates a resource with `capacity` bytes/s and concurrency-degradation
+    /// factor `degradation` (0 = ideal sharing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not strictly positive or `degradation` is
+    /// negative.
+    pub fn new(capacity: f64, degradation: f64) -> Self {
+        assert!(capacity.is_finite() && capacity > 0.0, "bad capacity");
+        assert!(degradation.is_finite() && degradation >= 0.0, "bad degradation");
+        FlowResource {
+            capacity,
+            degradation,
+            flows: BTreeMap::new(),
+            clock: SimTime::ZERO,
+            bytes_completed: 0.0,
+            busy: SimDuration::ZERO,
+        }
+    }
+
+    /// Nominal (concurrency-1) capacity in bytes/s.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Number of active flows (seeking or transferring).
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes delivered by completed *and* in-progress flows so far.
+    pub fn bytes_completed(&self) -> f64 {
+        self.bytes_completed
+    }
+
+    /// Cumulative time the resource had at least one active flow.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// The internal clock (last time state was advanced to).
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Effective total delivery rate with `n` active flows.
+    pub fn effective_capacity(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.capacity / (1.0 + self.degradation * (n as f64 - 1.0))
+        }
+    }
+
+    /// Current per-flow transfer rate (bytes/s) for transferring flows.
+    pub fn per_flow_rate(&self) -> f64 {
+        let n_active = self.flows.len();
+        let n_xfer = self
+            .flows
+            .values()
+            .filter(|f| matches!(f.phase, Phase::Transferring))
+            .count();
+        if n_xfer == 0 {
+            0.0
+        } else {
+            self.effective_capacity(n_active) / n_xfer as f64
+        }
+    }
+
+    /// Bytes left for a flow, if it is active.
+    pub fn remaining(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.remaining)
+    }
+
+    /// Starts a new flow of `bytes` at time `now`, preceded by `seek`
+    /// positioning latency. Returns flows that completed while advancing the
+    /// internal clock to `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already active, `bytes` is not positive/finite, or
+    /// `now` precedes the internal clock.
+    pub fn add(&mut self, now: SimTime, id: FlowId, bytes: f64, seek: SimDuration) -> Vec<FlowId> {
+        assert!(bytes.is_finite() && bytes > 0.0, "bad byte count: {bytes}");
+        let done = self.advance(now);
+        let phase = if seek.is_zero() {
+            Phase::Transferring
+        } else {
+            Phase::Seeking { until: now + seek }
+        };
+        let prev = self.flows.insert(
+            id,
+            Flow {
+                remaining: bytes,
+                phase,
+            },
+        );
+        assert!(prev.is_none(), "duplicate flow id {id:?}");
+        done
+    }
+
+    /// Cancels an active flow (no completion is reported for it). Returns
+    /// flows that completed while advancing to `now`. Cancelling an unknown
+    /// id is a no-op (it may have completed in the same advance).
+    pub fn cancel(&mut self, now: SimTime, id: FlowId) -> Vec<FlowId> {
+        let done = self.advance(now);
+        self.flows.remove(&id);
+        done
+    }
+
+    /// The earliest future instant at which the resource's state changes on
+    /// its own (a seek completes or a flow finishes), or `None` if no flows
+    /// are active. Valid for the state as of the internal clock; any call to
+    /// [`add`](Self::add)/[`cancel`](Self::cancel)/[`advance`](Self::advance)
+    /// invalidates it.
+    pub fn next_event(&self) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        let rate = self.per_flow_rate();
+        for flow in self.flows.values() {
+            let t = match flow.phase {
+                Phase::Seeking { until } => until,
+                Phase::Transferring => {
+                    if rate <= 0.0 {
+                        continue;
+                    }
+                    let secs = flow.remaining / rate;
+                    let d = SimDuration::from_secs_f64(secs.max(0.0));
+                    // Never report an event at (or before) the current
+                    // clock: a sub-microsecond residue completes on the
+                    // next 1 µs step via the completion slack, and a
+                    // zero-delay report would spin the caller's timer.
+                    let d = if d.is_zero() {
+                        SimDuration::from_micros(1)
+                    } else {
+                        d
+                    };
+                    self.clock + d
+                }
+            };
+            let t = t.max(self.clock + SimDuration::from_micros(1));
+            earliest = Some(match earliest {
+                Some(e) if e <= t => e,
+                _ => t,
+            });
+        }
+        earliest
+    }
+
+    /// Advances the internal clock to `now`, progressing all flows through
+    /// every intermediate rate change. Returns the flows that completed, in
+    /// completion order (ties in id order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the internal clock.
+    pub fn advance(&mut self, now: SimTime) -> Vec<FlowId> {
+        assert!(
+            now >= self.clock,
+            "advance backwards: {now} < {}",
+            self.clock
+        );
+        let mut completed = Vec::new();
+        while self.clock < now {
+            if self.flows.is_empty() {
+                self.clock = now;
+                break;
+            }
+            let rate = self.per_flow_rate();
+            // Next internal boundary: earliest seek end or projected completion.
+            let mut boundary = now;
+            for flow in self.flows.values() {
+                let t = match flow.phase {
+                    Phase::Seeking { until } => until,
+                    Phase::Transferring if rate > 0.0 => {
+                        self.clock + SimDuration::from_secs_f64(flow.remaining / rate)
+                    }
+                    Phase::Transferring => continue,
+                };
+                if t < boundary {
+                    boundary = t;
+                }
+            }
+            let step = boundary.duration_since(self.clock);
+            let step_secs = step.as_secs_f64();
+            self.busy += step;
+            // Progress transferring flows.
+            let slack = rate * COMPLETION_SLACK_SECS;
+            let mut finished: Vec<FlowId> = Vec::new();
+            for (id, flow) in self.flows.iter_mut() {
+                match flow.phase {
+                    Phase::Transferring => {
+                        let moved = rate * step_secs;
+                        let delta = moved.min(flow.remaining);
+                        flow.remaining -= delta;
+                        self.bytes_completed += delta;
+                        if flow.remaining <= slack.max(1e-9) {
+                            self.bytes_completed += flow.remaining;
+                            flow.remaining = 0.0;
+                            finished.push(*id);
+                        }
+                    }
+                    Phase::Seeking { until } => {
+                        if until <= boundary {
+                            flow.phase = Phase::Transferring;
+                        }
+                    }
+                }
+            }
+            for id in &finished {
+                self.flows.remove(id);
+            }
+            completed.extend(finished);
+            self.clock = boundary;
+        }
+        completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: f64 = 1e6;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn single_flow_runs_at_full_capacity() {
+        let mut r = FlowResource::new(100.0 * MB, 0.5);
+        r.add(SimTime::ZERO, FlowId(1), 100.0 * MB, SimDuration::ZERO);
+        assert_eq!(r.next_event(), Some(t(1.0)));
+        assert_eq!(r.advance(t(1.0)), vec![FlowId(1)]);
+        assert_eq!(r.active(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_equally_without_degradation() {
+        let mut r = FlowResource::new(100.0 * MB, 0.0);
+        r.add(SimTime::ZERO, FlowId(1), 100.0 * MB, SimDuration::ZERO);
+        r.add(SimTime::ZERO, FlowId(2), 100.0 * MB, SimDuration::ZERO);
+        // Each gets 50 MB/s => both done at 2 s.
+        let done = r.advance(t(2.0));
+        assert_eq!(done, vec![FlowId(1), FlowId(2)]);
+    }
+
+    #[test]
+    fn degradation_slows_concurrent_flows() {
+        // d=1: two flows -> effective capacity halves -> each gets C/4.
+        let mut r = FlowResource::new(100.0 * MB, 1.0);
+        r.add(SimTime::ZERO, FlowId(1), 100.0 * MB, SimDuration::ZERO);
+        r.add(SimTime::ZERO, FlowId(2), 100.0 * MB, SimDuration::ZERO);
+        assert!((r.per_flow_rate() - 25.0 * MB).abs() < 1.0);
+        let done = r.advance(t(4.0));
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn departure_speeds_up_survivor() {
+        let mut r = FlowResource::new(100.0 * MB, 0.0);
+        r.add(SimTime::ZERO, FlowId(1), 50.0 * MB, SimDuration::ZERO);
+        r.add(SimTime::ZERO, FlowId(2), 150.0 * MB, SimDuration::ZERO);
+        // Flow 1 done at 1 s (50 MB at 50 MB/s). Flow 2 then has 100 MB left
+        // at 100 MB/s -> done at 2 s.
+        let done = r.advance(t(1.0));
+        assert_eq!(done, vec![FlowId(1)]);
+        assert_eq!(r.next_event(), Some(t(2.0)));
+        assert_eq!(r.advance(t(2.0)), vec![FlowId(2)]);
+    }
+
+    #[test]
+    fn seek_delays_transfer_start() {
+        let mut r = FlowResource::new(100.0 * MB, 0.0);
+        r.add(
+            SimTime::ZERO,
+            FlowId(1),
+            100.0 * MB,
+            SimDuration::from_millis(500),
+        );
+        // 0.5 s seek + 1 s transfer.
+        assert_eq!(r.next_event(), Some(t(0.5)));
+        assert!(r.advance(t(0.5)).is_empty());
+        assert_eq!(r.advance(t(1.5)), vec![FlowId(1)]);
+    }
+
+    #[test]
+    fn seeking_flow_counts_toward_degradation() {
+        // One transferring + one seeking with d=1 -> effective C/2, single
+        // transferring flow gets all of it.
+        let mut r = FlowResource::new(100.0 * MB, 1.0);
+        r.add(SimTime::ZERO, FlowId(1), 100.0 * MB, SimDuration::ZERO);
+        r.add(
+            SimTime::ZERO,
+            FlowId(2),
+            10.0 * MB,
+            SimDuration::from_secs(10),
+        );
+        assert!((r.per_flow_rate() - 50.0 * MB).abs() < 1.0);
+        let done = r.advance(t(2.0));
+        assert_eq!(done, vec![FlowId(1)]);
+    }
+
+    #[test]
+    fn cancel_removes_without_completion() {
+        let mut r = FlowResource::new(100.0 * MB, 0.0);
+        r.add(SimTime::ZERO, FlowId(1), 100.0 * MB, SimDuration::ZERO);
+        r.add(SimTime::ZERO, FlowId(2), 100.0 * MB, SimDuration::ZERO);
+        r.cancel(t(0.5), FlowId(2));
+        // Flow 1 had 75 MB left at t=0.5, now alone at 100 MB/s -> 1.25 s.
+        assert_eq!(r.next_event(), Some(t(1.25)));
+        assert_eq!(r.advance(t(1.25)), vec![FlowId(1)]);
+    }
+
+    #[test]
+    fn advance_through_many_boundaries_in_one_call() {
+        let mut r = FlowResource::new(100.0 * MB, 0.0);
+        for i in 0..4 {
+            r.add(
+                SimTime::ZERO,
+                FlowId(i),
+                (10.0 + 10.0 * i as f64) * MB,
+                SimDuration::ZERO,
+            );
+        }
+        // Jump far past all completions at once.
+        let done = r.advance(t(100.0));
+        assert_eq!(done.len(), 4);
+        // Shortest flow completes first.
+        assert_eq!(done[0], FlowId(0));
+        assert_eq!(r.active(), 0);
+    }
+
+    #[test]
+    fn accounting_tracks_bytes_and_busy_time() {
+        let mut r = FlowResource::new(100.0 * MB, 0.0);
+        r.add(SimTime::ZERO, FlowId(1), 100.0 * MB, SimDuration::ZERO);
+        r.advance(t(1.0));
+        r.advance(t(5.0)); // idle gap
+        assert!((r.bytes_completed() - 100.0 * MB).abs() < 1.0);
+        assert!((r.busy_time().as_secs_f64() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn idle_resource_has_no_next_event() {
+        let r = FlowResource::new(1.0, 0.0);
+        assert_eq!(r.next_event(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate flow id")]
+    fn duplicate_id_rejected() {
+        let mut r = FlowResource::new(1.0, 0.0);
+        r.add(SimTime::ZERO, FlowId(1), 1.0, SimDuration::ZERO);
+        r.add(SimTime::ZERO, FlowId(1), 1.0, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance backwards")]
+    fn advance_backwards_rejected() {
+        let mut r = FlowResource::new(1.0, 0.0);
+        r.advance(t(1.0));
+        r.advance(t(0.5));
+    }
+
+    #[test]
+    fn completion_times_are_exact_enough() {
+        // A RAM-speed flow (4 GB/s) of one 64 MB block: 16 ms.
+        let mut r = FlowResource::new(4e9, 0.0);
+        r.add(SimTime::ZERO, FlowId(1), 64.0 * MB, SimDuration::ZERO);
+        let next = r.next_event().unwrap();
+        assert!((next.as_secs_f64() - 0.016).abs() < 1e-4);
+        assert_eq!(r.advance(next), vec![FlowId(1)]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Byte-quantity helpers shared across the workspace.
+
+/// One kilobyte (10³ bytes; storage vendors' decimal convention, matching
+/// the device bandwidth specs the models are calibrated against).
+pub const KB: u64 = 1_000;
+/// One megabyte (10⁶ bytes).
+pub const MB: u64 = 1_000_000;
+/// One gigabyte (10⁹ bytes).
+pub const GB: u64 = 1_000_000_000;
+/// One terabyte (10¹² bytes).
+pub const TB: u64 = 1_000_000_000_000;
+
+/// One mebibyte (2²⁰ bytes). HDFS block sizes are binary (64 MiB).
+pub const MIB: u64 = 1 << 20;
+/// One gibibyte (2³⁰ bytes).
+pub const GIB: u64 = 1 << 30;
+
+/// Formats a byte count human-readably (decimal units).
+///
+/// ```
+/// assert_eq!(ignem_simcore::units::fmt_bytes(1_500_000), "1.50 MB");
+/// assert_eq!(ignem_simcore::units::fmt_bytes(512), "512 B");
+/// ```
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if bytes >= TB {
+        format!("{:.2} TB", b / TB as f64)
+    } else if bytes >= GB {
+        format!("{:.2} GB", b / GB as f64)
+    } else if bytes >= MB {
+        format!("{:.2} MB", b / MB as f64)
+    } else if bytes >= KB {
+        format!("{:.2} KB", b / KB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_picks_unit() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(2 * KB), "2.00 KB");
+        assert_eq!(fmt_bytes(64 * MIB), "67.11 MB");
+        assert_eq!(fmt_bytes(3 * GB), "3.00 GB");
+        assert_eq!(fmt_bytes(2 * TB), "2.00 TB");
+    }
+
+    #[test]
+    fn constants_relate() {
+        assert_eq!(MB, 1000 * KB);
+        assert_eq!(GB, 1000 * MB);
+        assert_eq!(GIB, 1024 * MIB);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the simulation kernel invariants.
+
+use ignem_simcore::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every flow added to a resource eventually completes (work
+    /// conservation), and total bytes accounted equal total bytes offered.
+    #[test]
+    fn flow_resource_conserves_work(
+        capacity in 1e6f64..1e10,
+        degradation in 0.0f64..3.0,
+        flows in proptest::collection::vec((1e3f64..1e9, 0u64..2_000_000, 0u64..5_000_000), 1..20)
+    ) {
+        let mut r = FlowResource::new(capacity, degradation);
+        let mut expected: f64 = 0.0;
+        let mut completed = Vec::new();
+        let mut latest_start = SimTime::ZERO;
+        for (i, &(bytes, start_us, seek_us)) in flows.iter().enumerate() {
+            let start = SimTime::from_micros(start_us);
+            let start = start.max(r.clock());
+            latest_start = latest_start.max(start);
+            completed.extend(r.add(start, FlowId(i as u64), bytes, SimDuration::from_micros(seek_us)));
+            expected += bytes;
+        }
+        // Drain: repeatedly advance to next_event.
+        let mut guard = 0;
+        while let Some(t) = r.next_event() {
+            completed.extend(r.advance(t));
+            guard += 1;
+            prop_assert!(guard < 10_000, "flow resource failed to drain");
+        }
+        prop_assert_eq!(completed.len(), flows.len());
+        prop_assert!(r.active() == 0);
+        let err = (r.bytes_completed() - expected).abs() / expected.max(1.0);
+        prop_assert!(err < 1e-6, "byte accounting off by {}", err);
+    }
+
+    /// Sharing never makes a flow finish earlier than its ideal solo time.
+    #[test]
+    fn sharing_never_beats_solo(
+        bytes in 1e6f64..1e9,
+        competitors in 1usize..8,
+    ) {
+        let capacity = 100e6;
+        let solo_secs = bytes / capacity;
+        let mut r = FlowResource::new(capacity, 0.5);
+        r.add(SimTime::ZERO, FlowId(0), bytes, SimDuration::ZERO);
+        for i in 0..competitors {
+            r.add(SimTime::ZERO, FlowId(1 + i as u64), bytes, SimDuration::ZERO);
+        }
+        let mut finish_of_zero = None;
+        let mut guard = 0;
+        while let Some(t) = r.next_event() {
+            for id in r.advance(t) {
+                if id == FlowId(0) {
+                    finish_of_zero = Some(t);
+                }
+            }
+            guard += 1;
+            prop_assert!(guard < 1000);
+        }
+        let finish = finish_of_zero.expect("flow 0 completed").as_secs_f64();
+        // Allow integer-microsecond rounding slack.
+        prop_assert!(finish + 1e-5 >= solo_secs, "finish={} solo={}", finish, solo_secs);
+    }
+
+    /// The engine delivers every scheduled, uncancelled event exactly once,
+    /// in nondecreasing time order.
+    #[test]
+    fn engine_delivers_in_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut e: Engine<usize> = Engine::new(0);
+        for (i, &t) in times.iter().enumerate() {
+            e.schedule_at(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut seen = vec![false; times.len()];
+        while let Some(i) = e.pop() {
+            prop_assert!(e.now() >= last);
+            last = e.now();
+            prop_assert!(!seen[i], "event {} delivered twice", i);
+            seen[i] = true;
+            prop_assert_eq!(e.now(), SimTime::from_micros(times[i]));
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Percentile is monotone in p and bounded by min/max.
+    #[test]
+    fn percentiles_are_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut s: Samples = values.iter().copied().collect();
+        let lo = s.percentile(0.0);
+        let hi = s.percentile(100.0);
+        let mut prev = lo;
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0] {
+            let v = s.percentile(p);
+            prop_assert!(v + 1e-9 >= prev);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            prev = v;
+        }
+    }
+
+    /// Time-weighted average always lies within [min, max] of values held.
+    #[test]
+    fn time_weighted_average_is_bounded(
+        updates in proptest::collection::vec((1u64..1_000_000u64, 0.0f64..100.0), 1..50)
+    ) {
+        let mut tw = TimeWeighted::new(0.0, false);
+        let mut t = SimTime::ZERO;
+        let mut lo: f64 = 0.0;
+        let mut hi: f64 = 0.0;
+        for &(dt, v) in &updates {
+            t += SimDuration::from_micros(dt);
+            tw.set(t, v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let avg = tw.average(t);
+        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg={} not in [{}, {}]", avg, lo, hi);
+    }
+
+    /// Histogram never loses samples.
+    #[test]
+    fn histogram_counts_everything(values in proptest::collection::vec(-100.0f64..1000.0, 0..500)) {
+        let mut h = Histogram::uniform(0.0, 100.0, 13);
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+}

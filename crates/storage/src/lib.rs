@@ -1,0 +1,36 @@
+//! # ignem-storage — storage device models
+//!
+//! The storage substrate of the Ignem reproduction:
+//!
+//! * [`device`] — calibrated HDD / SSD / RAM profiles (Fig. 1 ratios).
+//! * [`disk`] — a shared device with seeks, concurrency degradation and
+//!   write-back flushing, built on the simcore fluid-flow model.
+//! * [`memstore`] — the per-node memory block store holding migrated and
+//!   pinned blocks, with occupancy tracking for Fig. 7.
+//!
+//! ## Example
+//!
+//! ```
+//! use ignem_storage::{device::DeviceProfile, disk::{Disk, IoKind, RequestId}};
+//! use ignem_simcore::time::SimTime;
+//!
+//! // One cold 64 MB block read from an idle HDD takes about half a second.
+//! let mut disk = Disk::new(DeviceProfile::hdd());
+//! disk.submit(SimTime::ZERO, RequestId(0), IoKind::Read, 64 * 1024 * 1024);
+//! let mut done = vec![];
+//! while let Some(t) = disk.next_event() {
+//!     done.extend(disk.advance(t));
+//! }
+//! assert!((done[0].duration().as_secs_f64() - 0.487).abs() < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod disk;
+pub mod memstore;
+
+pub use device::{DeviceKind, DeviceProfile};
+pub use disk::{Completion, Disk, IoKind, RequestId};
+pub use memstore::{CapacityError, MemStore, Residency};

@@ -1,0 +1,120 @@
+//! Property-based tests for the storage substrate.
+
+use ignem_simcore::time::SimTime;
+use ignem_storage::device::DeviceProfile;
+use ignem_storage::disk::{Disk, IoKind, RequestId};
+use ignem_storage::memstore::{MemStore, Residency};
+use proptest::prelude::*;
+
+fn drain(disk: &mut Disk) -> usize {
+    let mut done = 0;
+    let mut guard = 0;
+    while let Some(t) = disk.next_event() {
+        done += disk.advance(t).len();
+        guard += 1;
+        assert!(guard < 100_000, "disk failed to drain");
+    }
+    done
+}
+
+proptest! {
+    /// Every submitted request completes exactly once, regardless of the
+    /// interleaving of reads, migrations and buffered writes.
+    #[test]
+    fn disk_completes_everything(
+        ops in proptest::collection::vec((0u8..3, 1u64..256, 0u64..5_000_000), 1..40)
+    ) {
+        for profile in [DeviceProfile::hdd(), DeviceProfile::ssd(), DeviceProfile::ram()] {
+            let mut disk = Disk::new(profile);
+            let mut expected = 0usize;
+            let mut completed = 0usize;
+            let mut now = SimTime::ZERO;
+            for (i, &(kind, mb, at_us)) in ops.iter().enumerate() {
+                let t = SimTime::from_micros(at_us);
+                now = now.max(t);
+                let bytes = mb * 1_000_000;
+                match kind {
+                    0 => {
+                        completed += disk
+                            .submit(now, RequestId(i as u64), IoKind::Read, bytes)
+                            .len();
+                        expected += 1;
+                    }
+                    1 => {
+                        completed += disk
+                            .submit(now, RequestId(i as u64), IoKind::Migration, bytes)
+                            .len();
+                        expected += 1;
+                    }
+                    _ => {
+                        completed += disk.buffered_write(now, bytes).len();
+                    }
+                }
+            }
+            completed += drain(&mut disk);
+            prop_assert_eq!(completed, expected);
+            prop_assert_eq!(disk.dirty_bytes(), 0, "flush must drain");
+            prop_assert_eq!(disk.in_flight(), 0);
+        }
+    }
+
+    /// Migration requests never finish faster than an equal-size read
+    /// issued at the same time (the mmap/mlock penalty).
+    #[test]
+    fn migration_never_beats_read(mb in 1u64..512) {
+        let bytes = mb * 1_000_000;
+        let mut disk = Disk::new(DeviceProfile::hdd());
+        disk.submit(SimTime::ZERO, RequestId(1), IoKind::Read, bytes);
+        disk.submit(SimTime::ZERO, RequestId(2), IoKind::Migration, bytes);
+        let mut read_t = None;
+        let mut mig_t = None;
+        while let Some(t) = disk.next_event() {
+            for c in disk.advance(t) {
+                match c.id {
+                    RequestId(1) => read_t = Some(c.finished),
+                    RequestId(2) => mig_t = Some(c.finished),
+                    _ => {}
+                }
+            }
+        }
+        prop_assert!(mig_t.expect("migration done") >= read_t.expect("read done"));
+    }
+
+    /// MemStore accounting: used == sum of inserted sizes, always within
+    /// capacity, and migrated accounting is a sub-account of used.
+    #[test]
+    fn memstore_accounting(
+        ops in proptest::collection::vec((0u8..2, 0u64..16, 1u64..100), 1..60)
+    ) {
+        let mut m: MemStore<u64> = MemStore::new(2_000);
+        let mut shadow: std::collections::BTreeMap<u64, (u64, bool)> = Default::default();
+        let mut clock = 0u64;
+        for &(op, key, size) in &ops {
+            clock += 1;
+            let now = SimTime::from_secs(clock);
+            match op {
+                0 => {
+                    if shadow.contains_key(&key) {
+                        continue;
+                    }
+                    let migrated = size % 2 == 0;
+                    let residency = if migrated { Residency::Migrated } else { Residency::Pinned };
+                    if m.insert(now, key, size, residency).is_ok() {
+                        shadow.insert(key, (size, migrated));
+                    }
+                }
+                _ => {
+                    let got = m.remove(now, &key);
+                    let want = shadow.remove(&key).map(|(s, _)| s);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            let want_used: u64 = shadow.values().map(|&(s, _)| s).sum();
+            let want_migrated: u64 =
+                shadow.values().filter(|&&(_, mig)| mig).map(|&(s, _)| s).sum();
+            prop_assert_eq!(m.used(), want_used);
+            prop_assert_eq!(m.migrated_used(), want_migrated);
+            prop_assert!(m.used() <= m.capacity());
+        }
+    }
+}

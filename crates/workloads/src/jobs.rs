@@ -1,0 +1,79 @@
+//! Standalone job models: sort and wordcount (paper §IV-B2, Table III,
+//! Fig. 8).
+
+use ignem_compute::job::{JobInput, JobSpec};
+use ignem_simcore::units::GB;
+
+/// The paper's sort job: 40 GB of random text, shuffle-heavy and
+/// write-heavy ("jobs that have significant computation and write a lot of
+/// data"). Input ≈ shuffle ≈ output.
+///
+/// `input_files` are the DFS paths holding the dataset.
+pub fn sort_job(input_files: Vec<String>, input_bytes: u64, reducers: usize) -> JobSpec {
+    let mut j = JobSpec::new("sort", JobInput::DfsFiles(input_files));
+    j.shuffle_bytes = input_bytes;
+    j.output_bytes = input_bytes;
+    j.reducers = reducers.max(1);
+    // Sort mappers are pass-through partitioners: cheap CPU.
+    j.map_cpu_rate = 400e6;
+    // Reducers merge-sort their partition with spill/merge passes: the
+    // dominant non-read cost of sort (why even the all-in-RAM sort takes
+    // 75 s in the paper's Table III).
+    j.reduce_cpu_rate = 30e6;
+    j
+}
+
+/// The default sort dataset size (paper: "a 40GB dataset of random text").
+pub const SORT_INPUT_BYTES: u64 = 40 * GB;
+
+/// The paper's wordcount job over `input_bytes` of text (the Fig. 8 sweep
+/// varies this from 1 GB to 12 GB). Wordcount aggregates aggressively:
+/// tiny shuffle and output, CPU-bound map.
+pub fn wordcount_job(input_files: Vec<String>, input_bytes: u64) -> JobSpec {
+    let mut j = JobSpec::new("wordcount", JobInput::DfsFiles(input_files));
+    j.shuffle_bytes = (input_bytes / 100).max(1);
+    j.output_bytes = (input_bytes / 200).max(1);
+    j.reducers = 1;
+    // Java wordcount is CPU-bound: tokenising + hashmap updates.
+    j.map_cpu_rate = 35e6;
+    j.reduce_cpu_rate = 50e6;
+    j
+}
+
+/// The Fig. 8 sweep points (GB of wordcount input).
+pub const WORDCOUNT_SWEEP_GB: [u64; 6] = [1, 2, 4, 6, 8, 12];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_moves_its_input_through_shuffle_and_output() {
+        let j = sort_job(vec!["/sort/in".into()], 40 * GB, 48);
+        j.validate();
+        assert_eq!(j.shuffle_bytes, 40 * GB);
+        assert_eq!(j.output_bytes, 40 * GB);
+        assert_eq!(j.reducers, 48);
+    }
+
+    #[test]
+    fn wordcount_is_aggregation_shaped() {
+        let j = wordcount_job(vec!["/wc/in".into()], 4 * GB);
+        j.validate();
+        assert!(j.shuffle_bytes < j.output_bytes * 10);
+        assert!(j.shuffle_bytes < 4 * GB / 50);
+        assert!(j.map_cpu_rate < 100e6, "wordcount must be CPU-bound");
+    }
+
+    #[test]
+    fn sweep_covers_paper_range() {
+        assert_eq!(WORDCOUNT_SWEEP_GB.first(), Some(&1));
+        assert_eq!(WORDCOUNT_SWEEP_GB.last(), Some(&12));
+    }
+
+    #[test]
+    fn reducers_never_zero() {
+        let j = sort_job(vec!["/s".into()], GB, 0);
+        assert_eq!(j.reducers, 1);
+    }
+}

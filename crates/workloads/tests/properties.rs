@@ -1,0 +1,46 @@
+//! Property-based tests for the workload generators.
+
+use ignem_simcore::rng::SimRng;
+use ignem_simcore::time::SimDuration;
+use ignem_simcore::units::{GB, MB};
+use ignem_workloads::swim::{SwimConfig, SwimTrace};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any seed and any reasonable scale produce a trace honouring the
+    /// published SWIM invariants.
+    #[test]
+    fn swim_invariants_hold_for_any_seed(
+        seed in 0u64..1_000_000,
+        jobs in 40usize..300,
+    ) {
+        let cfg = SwimConfig {
+            jobs,
+            total_input: (jobs as u64) * 850 * MB, // paper's per-job average
+            largest: 24 * GB,
+            mean_interarrival: SimDuration::from_secs(8),
+            ..SwimConfig::default()
+        };
+        let t = SwimTrace::generate(&cfg, &mut SimRng::new(seed));
+        prop_assert_eq!(t.jobs.len(), jobs);
+        // Totals within a few percent of the target.
+        let total = t.total_input() as f64;
+        let want = cfg.total_input as f64;
+        prop_assert!((total - want).abs() / want < 0.06, "total off: {} vs {}", total, want);
+        // Small-job fraction within tolerance.
+        let frac = t.fraction_at_most(cfg.small_max);
+        prop_assert!((frac - 0.85).abs() < 0.05, "small fraction {}", frac);
+        // Nobody exceeds the stated maximum; shuffles never exceed inputs.
+        for j in &t.jobs {
+            prop_assert!(j.input_bytes <= cfg.largest);
+            prop_assert!(j.shuffle_bytes <= j.input_bytes);
+            prop_assert!(j.input_bytes >= 1);
+        }
+        // Arrivals are sorted.
+        for w in t.jobs.windows(2) {
+            prop_assert!(w[0].submit <= w[1].submit);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Failure-resilience demo (paper §III-A4/A5): master failover, slave
+//! restarts, whole-node failure, and dead-job reference cleanup — all
+//! injected mid-workload.
+//!
+//! ```text
+//! cargo run --release --example failure_injection
+//! ```
+
+use ignem_repro::cluster::prelude::*;
+use ignem_repro::compute::{JobInput, JobSpec, SubmitOptions};
+use ignem_repro::netsim::NodeId;
+use ignem_repro::simcore::time::{SimDuration, SimTime};
+use ignem_repro::simcore::units::{GB, MB};
+
+fn files_for(prefix: &str, total: u64) -> Vec<(String, u64)> {
+    (0..4)
+        .map(|i| (format!("{prefix}/part-{i}"), total / 4))
+        .collect()
+}
+
+fn job(name: &str, files: &[(String, u64)]) -> JobSpec {
+    let mut spec = JobSpec::new(
+        name,
+        JobInput::DfsFiles(files.iter().map(|(p, _)| p.clone()).collect()),
+    );
+    spec.submit = SubmitOptions::with_migration();
+    spec
+}
+
+fn run_with(label: &str, faults: Vec<(SimTime, Fault)>) {
+    let files_a = files_for("/a", 2 * GB);
+    let files_b = files_for("/b", 2 * GB);
+    let mut all = files_a.clone();
+    all.extend(files_b.clone());
+    let plan = vec![
+        PlannedJob::single("job-a", SimDuration::from_secs(1), job("job-a", &files_a)),
+        PlannedJob::single("job-b", SimDuration::from_secs(25), job("job-b", &files_b)),
+    ];
+    let mut cfg = ClusterConfig::default();
+    // A tight buffer so dead-job leftovers actually block the follower and
+    // force the threshold-triggered liveness cleanup.
+    cfg.ignem.buffer_capacity = 256 * MB;
+    cfg.ignem.cleanup_threshold = 0.5;
+    let m = World::new(cfg, FsMode::Ignem, &all, plan, faults).run();
+    println!("--- {label} ---");
+    for p in &m.plans {
+        println!("  {} finished in {:.1}s", p.name, p.duration);
+    }
+    println!(
+        "  slave stats: migrated {}, evicted {}, discarded {}, wasted {}, purges {}, liveness queries {}",
+        m.slave_stats.migrated,
+        m.slave_stats.evicted,
+        m.slave_stats.discarded,
+        m.slave_stats.wasted_reads,
+        m.slave_stats.purges,
+        m.slave_stats.liveness_queries
+    );
+    let leaked: f64 = m
+        .mem_series
+        .iter()
+        .filter_map(|s| s.last().map(|&(_, v)| v))
+        .sum();
+    println!("  migration buffer at end: {leaked:.0} bytes (must be 0)\n");
+    assert_eq!(leaked, 0.0, "migration buffer leaked");
+}
+
+fn main() {
+    println!("Every scenario must finish all surviving jobs with a clean buffer.\n");
+    run_with("no faults", vec![]);
+    run_with(
+        "master fails at t=5s (slaves purge reference lists)",
+        vec![(SimTime::from_secs(5), Fault::MasterFail)],
+    );
+    run_with(
+        "slaves on node0/node1 restart at t=6s (migrated data discarded)",
+        vec![
+            (SimTime::from_secs(6), Fault::SlaveRestart(NodeId(0))),
+            (SimTime::from_secs(6), Fault::SlaveRestart(NodeId(1))),
+        ],
+    );
+    run_with(
+        "node3 fails outright at t=8s (tasks re-executed, replicas dropped)",
+        vec![(SimTime::from_secs(8), Fault::NodeFail(NodeId(3)))],
+    );
+    run_with(
+        "job-a killed at t=2s, no evict ever sent (liveness cleanup reclaims)",
+        vec![(SimTime::from_secs(2), Fault::KillPlan(0))],
+    );
+    println!("All failure scenarios completed with zero leaked buffer bytes.");
+}

@@ -1,0 +1,61 @@
+//! The paper's §II feasibility analysis over (synthesised) Google-cluster
+//! trace statistics: is there enough lead-time, residual disk bandwidth and
+//! memory to migrate cold data? (Figs. 3–4.)
+//!
+//! ```text
+//! cargo run --release --example google_trace_analysis
+//! ```
+
+use ignem_repro::simcore::rng::SimRng;
+use ignem_repro::simcore::units::{GB, MB};
+use ignem_repro::workloads::google::{
+    GoogleTrace, GoogleTraceConfig, MemorySufficiency, UtilizationTimelines,
+};
+
+fn main() {
+    let cfg = GoogleTraceConfig::default();
+    let mut rng = SimRng::new(2011);
+    let trace = GoogleTrace::generate(&cfg, &mut rng);
+
+    let (mean, median) = trace.lead_time_stats();
+    println!("Lead-time (job queueing) statistics over {} jobs:", trace.jobs.len());
+    println!("  mean {mean:.1}s   median {median:.1}s   (paper: 8.8s / 1.8s)");
+
+    let frac = trace.lead_time_sufficiency();
+    println!(
+        "\nFig. 3 — lead-time sufficiency:\n  {:.1}% of jobs could migrate their whole input within their lead-time\n  (paper: 81%)",
+        frac * 100.0
+    );
+    let mut ratios = trace.read_to_lead_ratios();
+    print!("  read-time/lead-time percentiles: ");
+    for p in [25.0, 50.0, 75.0, 90.0] {
+        print!("p{p:.0}={:.2}  ", ratios.percentile(p));
+    }
+    println!();
+
+    let util = UtilizationTimelines::generate(&cfg, &mut rng);
+    let series = util.group_mean_timeline(40);
+    let peak = series.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "\nFig. 4 — disk utilisation over 24h across {} servers:\n  overall mean {:.1}% (paper: 3.1% daily)\n  peak of the 40-server mean {:.1}% (paper: at most ~5%)",
+        cfg.servers,
+        util.overall_mean() * 100.0,
+        peak * 100.0
+    );
+    let mem = MemorySufficiency::worst_case(50, 256 * MB, 128 * GB);
+    println!(
+        "\n§II-C2 — memory sufficiency (worst case):\n  {} tasks x {} MB blocks = {:.1} GB needed, {:.0}% of a {} GB server — {}",
+        mem.tasks_per_server,
+        mem.block_bytes / MB,
+        mem.required_bytes as f64 / GB as f64,
+        mem.ram_fraction() * 100.0,
+        mem.server_ram_bytes / GB,
+        if mem.is_sufficient() { "plenty of headroom" } else { "insufficient" }
+    );
+
+    println!(
+        "\nConclusion (paper §II): production clusters have abundant residual\n\
+         disk bandwidth, sufficient lead-time and spare memory — cold-data\n\
+         migration is feasible without a provisioning change."
+    );
+}

@@ -1,0 +1,92 @@
+//! The paper's core motivating scenario (§I): **recurring jobs over fresh,
+//! singly-read data** — log/click-stream ETL. Each run processes a new
+//! file that was written earlier, is too big to keep in memory, and is
+//! *cold* by the time the job reads it. Hot-data caching never helps here
+//! (every block is read exactly once); Ignem's proactive migration does.
+//!
+//! ```text
+//! cargo run --release --example recurring_etl [runs] [gb_per_run]
+//! ```
+
+use ignem_repro::cluster::prelude::*;
+use ignem_repro::compute::{JobInput, JobSpec, SubmitOptions};
+use ignem_repro::simcore::time::SimDuration;
+use ignem_repro::simcore::units::GB;
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(12);
+    let gb: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2);
+
+    // One fresh log batch per ETL run.
+    let files: Vec<(String, u64)> = (0..runs)
+        .map(|i| (format!("/logs/batch-{i:03}"), gb * GB))
+        .collect();
+
+    let plan = |migrate: bool| -> Vec<PlannedJob> {
+        files
+            .iter()
+            .enumerate()
+            .map(|(i, (path, _))| {
+                let mut spec = JobSpec::new(
+                    format!("etl-{i:03}"),
+                    JobInput::DfsFiles(vec![path.clone()]),
+                );
+                // Log parsing + sessionisation: moderate CPU, aggregated
+                // output (the 10:1+ input:output reduction §II-A cites).
+                spec.map_cpu_rate = 150e6;
+                spec.shuffle_bytes = gb * GB / 20;
+                spec.output_bytes = gb * GB / 50;
+                spec.reducers = 4;
+                if migrate {
+                    spec.submit = SubmitOptions::with_migration();
+                }
+                // A new batch lands every ~90 s.
+                PlannedJob::single(
+                    format!("etl-{i:03}"),
+                    SimDuration::from_secs(5 + 90 * i as u64),
+                    spec,
+                )
+            })
+            .collect()
+    };
+
+    println!(
+        "Recurring ETL: {runs} runs x {gb} GB of fresh, singly-read log data.\n\
+         Every block is read exactly once, so LRU/hot-data caching cannot\n\
+         help — the class of jobs PACMan leaves on the table (30% of tasks\n\
+         in its production workloads) and the one Ignem targets.\n"
+    );
+
+    let cfg = ClusterConfig::default();
+    let hdfs = World::new(cfg.clone(), FsMode::Hdfs, &files, plan(false), vec![]).run();
+    let ignem = World::new(cfg.clone(), FsMode::Ignem, &files, plan(true), vec![]).run();
+
+    println!(
+        "{:<8} {:>12} {:>12} {:>9}",
+        "run", "HDFS(s)", "Ignem(s)", "speedup"
+    );
+    for (h, i) in hdfs.plans.iter().zip(&ignem.plans) {
+        println!(
+            "{:<8} {:>12.1} {:>12.1} {:>8.1}%",
+            h.name,
+            h.duration,
+            i.duration,
+            (1.0 - i.duration / h.duration) * 100.0
+        );
+    }
+    println!(
+        "\nmean ETL run: HDFS {:.1}s -> Ignem {:.1}s ({:.1}% faster)\n\
+         memory reads under Ignem: {:.0}%  (every hit is a block that was\n\
+         migrated during the run's lead-time and read exactly once)",
+        hdfs.mean_plan_duration(),
+        ignem.mean_plan_duration(),
+        ignem.speedup_vs(&hdfs) * 100.0,
+        ignem.memory_read_fraction() * 100.0
+    );
+}

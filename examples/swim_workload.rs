@@ -1,0 +1,91 @@
+//! The paper's headline experiment: the 200-job SWIM/Facebook trace under
+//! HDFS, Ignem and HDFS-Inputs-in-RAM (Tables I–II, Figs. 5–6).
+//!
+//! ```text
+//! cargo run --release --example swim_workload [jobs] [seed]
+//! ```
+
+use ignem_repro::cluster::config::{ClusterConfig, FsMode};
+use ignem_repro::cluster::experiment::run_swim;
+use ignem_repro::cluster::metrics::RunMetrics;
+use ignem_repro::simcore::rng::SimRng;
+use ignem_repro::simcore::units::GB;
+use ignem_repro::workloads::swim::{SizeBin, SwimConfig, SwimTrace};
+
+fn bins(m: &RunMetrics) -> [f64; 3] {
+    let mut sum = [0.0; 3];
+    let mut cnt = [0usize; 3];
+    for p in &m.plans {
+        let k = match SizeBin::of(p.input_bytes) {
+            SizeBin::Small => 0,
+            SizeBin::Medium => 1,
+            SizeBin::Large => 2,
+        };
+        sum[k] += p.duration;
+        cnt[k] += 1;
+    }
+    [0, 1, 2].map(|k| if cnt[k] > 0 { sum[k] / cnt[k] as f64 } else { 0.0 })
+}
+
+fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20180615);
+
+    let swim_cfg = SwimConfig {
+        jobs,
+        total_input: (170 * GB) * jobs as u64 / 200,
+        ..SwimConfig::default()
+    };
+    let trace = SwimTrace::generate(&swim_cfg, &mut SimRng::new(seed));
+    println!(
+        "SWIM trace: {} jobs, {:.0} GB total input, largest {:.1} GB, {:.0}% small\n",
+        trace.jobs.len(),
+        trace.total_input() as f64 / GB as f64,
+        trace.largest_input() as f64 / GB as f64,
+        trace.fraction_at_most(64_000_000) * 100.0
+    );
+
+    let cfg = ClusterConfig { seed, ..ClusterConfig::default() };
+    let hdfs = run_swim(&cfg, FsMode::Hdfs, &trace, None);
+    let ignem = run_swim(&cfg, FsMode::Ignem, &trace, None);
+    let ram = run_swim(&cfg, FsMode::HdfsInputsInRam, &trace, None);
+
+    println!("{:<20} {:>10} {:>10} {:>10} {:>9}", "config", "job(s)", "map(s)", "read(s)", "mem-frac");
+    for (mode, m) in [("HDFS", &hdfs), ("Ignem", &ignem), ("Inputs-in-RAM", &ram)] {
+        println!(
+            "{mode:<20} {:>10.2} {:>10.2} {:>10.2} {:>8.0}%",
+            m.mean_plan_duration(),
+            m.mean_map_task_secs(),
+            m.mean_block_read_secs(),
+            m.memory_read_fraction() * 100.0
+        );
+    }
+    println!(
+        "\nSpeedup vs HDFS:  Ignem {:.1}% (paper 12%)   Inputs-in-RAM {:.1}% (paper 21%)",
+        ignem.speedup_vs(&hdfs) * 100.0,
+        ram.speedup_vs(&hdfs) * 100.0
+    );
+
+    let (bh, bi, br) = (bins(&hdfs), bins(&ignem), bins(&ram));
+    println!("\nBy input-size bin (Fig. 5):");
+    for (k, label) in ["<=64MB", "64-512MB", ">512MB"].iter().enumerate() {
+        println!(
+            "  {label:<10} Ignem {:>5.1}%   Inputs-in-RAM {:>5.1}%",
+            (1.0 - bi[k] / bh[k]) * 100.0,
+            (1.0 - br[k] / bh[k]) * 100.0
+        );
+    }
+    println!(
+        "\nIgnem stats: {} blocks migrated, {} deduped, {} discarded (missed reads), {} evicted",
+        ignem.slave_stats.migrated,
+        ignem.slave_stats.deduped,
+        ignem.slave_stats.discarded,
+        ignem.slave_stats.evicted
+    );
+}

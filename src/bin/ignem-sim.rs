@@ -1,0 +1,171 @@
+//! `ignem-sim` — run simulated Ignem experiments from the command line.
+//!
+//! ```text
+//! ignem-sim swim      [--jobs N] [--mode M] [--seed S] [--policy sjf|fifo]
+//! ignem-sim sort      [--gb N]   [--mode M]
+//! ignem-sim wordcount [--gb N]   [--mode M] [--extra-lead SECS] [--contended]
+//! ignem-sim hive      [--mode M]
+//!
+//! M: hdfs | ignem | ram            (default: ignem)
+//! ```
+
+use ignem_repro::cluster::config::{ClusterConfig, FsMode};
+use ignem_repro::cluster::experiment::{run_hive, run_sort, run_swim, run_wordcount};
+use ignem_repro::cluster::metrics::RunMetrics;
+use ignem_repro::core::policy::Policy;
+use ignem_repro::simcore::rng::SimRng;
+use ignem_repro::simcore::time::SimDuration;
+use ignem_repro::simcore::units::GB;
+use ignem_repro::storage::device::DeviceProfile;
+use ignem_repro::workloads::swim::{SwimConfig, SwimTrace};
+use ignem_repro::workloads::tpcds::fig9_queries;
+
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let value = raw
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), value));
+            }
+            i += 1;
+        }
+        Args { flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn mode(&self) -> FsMode {
+        match self.get("mode").unwrap_or("ignem") {
+            "hdfs" => FsMode::Hdfs,
+            "ram" | "inputs-in-ram" => FsMode::HdfsInputsInRam,
+            "ignem" => FsMode::Ignem,
+            other => {
+                eprintln!("unknown mode: {other} (hdfs|ignem|ram)");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn print_summary(label: &str, m: &RunMetrics) {
+    println!("== {label} ==");
+    println!("  jobs finished        {}", m.plans.len());
+    println!("  mean job duration    {:.2}s", m.mean_plan_duration());
+    println!("  mean map task        {:.2}s", m.mean_map_task_secs());
+    println!("  mean block read      {:.3}s", m.mean_block_read_secs());
+    println!(
+        "  memory-read fraction {:.0}%",
+        m.memory_read_fraction() * 100.0
+    );
+    println!("  makespan             {:.0}s", m.makespan.as_secs_f64());
+    if m.slave_stats.migrated > 0 {
+        println!(
+            "  migration            {} blocks ({:.1} GB), {} deduped, {} discarded, {} evicted",
+            m.slave_stats.migrated,
+            m.slave_stats.migrated_bytes as f64 / 1e9,
+            m.slave_stats.deduped,
+            m.slave_stats.discarded,
+            m.slave_stats.evicted
+        );
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        eprintln!("usage: ignem-sim <swim|sort|wordcount|hive> [flags]   (see --help)");
+        std::process::exit(2);
+    };
+    let args = Args::parse(&raw[1..]);
+    if args.has("help") {
+        println!("see the module docs at the top of src/bin/ignem-sim.rs");
+        return;
+    }
+    let mut cfg = ClusterConfig::default();
+    cfg.seed = args.num("seed", 20180615u64);
+    if args.has("contended") {
+        cfg.disk = DeviceProfile::hdd_contended();
+    }
+    let mode = args.mode();
+
+    match cmd.as_str() {
+        "swim" => {
+            let jobs: usize = args.num("jobs", 200);
+            let swim_cfg = SwimConfig {
+                jobs,
+                total_input: (170 * GB) * jobs as u64 / 200,
+                ..SwimConfig::default()
+            };
+            let trace = SwimTrace::generate(&swim_cfg, &mut SimRng::new(cfg.seed));
+            let policy = match args.get("policy") {
+                Some("fifo") => Some(Policy::Fifo),
+                Some("sjf") | None => None,
+                Some(other) => {
+                    eprintln!("unknown policy: {other} (sjf|fifo)");
+                    std::process::exit(2);
+                }
+            };
+            let m = run_swim(&cfg, mode, &trace, policy);
+            print_summary(&format!("SWIM {jobs} jobs under {mode}"), &m);
+        }
+        "sort" => {
+            let gb: u64 = args.num("gb", 40);
+            let m = run_sort(&cfg, mode, gb * GB);
+            print_summary(&format!("sort {gb}GB under {mode}"), &m);
+        }
+        "wordcount" => {
+            let gb: u64 = args.num("gb", 4);
+            let lead: u64 = args.num("extra-lead", 0);
+            let m = run_wordcount(&cfg, mode, gb, SimDuration::from_secs(lead));
+            print_summary(
+                &format!("wordcount {gb}GB (+{lead}s lead) under {mode}"),
+                &m,
+            );
+        }
+        "hive" => {
+            let queries = fig9_queries();
+            let m = run_hive(&cfg, mode, &queries);
+            print_summary(&format!("{} TPC-DS queries under {mode}", queries.len()), &m);
+            for p in &m.plans {
+                println!(
+                    "    {:<5} input {:>5.1}GB  {:>6.1}s",
+                    p.name,
+                    p.input_bytes as f64 / 1e9,
+                    p.duration
+                );
+            }
+        }
+        other => {
+            eprintln!("unknown command: {other} (swim|sort|wordcount|hive)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # ignem-repro — Ignem, reproduced in Rust
+//!
+//! A full, from-scratch reproduction of **"Ignem: Upward Migration of Cold
+//! Data in Big Data File Systems"** (Dzinamarira, Dinu, Ng — ICDCS 2018) as
+//! a deterministic discrete-event simulation of the paper's entire stack.
+//!
+//! The facade re-exports every crate of the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`simcore`] | `ignem-simcore` | DES engine, fluid-flow resources, stats |
+//! | [`storage`] | `ignem-storage` | HDD/SSD/RAM models, memory store |
+//! | [`netsim`] | `ignem-netsim` | NIC fabric |
+//! | [`dfs`] | `ignem-dfs` | HDFS-like NameNode + read planning |
+//! | [`core`] | `ignem-core` | **Ignem itself**: master, slaves, policies |
+//! | [`compute`] | `ignem-compute` | YARN/Tez-like scheduler + jobs |
+//! | [`workloads`] | `ignem-workloads` | SWIM, Google trace, sort/wc, TPC-DS |
+//! | [`cluster`] | `ignem-cluster` | the integrated simulator + experiments |
+//! | `bench` | `ignem-bench` | every table & figure of the paper |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ignem_repro::cluster::prelude::*;
+//! use ignem_repro::compute::{JobInput, JobSpec, SubmitOptions};
+//! use ignem_repro::simcore::time::SimDuration;
+//!
+//! // One cold 1 GB job, with and without Ignem.
+//! let files = vec![("/logs/day1".to_string(), 1u64 << 30)];
+//! let job = |migrate: bool| {
+//!     let mut spec = JobSpec::new("scan", JobInput::DfsFiles(vec!["/logs/day1".into()]));
+//!     if migrate { spec.submit = SubmitOptions::with_migration(); }
+//!     vec![PlannedJob::single("scan", SimDuration::from_secs(1), spec)]
+//! };
+//! let cfg = ClusterConfig::default();
+//! let hdfs = World::new(cfg.clone(), FsMode::Hdfs, &files, job(false), vec![]).run();
+//! let ignem = World::new(cfg, FsMode::Ignem, &files, job(true), vec![]).run();
+//! assert!(ignem.mean_plan_duration() < hdfs.mean_plan_duration());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ignem_bench as bench;
+pub use ignem_cluster as cluster;
+pub use ignem_compute as compute;
+pub use ignem_core as core;
+pub use ignem_dfs as dfs;
+pub use ignem_netsim as netsim;
+pub use ignem_simcore as simcore;
+pub use ignem_storage as storage;
+pub use ignem_workloads as workloads;

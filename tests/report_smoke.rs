@@ -1,0 +1,44 @@
+//! Smoke tests for the report harness: sections render, CSVs land on disk,
+//! and repeated generation is byte-identical (the reproducibility promise
+//! EXPERIMENTS.md makes).
+
+use ignem_repro::bench::Report;
+
+fn out_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ignem-report-smoke-{tag}"))
+}
+
+#[test]
+fn table1_renders_and_writes_csv() {
+    let dir = out_dir("t1");
+    let mut r = Report::new(&dir);
+    let s = r.table1();
+    assert_eq!(s.id, "table1");
+    assert!(s.text.contains("HDFS"));
+    assert!(s.text.contains("Ignem"));
+    let csv = std::fs::read_to_string(dir.join("table1_swim_job_duration.csv")).unwrap();
+    assert!(csv.starts_with("config,mean_job_secs,speedup_vs_hdfs_pct"));
+    assert_eq!(csv.lines().count(), 4);
+}
+
+#[test]
+fn report_generation_is_reproducible() {
+    let (da, db) = (out_dir("a"), out_dir("b"));
+    let mut a = Report::new(&da);
+    let mut b = Report::new(&db);
+    assert_eq!(a.table1().text, b.table1().text);
+    assert_eq!(a.fig3().text, b.fig3().text);
+    let ca = std::fs::read_to_string(da.join("fig3_read_to_lead_cdf.csv")).unwrap();
+    let cb = std::fs::read_to_string(db.join("fig3_read_to_lead_cdf.csv")).unwrap();
+    assert_eq!(ca, cb);
+}
+
+#[test]
+fn ablation_sections_render() {
+    let mut r = Report::new(out_dir("abl"));
+    let s = r.ablation_eviction();
+    assert!(s.text.contains("explicit"));
+    assert!(s.text.contains("implicit"));
+    let s = r.extension_caching();
+    assert!(s.text.contains("LRU cache"));
+}
