@@ -1,13 +1,16 @@
-//! Criterion benches, one per table/figure of the paper.
+//! Timing benches, one per table/figure of the paper.
 //!
 //! Each bench measures the wall-clock cost of regenerating the experiment
 //! (the simulation itself is the system under test here; the *results* of
 //! the experiments are produced by the `report` binary and recorded in
 //! `EXPERIMENTS.md`). Workload sizes are scaled down so `cargo bench`
 //! completes quickly; the report binary runs the full-size versions.
+//!
+//! A minimal self-contained harness (`harness = false`) keeps the build
+//! free of external crates: the repository must compile fully offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use ignem_cluster::config::{ClusterConfig, FsMode};
 use ignem_cluster::experiment::{run_hive, run_read_micro, run_sort, run_swim, run_wordcount};
@@ -20,6 +23,18 @@ use ignem_workloads::google::{GoogleTrace, GoogleTraceConfig, UtilizationTimelin
 use ignem_workloads::swim::{SwimConfig, SwimTrace};
 use ignem_workloads::tpcds::fig9_queries;
 
+const ITERS: u32 = 5;
+
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    black_box(f()); // warm-up
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        black_box(f());
+    }
+    let per_ms = start.elapsed().as_secs_f64() * 1e3 / ITERS as f64;
+    println!("{name:<52} {per_ms:>10.3} ms/iter ({ITERS} iters)");
+}
+
 fn small_trace() -> SwimTrace {
     let cfg = SwimConfig {
         jobs: 60,
@@ -29,146 +44,105 @@ fn small_trace() -> SwimTrace {
     SwimTrace::generate(&cfg, &mut SimRng::new(20180615))
 }
 
-fn bench_fig1_fig2(c: &mut Criterion) {
+fn bench_fig1_fig2() {
     let cfg = ClusterConfig::default();
-    let mut g = c.benchmark_group("fig1_fig2_block_reads");
-    g.sample_size(10);
-    g.bench_function("hdd", |b| {
-        b.iter(|| black_box(run_read_micro(&cfg, FsMode::Hdfs, 12, 4)))
+    bench("fig1_fig2_block_reads/hdd", || {
+        run_read_micro(&cfg, FsMode::Hdfs, 12, 4)
     });
     let mut ssd_cfg = cfg.clone();
     ssd_cfg.disk = DeviceProfile::ssd();
-    g.bench_function("ssd", |b| {
-        b.iter(|| black_box(run_read_micro(&ssd_cfg, FsMode::Hdfs, 12, 4)))
+    bench("fig1_fig2_block_reads/ssd", || {
+        run_read_micro(&ssd_cfg, FsMode::Hdfs, 12, 4)
     });
-    g.bench_function("ram", |b| {
-        b.iter(|| black_box(run_read_micro(&cfg, FsMode::HdfsInputsInRam, 12, 4)))
+    bench("fig1_fig2_block_reads/ram", || {
+        run_read_micro(&cfg, FsMode::HdfsInputsInRam, 12, 4)
     });
-    g.finish();
 }
 
-fn bench_fig3_fig4_google(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_fig4_google_trace");
-    g.sample_size(10);
+fn bench_fig3_fig4_google() {
     let trace_cfg = GoogleTraceConfig {
         jobs: 5_000,
         servers: 50,
         ..GoogleTraceConfig::default()
     };
-    g.bench_function("fig3_lead_time_analysis", |b| {
-        b.iter(|| {
-            let t = GoogleTrace::generate(&trace_cfg, &mut SimRng::new(1));
-            black_box(t.lead_time_sufficiency())
-        })
+    bench("fig3_lead_time_analysis", || {
+        let t = GoogleTrace::generate(&trace_cfg, &mut SimRng::new(1));
+        t.lead_time_sufficiency()
     });
-    g.bench_function("fig4_utilization_timelines", |b| {
-        b.iter(|| {
-            let u = UtilizationTimelines::generate(&trace_cfg, &mut SimRng::new(2));
-            black_box(u.overall_mean())
-        })
+    bench("fig4_utilization_timelines", || {
+        let u = UtilizationTimelines::generate(&trace_cfg, &mut SimRng::new(2));
+        u.overall_mean()
     });
-    g.finish();
 }
 
-fn bench_table1_table2_swim(c: &mut Criterion) {
+fn bench_table1_table2_swim() {
     let cfg = ClusterConfig::default();
     let trace = small_trace();
-    let mut g = c.benchmark_group("table1_table2_fig5_fig6_fig7_swim");
-    g.sample_size(10);
     for (name, mode) in [
         ("hdfs", FsMode::Hdfs),
         ("ignem", FsMode::Ignem),
         ("inputs_in_ram", FsMode::HdfsInputsInRam),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(run_swim(&cfg, mode, &trace, None)))
+        bench(&format!("table1_table2_fig5_fig6_fig7_swim/{name}"), || {
+            run_swim(&cfg, mode, &trace, None)
         });
     }
-    g.finish();
 }
 
-fn bench_ablation_priority(c: &mut Criterion) {
+fn bench_ablation_priority() {
     let cfg = ClusterConfig::default();
     let trace = small_trace();
-    let mut g = c.benchmark_group("ablation_priority_swim");
-    g.sample_size(10);
-    g.bench_function("smallest_job_first", |b| {
-        b.iter(|| {
-            black_box(run_swim(
-                &cfg,
-                FsMode::Ignem,
-                &trace,
-                Some(Policy::SmallestJobFirst),
-            ))
-        })
+    bench("ablation_priority_swim/smallest_job_first", || {
+        run_swim(&cfg, FsMode::Ignem, &trace, Some(Policy::SmallestJobFirst))
     });
-    g.bench_function("fifo", |b| {
-        b.iter(|| black_box(run_swim(&cfg, FsMode::Ignem, &trace, Some(Policy::Fifo))))
+    bench("ablation_priority_swim/fifo", || {
+        run_swim(&cfg, FsMode::Ignem, &trace, Some(Policy::Fifo))
     });
-    g.finish();
 }
 
-fn bench_table3_sort(c: &mut Criterion) {
+fn bench_table3_sort() {
     let cfg = ClusterConfig::default();
-    let mut g = c.benchmark_group("table3_sort");
-    g.sample_size(10);
     for (name, mode) in [
         ("hdfs", FsMode::Hdfs),
         ("ignem", FsMode::Ignem),
         ("inputs_in_ram", FsMode::HdfsInputsInRam),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(run_sort(&cfg, mode, 8 * GB)))
+        bench(&format!("table3_sort/{name}"), || {
+            run_sort(&cfg, mode, 8 * GB)
         });
     }
-    g.finish();
 }
 
-fn bench_fig8_wordcount(c: &mut Criterion) {
-    let mut cfg = ClusterConfig::default();
-    cfg.disk = DeviceProfile::hdd_contended();
-    let mut g = c.benchmark_group("fig8_wordcount");
-    g.sample_size(10);
+fn bench_fig8_wordcount() {
+    let cfg = ClusterConfig {
+        disk: DeviceProfile::hdd_contended(),
+        ..ClusterConfig::default()
+    };
     for gb in [2u64, 6] {
-        g.bench_function(format!("ignem_{gb}gb"), |b| {
-            b.iter(|| black_box(run_wordcount(&cfg, FsMode::Ignem, gb, SimDuration::ZERO)))
+        bench(&format!("fig8_wordcount/ignem_{gb}gb"), || {
+            run_wordcount(&cfg, FsMode::Ignem, gb, SimDuration::ZERO)
         });
-        g.bench_function(format!("ignem_plus10s_{gb}gb"), |b| {
-            b.iter(|| {
-                black_box(run_wordcount(
-                    &cfg,
-                    FsMode::Ignem,
-                    gb,
-                    SimDuration::from_secs(10),
-                ))
-            })
+        bench(&format!("fig8_wordcount/ignem_plus10s_{gb}gb"), || {
+            run_wordcount(&cfg, FsMode::Ignem, gb, SimDuration::from_secs(10))
         });
     }
-    g.finish();
 }
 
-fn bench_fig9_hive(c: &mut Criterion) {
+fn bench_fig9_hive() {
     let cfg = ClusterConfig::default();
     let queries: Vec<_> = fig9_queries().into_iter().take(3).collect();
-    let mut g = c.benchmark_group("fig9_hive");
-    g.sample_size(10);
-    g.bench_function("hdfs", |b| {
-        b.iter(|| black_box(run_hive(&cfg, FsMode::Hdfs, &queries)))
+    bench("fig9_hive/hdfs", || run_hive(&cfg, FsMode::Hdfs, &queries));
+    bench("fig9_hive/ignem", || {
+        run_hive(&cfg, FsMode::Ignem, &queries)
     });
-    g.bench_function("ignem", |b| {
-        b.iter(|| black_box(run_hive(&cfg, FsMode::Ignem, &queries)))
-    });
-    g.finish();
 }
 
-criterion_group!(
-    paper,
-    bench_fig1_fig2,
-    bench_fig3_fig4_google,
-    bench_table1_table2_swim,
-    bench_ablation_priority,
-    bench_table3_sort,
-    bench_fig8_wordcount,
-    bench_fig9_hive
-);
-criterion_main!(paper);
+fn main() {
+    bench_fig1_fig2();
+    bench_fig3_fig4_google();
+    bench_table1_table2_swim();
+    bench_ablation_priority();
+    bench_table3_sort();
+    bench_fig8_wordcount();
+    bench_fig9_hive();
+}

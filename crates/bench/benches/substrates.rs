@@ -1,10 +1,14 @@
 //! Microbenchmarks of the substrate data structures: the costs that bound
 //! how large a cluster/workload the simulator can handle.
+//!
+//! A minimal self-contained harness (`harness = false`) keeps the build
+//! free of external crates: the repository must compile fully offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-use ignem_core::command::{EvictionMode, JobId, MigrateCommand};
+use ignem_core::command::{EvictionMode, JobId, MigrateCommand, MigrateRequest};
+use ignem_core::master::IgnemMaster;
 use ignem_core::policy::Policy;
 use ignem_core::slave::{IgnemConfig, IgnemSlave, SlaveAction};
 use ignem_dfs::block::BlockId;
@@ -14,118 +18,117 @@ use ignem_simcore::event::Engine;
 use ignem_simcore::flow::{FlowId, FlowResource};
 use ignem_simcore::rng::SimRng;
 use ignem_simcore::time::{SimDuration, SimTime};
-use ignem_storage::memstore::MemStore;
+use ignem_storage::memstore::{MemStore, Residency};
 
-fn bench_engine_throughput(c: &mut Criterion) {
-    c.bench_function("engine_schedule_pop_10k", |b| {
-        b.iter(|| {
-            let mut e: Engine<u64> = Engine::new(0);
-            for i in 0..10_000u64 {
-                e.schedule_at(SimTime::from_micros(i * 7 % 10_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some(v) = e.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
+const ITERS: u32 = 20;
+
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    black_box(f()); // warm-up
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        black_box(f());
+    }
+    let per_us = start.elapsed().as_secs_f64() * 1e6 / ITERS as f64;
+    println!("{name:<44} {per_us:>12.1} us/iter ({ITERS} iters)");
+}
+
+fn bench_engine_throughput() {
+    bench("engine_schedule_pop_10k", || {
+        let mut e: Engine<u64> = Engine::new(0);
+        for i in 0..10_000u64 {
+            e.schedule_at(SimTime::from_micros(i * 7 % 10_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some(v) = e.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        sum
     });
 }
 
-fn bench_flow_resource(c: &mut Criterion) {
-    c.bench_function("flow_resource_64_concurrent", |b| {
-        b.iter(|| {
-            let mut r = FlowResource::new(140e6, 0.5);
-            for i in 0..64u64 {
-                r.add(
-                    SimTime::ZERO,
-                    FlowId(i),
-                    (1 + i) as f64 * 1e6,
-                    SimDuration::from_millis(8),
-                );
-            }
-            let mut done = 0;
-            while let Some(t) = r.next_event() {
-                done += r.advance(t).len();
-            }
-            black_box(done)
-        })
+fn bench_flow_resource() {
+    bench("flow_resource_64_concurrent", || {
+        let mut r = FlowResource::new(140e6, 0.5);
+        for i in 0..64u64 {
+            r.add(
+                SimTime::ZERO,
+                FlowId(i),
+                (1 + i) as f64 * 1e6,
+                SimDuration::from_millis(8),
+            );
+        }
+        let mut done = 0;
+        while let Some(t) = r.next_event() {
+            done += r.advance(t).len();
+        }
+        done
     });
 }
 
-fn bench_namenode_placement(c: &mut Criterion) {
-    c.bench_function("namenode_create_1000_blocks", |b| {
-        b.iter(|| {
-            let mut nn = NameNode::new(DfsConfig::default());
-            for n in 0..8 {
-                nn.register_node(NodeId(n));
-            }
-            let mut rng = SimRng::new(1);
-            nn.create_file("/big", 1000 * (64 << 20), &mut rng).unwrap();
-            black_box(nn.block_count())
-        })
+fn bench_namenode_placement() {
+    bench("namenode_create_1000_blocks", || {
+        let mut nn = NameNode::new(DfsConfig::default());
+        for n in 0..8 {
+            nn.register_node(NodeId(n));
+        }
+        let mut rng = SimRng::new(1);
+        nn.create_file("/big", 1000 * (64 << 20), &mut rng).unwrap();
+        nn.block_count()
     });
 }
 
-fn bench_slave_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("slave_queue_drain_500");
+fn bench_slave_queue() {
     for (name, policy) in [
         ("smallest_job_first", Policy::SmallestJobFirst),
         ("fifo", Policy::Fifo),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut slave = IgnemSlave::new(
-                    NodeId(0),
-                    IgnemConfig {
-                        policy,
-                        ..IgnemConfig::default()
-                    },
-                );
-                let mut mem: MemStore<BlockId> = MemStore::new(1 << 40);
-                let cmds: Vec<MigrateCommand> = (0..500u64)
-                    .map(|i| MigrateCommand {
-                        job: JobId(i % 50),
-                        block: BlockId(i),
-                        bytes: 64 << 20,
-                        mode: EvictionMode::Explicit,
-                        job_input_bytes: (i % 50 + 1) * (64 << 20),
-                        submitted: SimTime::from_micros(i),
-                    })
-                    .collect();
-                let mut actions = slave.enqueue(SimTime::ZERO, cmds, &mut mem);
-                let mut migrated = 0;
-                let mut clock = 1u64;
-                while let Some(SlaveAction::StartRead { block, .. }) = actions
-                    .iter()
-                    .find(|a| matches!(a, SlaveAction::StartRead { .. }))
-                    .cloned()
-                {
-                    migrated += 1;
-                    actions = slave.on_read_done(SimTime::from_secs(clock), block, &mut mem);
-                    clock += 1;
-                    // Keep the buffer from filling: evict each job as soon
-                    // as its block lands.
-                    if mem.available() < (64 << 20) {
-                        for j in 0..50 {
-                            slave.on_evict_job(SimTime::from_secs(clock), JobId(j), &mut mem);
-                        }
+        bench(&format!("slave_queue_drain_500/{name}"), || {
+            let mut slave = IgnemSlave::new(
+                NodeId(0),
+                IgnemConfig {
+                    policy,
+                    ..IgnemConfig::default()
+                },
+            );
+            let mut mem: MemStore<BlockId> = MemStore::new(1 << 40);
+            let cmds: Vec<MigrateCommand> = (0..500u64)
+                .map(|i| MigrateCommand {
+                    job: JobId(i % 50),
+                    block: BlockId(i),
+                    bytes: 64 << 20,
+                    mode: EvictionMode::Explicit,
+                    job_input_bytes: (i % 50 + 1) * (64 << 20),
+                    submitted: SimTime::from_micros(i),
+                })
+                .collect();
+            let mut actions = slave.enqueue(SimTime::ZERO, cmds, &mut mem);
+            let mut migrated = 0;
+            let mut clock = 1u64;
+            while let Some(SlaveAction::StartRead { block, .. }) = actions
+                .iter()
+                .find(|a| matches!(a, SlaveAction::StartRead { .. }))
+                .cloned()
+            {
+                migrated += 1;
+                actions = slave.on_read_done(SimTime::from_secs(clock), block, &mut mem);
+                clock += 1;
+                // Keep the buffer from filling: evict each job as soon
+                // as its block lands.
+                if mem.available() < (64 << 20) {
+                    for j in 0..50 {
+                        slave.on_evict_job(SimTime::from_secs(clock), JobId(j), &mut mem);
                     }
                 }
-                black_box(migrated)
-            })
+            }
+            migrated
         });
     }
-    g.finish();
 }
 
-fn bench_master_scalability(c: &mut Criterion) {
+fn bench_master_scalability() {
     // §III-A6: "Can Ignem scale?" — the master's per-request work is file →
     // block resolution + replica choice + batching. Measure a 1000-block
     // migrate request against a populated namespace.
-    use ignem_core::command::{EvictionMode, MigrateRequest};
-    use ignem_core::master::IgnemMaster;
-
     let mut nn = NameNode::new(DfsConfig::default());
     for n in 0..64 {
         nn.register_node(NodeId(n));
@@ -135,45 +138,38 @@ fn bench_master_scalability(c: &mut Criterion) {
         nn.create_file(&format!("/warehouse/table-{i}"), 100 * (64 << 20), &mut rng)
             .unwrap();
     }
-    c.bench_function("master_migrate_1000_blocks", |b| {
-        b.iter(|| {
-            let mut master = IgnemMaster::new();
-            let req = MigrateRequest {
-                job: JobId(1),
-                files: (0..10).map(|i| format!("/warehouse/table-{i}")).collect(),
-                mode: EvictionMode::Explicit,
-                submitted: SimTime::ZERO,
-            };
-            let batches = master.handle_migrate(&req, &nn, &mut rng).unwrap();
-            black_box(batches.len())
-        })
+    bench("master_migrate_1000_blocks", || {
+        let mut master = IgnemMaster::new();
+        let req = MigrateRequest {
+            job: JobId(1),
+            files: (0..10).map(|i| format!("/warehouse/table-{i}")).collect(),
+            mode: EvictionMode::Explicit,
+            submitted: SimTime::ZERO,
+        };
+        let batches = master.handle_migrate(&req, &nn, &mut rng).unwrap();
+        batches.len()
     });
 }
 
-fn bench_memstore(c: &mut Criterion) {
-    use ignem_storage::memstore::Residency;
-    c.bench_function("memstore_insert_remove_1000", |b| {
-        b.iter(|| {
-            let mut m: MemStore<u64> = MemStore::new(1 << 40);
-            for i in 0..1000u64 {
-                m.insert(SimTime::from_micros(i), i, 64 << 20, Residency::Migrated)
-                    .unwrap();
-            }
-            for i in 0..1000u64 {
-                m.remove(SimTime::from_micros(1000 + i), &i);
-            }
-            black_box(m.len())
-        })
+fn bench_memstore() {
+    bench("memstore_insert_remove_1000", || {
+        let mut m: MemStore<u64> = MemStore::new(1 << 40);
+        for i in 0..1000u64 {
+            m.insert(SimTime::from_micros(i), i, 64 << 20, Residency::Migrated)
+                .unwrap();
+        }
+        for i in 0..1000u64 {
+            m.remove(SimTime::from_micros(1000 + i), &i);
+        }
+        m.len()
     });
 }
 
-criterion_group!(
-    substrates,
-    bench_engine_throughput,
-    bench_flow_resource,
-    bench_namenode_placement,
-    bench_slave_queue,
-    bench_master_scalability,
-    bench_memstore
-);
-criterion_main!(substrates);
+fn main() {
+    bench_engine_throughput();
+    bench_flow_resource();
+    bench_namenode_placement();
+    bench_slave_queue();
+    bench_master_scalability();
+    bench_memstore();
+}

@@ -8,9 +8,7 @@
 use std::path::Path;
 
 use ignem_cluster::config::{ClusterConfig, FsMode};
-use ignem_cluster::experiment::{
-    run_hive, run_read_micro, run_sort, run_swim, run_wordcount,
-};
+use ignem_cluster::experiment::{run_hive, run_read_micro, run_sort, run_swim, run_wordcount};
 use ignem_cluster::metrics::RunMetrics;
 use ignem_core::policy::Policy;
 use ignem_simcore::rng::SimRng;
@@ -55,8 +53,10 @@ struct SwimBundle {
 impl Report {
     /// Creates a report context writing CSVs under `out`.
     pub fn new(out: impl AsRef<Path>) -> Self {
-        let mut cfg = ClusterConfig::default();
-        cfg.seed = REPORT_SEED;
+        let cfg = ClusterConfig {
+            seed: REPORT_SEED,
+            ..ClusterConfig::default()
+        };
         let trace = SwimTrace::generate(&SwimConfig::default(), &mut SimRng::new(REPORT_SEED));
         Report {
             cfg,
@@ -111,7 +111,12 @@ impl Report {
                 ]);
             }
         }
-        write_csv(&self.out, "fig1_block_read_hist", &["medium", "lo_s", "hi_s", "freq"], &rows);
+        write_csv(
+            &self.out,
+            "fig1_block_read_hist",
+            &["medium", "lo_s", "hi_s", "freq"],
+            &rows,
+        );
 
         let text = format!(
             "Fig. 1 — 64MB block-read times under concurrent mappers\n\
@@ -137,14 +142,22 @@ impl Report {
                 rows.push(vec![name.to_string(), f(v, 4), f(p, 4)]);
             }
         }
-        write_csv(&self.out, "fig2_task_runtime_cdf", &["medium", "secs", "cdf"], &rows);
+        write_csv(
+            &self.out,
+            "fig2_task_runtime_cdf",
+            &["medium", "secs", "cdf"],
+            &rows,
+        );
         let mh = means[0].1;
         let mr = means[2].1;
         let text = format!(
             "Fig. 2 — mapper task runtime CDF\n\
              mean task: HDD {:.2}s  SSD {:.2}s  RAM {:.2}s\n\
              RAM tasks are {:.0}x faster than HDD (paper: ~23x)",
-            means[0].1, means[1].1, means[2].1, mh / mr
+            means[0].1,
+            means[1].1,
+            means[2].1,
+            mh / mr
         );
         Section { id: "fig2", text }
     }
@@ -163,10 +176,8 @@ impl Report {
     /// Fig. 3: lead-time sufficiency in the (synthetic) Google trace.
     /// Paper: 81% of jobs have lead-time ≥ read-time.
     pub fn fig3(&mut self) -> Section {
-        let trace = GoogleTrace::generate(
-            &GoogleTraceConfig::default(),
-            &mut SimRng::new(REPORT_SEED),
-        );
+        let trace =
+            GoogleTrace::generate(&GoogleTraceConfig::default(), &mut SimRng::new(REPORT_SEED));
         let sufficiency = trace.lead_time_sufficiency();
         let (mean_lead, median_lead) = trace.lead_time_stats();
         let mut ratios = trace.read_to_lead_ratios();
@@ -175,7 +186,12 @@ impl Report {
             .into_iter()
             .map(|(v, p)| vec![f(v, 5), f(p, 5)])
             .collect();
-        write_csv(&self.out, "fig3_read_to_lead_cdf", &["read_over_lead", "cdf"], &rows);
+        write_csv(
+            &self.out,
+            "fig3_read_to_lead_cdf",
+            &["read_over_lead", "cdf"],
+            &rows,
+        );
         let text = format!(
             "Fig. 3 — lead-time vs read-time (Google-trace statistics)\n\
              queueing time: mean {mean_lead:.1}s median {median_lead:.1}s (paper: 8.8 / 1.8)\n\
@@ -270,7 +286,13 @@ impl Report {
                 sum[k] += p.duration;
                 cnt[k] += 1;
             }
-            [0, 1, 2].map(|k| if cnt[k] > 0 { sum[k] / cnt[k] as f64 } else { 0.0 })
+            [0, 1, 2].map(|k| {
+                if cnt[k] > 0 {
+                    sum[k] / cnt[k] as f64
+                } else {
+                    0.0
+                }
+            })
         };
         let (bh, bi, br) = (bins(&b.hdfs), bins(&b.ignem), bins(&b.ram));
         let labels = ["<=64MB", "64-512MB", ">512MB"];
@@ -288,7 +310,14 @@ impl Report {
         write_csv(
             &out,
             "fig5_speedup_by_bin",
-            &["bin", "hdfs_s", "ignem_s", "ram_s", "ignem_speedup_pct", "ram_speedup_pct"],
+            &[
+                "bin",
+                "hdfs_s",
+                "ignem_s",
+                "ram_s",
+                "ignem_speedup_pct",
+                "ram_speedup_pct",
+            ],
             &rows,
         );
         let text = format!(
@@ -354,7 +383,12 @@ impl Report {
                 rows.push(vec![name.to_string(), f(v, 4), f(p, 4)]);
             }
         }
-        write_csv(&out, "fig6_block_read_cdf", &["config", "secs", "cdf"], &rows);
+        write_csv(
+            &out,
+            "fig6_block_read_cdf",
+            &["config", "secs", "cdf"],
+            &rows,
+        );
         let reduction = 1.0 - b.ignem.mean_block_read_secs() / b.hdfs.mean_block_read_secs();
         let text = format!(
             "Fig. 6 — SWIM block-read durations\n\
@@ -401,7 +435,12 @@ impl Report {
                 ]);
             }
         }
-        write_csv(&out, "fig7_memory_usage", &["scheme", "lo_gb", "hi_gb", "freq"], &rows);
+        write_csv(
+            &out,
+            "fig7_memory_usage",
+            &["scheme", "lo_gb", "hi_gb", "freq"],
+            &rows,
+        );
         let text = format!(
             "Fig. 7 — per-server migrated-memory footprint (nonzero samples)\n\
              Ignem mean {:.2} GB   hypothetical-instantaneous mean {:.2} GB\n\
@@ -584,8 +623,7 @@ impl Report {
         use ignem_core::command::EvictionMode;
         let hdfs = run_swim(&self.cfg, FsMode::Hdfs, &self.trace, None);
         let mut rows = Vec::new();
-        let mut text =
-            String::from("Ablation — concurrent migration reads per slave (paper: 1)\n");
+        let mut text = String::from("Ablation — concurrent migration reads per slave (paper: 1)\n");
         for k in [1usize, 2, 4, 8] {
             let mut cfg = self.cfg.clone();
             cfg.ignem.max_concurrent_migrations = k;
@@ -606,7 +644,12 @@ impl Report {
         write_csv(
             &self.out,
             "ablation_concurrency",
-            &["concurrent_migrations", "mean_job_secs", "speedup_pct", "mem_read_pct"],
+            &[
+                "concurrent_migrations",
+                "mean_job_secs",
+                "speedup_pct",
+                "mem_read_pct",
+            ],
             &rows,
         );
         Section {
@@ -668,8 +711,7 @@ impl Report {
         ] {
             let m = run_swim_with(&self.cfg, FsMode::Ignem, &self.trace, mode);
             let sp = m.speedup_vs(&hdfs) * 100.0;
-            let mean_occ =
-                RunMetrics::mean_nonzero_occupancy(&m.mem_series, m.makespan) / 1e9;
+            let mean_occ = RunMetrics::mean_nonzero_occupancy(&m.mem_series, m.makespan) / 1e9;
             rows.push(vec![
                 name.to_string(),
                 f(m.mean_plan_duration(), 2),
@@ -687,7 +729,9 @@ impl Report {
             &["mode", "mean_job_secs", "speedup_pct", "mean_occupancy_gb"],
             &rows,
         );
-        text.push_str("implicit eviction trades a sliver of re-read safety for a smaller footprint");
+        text.push_str(
+            "implicit eviction trades a sliver of re-read safety for a smaller footprint",
+        );
         Section {
             id: "ablation-eviction",
             text,
@@ -698,8 +742,7 @@ impl Report {
     /// sources. Longer heartbeats give Ignem more runway but slow everyone.
     pub fn ablation_heartbeat(&mut self) -> Section {
         let mut rows = Vec::new();
-        let mut text =
-            String::from("Ablation — scheduler heartbeat interval (lead-time source)\n");
+        let mut text = String::from("Ablation — scheduler heartbeat interval (lead-time source)\n");
         for secs in [1u64, 3, 6] {
             let mut cfg = self.cfg.clone();
             cfg.compute.heartbeat = SimDuration::from_secs(secs);
@@ -723,7 +766,13 @@ impl Report {
         write_csv(
             &self.out,
             "ablation_heartbeat",
-            &["heartbeat_s", "hdfs_s", "ignem_s", "speedup_pct", "mem_read_pct"],
+            &[
+                "heartbeat_s",
+                "hdfs_s",
+                "ignem_s",
+                "speedup_pct",
+                "mem_read_pct",
+            ],
             &rows,
         );
         Section {
@@ -737,9 +786,8 @@ impl Report {
     /// the workload's expected compute cost is identical across rows.
     pub fn ablation_jitter(&mut self) -> Section {
         let mut rows = Vec::new();
-        let mut text = String::from(
-            "Ablation — compute-time heterogeneity (mean-one log-normal jitter)\n",
-        );
+        let mut text =
+            String::from("Ablation — compute-time heterogeneity (mean-one log-normal jitter)\n");
         for sigma in [0.0f64, 0.3, 0.6] {
             let mut cfg = self.cfg.clone();
             cfg.compute.compute_jitter_sigma = sigma;

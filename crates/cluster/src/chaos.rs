@@ -1,0 +1,373 @@
+//! Chaos harness: randomized fault-plan generation and invariant checking.
+//!
+//! The harness turns one seed into a complete chaos experiment — a small
+//! Ignem workload, an unreliable control-plane channel and a randomized
+//! fault plan drawn from the full palette ([`Fault`]) — runs it with
+//! per-event invariant validation, and checks five end-state invariants:
+//!
+//! 1. **Do-not-harm**: every event leaves each slave's reference lists,
+//!    queue and memory accounting mutually consistent
+//!    ([`World::with_validation`] panics otherwise).
+//! 2. **Reference leak-freedom**: at the end of the run no alive slave
+//!    holds a reference entry — every migrated block was reclaimed.
+//! 3. **Memory conservation**: no migrated bytes remain resident at the
+//!    end; the migration buffer drained back to zero.
+//! 4. **Completion**: every plan that was not deliberately killed finishes,
+//!    as long as the fault plan leaves at least one replica of every block
+//!    alive (the generator caps node failures at `replication − 1`).
+//! 5. **Determinism**: two runs of the same `(seed, fault plan)` produce
+//!    bit-identical metrics (compared via [`fingerprint`]).
+//!
+//! ```
+//! use ignem_cluster::chaos::{run_chaos, ChaosConfig};
+//!
+//! let report = run_chaos(&ChaosConfig { seed: 7, ..ChaosConfig::default() });
+//! report.assert_invariants();
+//! ```
+
+use ignem_compute::job::{JobInput, JobSpec, SubmitOptions};
+use ignem_netsim::rpc::RpcConfig;
+use ignem_netsim::NodeId;
+use ignem_simcore::rng::SimRng;
+use ignem_simcore::time::{SimDuration, SimTime};
+use ignem_simcore::units::MIB;
+
+use crate::config::{ClusterConfig, FsMode};
+use crate::metrics::RunMetrics;
+use crate::world::{Fault, PlannedJob, World};
+
+/// Parameters of one chaos experiment. Everything downstream — workload,
+/// fault plan, channel behaviour — is a pure function of these.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Root seed; drives the fault plan, the channel and the simulation.
+    pub seed: u64,
+    /// Cluster size (≥ the DFS replication factor, default 3).
+    pub nodes: usize,
+    /// Number of planned jobs in the workload.
+    pub jobs: usize,
+    /// Number of faults to draw from the palette.
+    pub faults: usize,
+    /// Control-plane channel behaviour.
+    pub rpc: RpcConfig,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 1,
+            nodes: 6,
+            jobs: 4,
+            faults: 3,
+            rpc: RpcConfig {
+                drop_p: 0.1,
+                dup_p: 0.1,
+                jitter: SimDuration::from_millis(20),
+            },
+        }
+    }
+}
+
+/// The outcome of one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The generated fault plan, in injection order.
+    pub faults: Vec<(SimTime, Fault)>,
+    /// Indices of plans the fault plan deliberately killed.
+    pub killed_plans: Vec<usize>,
+    /// Number of plans in the workload.
+    pub total_plans: usize,
+    /// The run's metrics.
+    pub metrics: RunMetrics,
+    /// Bit-exact digest of the metrics (see [`fingerprint`]).
+    pub fingerprint: u64,
+}
+
+impl ChaosReport {
+    /// Checks the end-state invariants (2–4 of the module docs; 1 is
+    /// enforced per event during the run, 5 by comparing two reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn assert_invariants(&self) {
+        assert_eq!(
+            self.metrics.leaked_job_refs, 0,
+            "reference leak: {} entries survive the run (faults: {:?})",
+            self.metrics.leaked_job_refs, self.faults
+        );
+        assert_eq!(
+            self.metrics.final_migrated_bytes, 0,
+            "memory not conserved: {} migrated bytes remain (faults: {:?})",
+            self.metrics.final_migrated_bytes, self.faults
+        );
+        // Every plan completes exactly once unless it was deliberately
+        // killed; a killed plan may still complete if the kill fired after
+        // its last stage finished.
+        let completed: Vec<usize> = self.metrics.plans.iter().map(|p| p.plan).collect();
+        let mut sorted = completed.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            completed.len(),
+            "a plan completed twice (faults: {:?})",
+            self.faults
+        );
+        for plan in 0..self.total_plans {
+            assert!(
+                completed.contains(&plan) || self.killed_plans.contains(&plan),
+                "plan {plan} neither completed nor was killed (faults: {:?})",
+                self.faults
+            );
+        }
+    }
+}
+
+/// Draws a randomized fault plan from the full palette. Destructive faults
+/// are bounded so the workload stays completable: fewer than `replication`
+/// distinct nodes fail permanently, and at most one plan is killed.
+pub fn generate_faults(
+    rng: &mut SimRng,
+    nodes: usize,
+    replication: usize,
+    num_plans: usize,
+    count: usize,
+) -> Vec<(SimTime, Fault)> {
+    let mut out = Vec::new();
+    let mut failed: Vec<u32> = Vec::new();
+    let mut killed = false;
+    for _ in 0..count {
+        let at = SimTime::from_secs_f64(rng.uniform_range(2.0, 40.0));
+        let node = NodeId(rng.index(nodes) as u32);
+        let fault = match rng.index(8) {
+            0 => Fault::MasterFail,
+            1 => Fault::SlaveRestart(node),
+            2 => {
+                if failed.len() + 1 >= replication || failed.contains(&node.0) {
+                    Fault::SlaveRestart(node) // budget spent: downgrade
+                } else {
+                    failed.push(node.0);
+                    Fault::NodeFail(node)
+                }
+            }
+            3 => {
+                if killed {
+                    Fault::MasterFail
+                } else {
+                    killed = true;
+                    Fault::KillPlan(rng.index(num_plans))
+                }
+            }
+            4 => Fault::DiskDegrade(
+                node,
+                rng.uniform_range(10.0, 60.0) as u32,
+                SimDuration::from_secs_f64(rng.uniform_range(5.0, 20.0)),
+            ),
+            5 => Fault::NodePause(
+                node,
+                SimDuration::from_secs_f64(rng.uniform_range(2.0, 8.0)),
+            ),
+            _ => {
+                let cut = 1 + rng.index(nodes / 2);
+                let mut all: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
+                rng.shuffle(&mut all);
+                all.truncate(cut);
+                Fault::Partition(
+                    all,
+                    SimDuration::from_secs_f64(rng.uniform_range(3.0, 12.0)),
+                )
+            }
+        };
+        out.push((at, fault));
+    }
+    out.sort_by_key(|(at, _)| *at);
+    out
+}
+
+/// Builds the chaos workload: `jobs` single-stage migrating jobs over
+/// separate input files, submitted at staggered offsets.
+pub fn workload(jobs: usize) -> (Vec<(String, u64)>, Vec<PlannedJob>) {
+    let mut files = Vec::new();
+    let mut plans = Vec::new();
+    for j in 0..jobs {
+        let path = format!("/chaos/in{j}");
+        // 3–6 blocks of 64 MiB, varied deterministically by index.
+        let blocks = 3 + (j % 4) as u64;
+        files.push((path.clone(), blocks * 64 * MIB));
+        let mut spec = JobSpec::new(format!("chaos-{j}"), JobInput::DfsFiles(vec![path]));
+        spec.submit = SubmitOptions::with_migration();
+        plans.push(PlannedJob::single(
+            format!("chaos-{j}"),
+            SimDuration::from_secs(2 + 5 * j as u64),
+            spec,
+        ));
+    }
+    (files, plans)
+}
+
+/// Bit-exact digest of a run's metrics: every field that could reveal a
+/// divergence between two runs of the same seed is folded into an FNV-1a
+/// hash, f64s by their exact bit patterns.
+pub fn fingerprint(m: &RunMetrics) -> u64 {
+    struct Fnv(u64);
+    impl Fnv {
+        fn u64(&mut self, x: u64) {
+            for b in x.to_le_bytes() {
+                self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        fn f64(&mut self, x: f64) {
+            self.u64(x.to_bits());
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    h.u64(m.makespan.as_micros());
+    h.u64(m.jobs.len() as u64);
+    for j in &m.jobs {
+        h.u64(j.plan as u64);
+        h.u64(j.stage as u64);
+        h.u64(j.input_bytes);
+        h.u64(j.submitted.as_micros());
+        h.f64(j.duration);
+    }
+    h.u64(m.plans.len() as u64);
+    for p in &m.plans {
+        h.u64(p.plan as u64);
+        h.f64(p.duration);
+    }
+    h.u64(m.map_task_secs.len() as u64);
+    h.f64(m.map_task_secs.mean());
+    h.u64(m.reduce_task_secs.len() as u64);
+    h.f64(m.reduce_task_secs.mean());
+    h.u64(m.block_reads.len() as u64);
+    for r in &m.block_reads {
+        h.u64(r.bytes);
+        h.f64(r.secs);
+    }
+    let s = &m.slave_stats;
+    for v in [
+        s.commands,
+        s.migrated,
+        s.migrated_bytes,
+        s.deduped,
+        s.discarded,
+        s.wasted_reads,
+        s.evicted,
+        s.purges,
+        s.liveness_queries,
+    ] {
+        h.u64(v);
+    }
+    let ms = &m.master_stats;
+    for v in [
+        ms.migrate_requests,
+        ms.blocks_assigned,
+        ms.evict_requests,
+        ms.unknown_evicts,
+        ms.acks,
+        ms.retries,
+        ms.gave_up,
+    ] {
+        h.u64(v);
+    }
+    let r = &m.rpc;
+    for v in [r.sent, r.delivered, r.dropped, r.duplicated, r.cut] {
+        h.u64(v);
+    }
+    h.u64(m.rereplicated);
+    h.u64(m.speculated);
+    h.u64(m.leaked_job_refs);
+    h.u64(m.final_migrated_bytes);
+    for u in &m.disk_utilization {
+        h.f64(*u);
+    }
+    h.0
+}
+
+/// Runs one chaos experiment with per-event invariant validation.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    let mut cluster = ClusterConfig {
+        nodes: cfg.nodes,
+        seed: cfg.seed,
+        rpc: cfg.rpc,
+        ..ClusterConfig::default()
+    };
+    // Small buffers stress eviction and liveness-triggered cleanup.
+    cluster.ignem.buffer_capacity = 512 * MIB;
+    cluster.validate();
+
+    // The fault plan is drawn from a fork of its own so the workload shape
+    // and the simulation streams are untouched by how many faults we draw.
+    let mut fault_rng = SimRng::new(cfg.seed ^ 0xC4A0_5EED);
+    let faults = generate_faults(
+        &mut fault_rng,
+        cfg.nodes,
+        cluster.dfs.replication,
+        cfg.jobs,
+        cfg.faults,
+    );
+    let killed_plans: Vec<usize> = faults
+        .iter()
+        .filter_map(|(_, f)| match f {
+            Fault::KillPlan(p) => Some(*p),
+            _ => None,
+        })
+        .collect();
+
+    let (files, plans) = workload(cfg.jobs);
+    let total_plans = plans.len();
+    let world = World::new(cluster, FsMode::Ignem, &files, plans, faults.clone()).with_validation();
+    let metrics = world.run();
+    let fp = fingerprint(&metrics);
+    ChaosReport {
+        faults,
+        killed_plans,
+        total_plans,
+        metrics,
+        fingerprint: fp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_generator_respects_budgets() {
+        for seed in 0..32 {
+            let mut rng = SimRng::new(seed);
+            let faults = generate_faults(&mut rng, 6, 3, 4, 10);
+            assert_eq!(faults.len(), 10);
+            let node_fails: Vec<_> = faults
+                .iter()
+                .filter(|(_, f)| matches!(f, Fault::NodeFail(_)))
+                .collect();
+            assert!(node_fails.len() <= 2, "too many node failures");
+            let kills = faults
+                .iter()
+                .filter(|(_, f)| matches!(f, Fault::KillPlan(_)))
+                .count();
+            assert!(kills <= 1, "too many plan kills");
+            assert!(faults.windows(2).all(|w| w[0].0 <= w[1].0), "unsorted");
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_metrics() {
+        let mut a = RunMetrics::default();
+        let b = RunMetrics::default();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        a.rereplicated = 1;
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let (f1, p1) = workload(3);
+        let (f2, p2) = workload(3);
+        assert_eq!(f1, f2);
+        assert_eq!(p1.len(), p2.len());
+        assert!(p1.iter().zip(&p2).all(|(a, b)| a.name == b.name));
+    }
+}

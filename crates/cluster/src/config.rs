@@ -4,7 +4,9 @@ use ignem_compute::config::ComputeConfig;
 use ignem_core::master::MasterConfig;
 use ignem_core::slave::IgnemConfig;
 use ignem_dfs::namenode::DfsConfig;
+use ignem_netsim::rpc::RpcConfig;
 use ignem_netsim::NetConfig;
+use ignem_simcore::time::SimDuration;
 use ignem_simcore::units::GB;
 use ignem_storage::device::DeviceProfile;
 
@@ -45,6 +47,13 @@ pub struct ClusterConfig {
     pub mem_capacity: u64,
     /// Network fabric parameters (paper: 10 Gbps).
     pub net: NetConfig,
+    /// Control-plane RPC reliability (drop/duplicate/jitter). The default
+    /// is perfectly reliable, so fault-free runs are unchanged.
+    pub rpc: RpcConfig,
+    /// Interval of the master's reference-list cleanup sweep — the backstop
+    /// that reclaims references a slave acquired from a command delivered
+    /// *after* a master failover purged its state. Zero disables it.
+    pub cleanup_sweep: SimDuration,
     /// DFS parameters (64 MB blocks, 3× replication).
     pub dfs: DfsConfig,
     /// Ignem slave parameters.
@@ -73,6 +82,8 @@ impl Default for ClusterConfig {
             ram: DeviceProfile::ram(),
             mem_capacity: 128 * GB,
             net: NetConfig::default(),
+            rpc: RpcConfig::default(),
+            cleanup_sweep: SimDuration::from_secs(30),
             dfs: DfsConfig::default(),
             ignem: IgnemConfig::default(),
             master: MasterConfig::default(),
@@ -92,6 +103,7 @@ impl ClusterConfig {
     pub fn validate(&self) {
         assert!(self.nodes > 0, "cluster needs nodes");
         assert!(self.mem_capacity > 0, "zero memory");
+        self.rpc.validate();
         self.disk.validate();
         self.ram.validate();
         self.compute.validate();

@@ -61,12 +61,7 @@ pub fn swim_spec(idx: usize, job: &SwimJob, migrate: bool) -> JobSpec {
 
 /// [`swim_spec`] with an explicit eviction mode (for the implicit-eviction
 /// ablation).
-pub fn swim_spec_with(
-    idx: usize,
-    job: &SwimJob,
-    migrate: bool,
-    mode: EvictionMode,
-) -> JobSpec {
+pub fn swim_spec_with(idx: usize, job: &SwimJob, migrate: bool, mode: EvictionMode) -> JobSpec {
     let mut spec = JobSpec::new(
         format!("swim-{idx}"),
         JobInput::DfsFiles(vec![swim_path(idx)]),
@@ -303,7 +298,12 @@ pub fn run_iterative(
 /// A micro-workload of concurrent block-read-heavy mappers used for
 /// Figs. 1–2: `jobs` single-wave map-only jobs arriving together, so block
 /// reads contend the way the SWIM workload makes them contend.
-pub fn run_read_micro(cfg: &ClusterConfig, mode: FsMode, jobs: usize, blocks_per_job: u64) -> RunMetrics {
+pub fn run_read_micro(
+    cfg: &ClusterConfig,
+    mode: FsMode,
+    jobs: usize,
+    blocks_per_job: u64,
+) -> RunMetrics {
     let block = cfg.dfs.block_size;
     let files: Vec<(String, u64)> = (0..jobs)
         .map(|i| (format!("/micro/job-{i}"), block * blocks_per_job))
@@ -366,7 +366,7 @@ mod tests {
         let cfg = ClusterConfig::default();
         let m = run_sort(&cfg, FsMode::Hdfs, 2 * GB);
         assert_eq!(m.plans.len(), 1);
-        assert!(m.reduce_task_secs.len() > 0);
+        assert!(!m.reduce_task_secs.is_empty());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod experiment;
 pub mod metrics;
@@ -32,6 +33,7 @@ pub mod world;
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::chaos::{run_chaos, ChaosConfig, ChaosReport};
     pub use crate::config::{ClusterConfig, FsMode};
     pub use crate::metrics::{BlockRead, JobResult, PlanResult, ReadKind, RunMetrics};
     pub use crate::world::{Fault, PlannedJob, World};

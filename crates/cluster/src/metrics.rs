@@ -3,6 +3,7 @@
 
 use ignem_core::master::MasterStats;
 use ignem_core::slave::SlaveStats;
+use ignem_netsim::rpc::RpcStats;
 use ignem_simcore::stats::Samples;
 use ignem_simcore::time::{SimDuration, SimTime};
 
@@ -92,6 +93,14 @@ pub struct RunMetrics {
     pub slave_stats: SlaveStats,
     /// Ignem master counters.
     pub master_stats: MasterStats,
+    /// Control-plane RPC channel counters (drops, duplicates, cuts).
+    pub rpc: RpcStats,
+    /// Reference-list entries still held by alive slaves at the end of the
+    /// run. Zero in a leak-free run: every migrated block was reclaimed.
+    pub leaked_job_refs: u64,
+    /// Migrated bytes still resident in slave buffers at the end of the
+    /// run. Zero when the reference lists drained.
+    pub final_migrated_bytes: u64,
     /// Per-node disk busy fraction over the makespan.
     pub disk_utilization: Vec<f64>,
     /// Blocks re-replicated after node failures.

@@ -19,8 +19,24 @@
 //! Faults can be scheduled before the run: master failover (slaves purge
 //! reference lists), slave process restarts (migrated data discarded, reads
 //! cancelled), whole-node failures (tasks re-executed elsewhere, replicas
-//! dropped from location queries) and job kills (exercising the
-//! threshold-triggered dead-job cleanup).
+//! dropped from location queries), job kills (exercising the
+//! threshold-triggered dead-job cleanup), and **gray faults**: degraded
+//! disks, paused nodes and control-plane partitions.
+//!
+//! ## Unreliable control plane
+//!
+//! All Ignem master ↔ slave traffic (migrate batches, evicts, liveness
+//! queries and replies) is routed through an
+//! [`RpcChannel`](ignem_netsim::rpc::RpcChannel) that can drop, duplicate
+//! and delay messages ([`ClusterConfig::rpc`]). Migrate and evict sends are
+//! acknowledged; the master retransmits unacked sends with capped
+//! exponential backoff and eventually gives up (slave-side command handling
+//! is idempotent, so duplicates are harmless). Liveness traffic is not
+//! acked — the slave's query cooldown naturally re-issues lost queries. A
+//! periodic cleanup sweep reclaims references a slave acquired from a
+//! command delivered *after* a master failover purged its state. With the
+//! default (reliable) channel none of this machinery consumes randomness or
+//! changes behaviour.
 
 use std::collections::{HashMap, HashSet};
 
@@ -29,12 +45,13 @@ use ignem_compute::slots::Slots;
 use ignem_compute::tracker::{
     choose_map_task, choose_reduce_task, JobTracker, MapInput, TaskId, TaskKind,
 };
-use ignem_core::command::{JobId, MigrateCommand, MigrateRequest};
-use ignem_core::master::IgnemMaster;
+use ignem_core::command::{JobId, MigrateCommand, MigrateRequest, RpcPayload, SeqNo};
+use ignem_core::master::{IgnemMaster, RetryDecision};
 use ignem_core::slave::{IgnemSlave, SlaveAction};
 use ignem_dfs::block::{split_into_blocks, BlockId};
 use ignem_dfs::client::{plan_read, ReadSource};
 use ignem_dfs::namenode::NameNode;
+use ignem_netsim::rpc::{RpcChannel, RpcPeer};
 use ignem_netsim::{Fabric, NodeId, TransferId};
 use ignem_simcore::event::Engine;
 use ignem_simcore::rng::SimRng;
@@ -70,7 +87,7 @@ impl PlannedJob {
 }
 
 /// A fault to inject at a point in simulated time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Fault {
     /// The Ignem master crashes and restarts empty (§III-A5).
     MasterFail,
@@ -81,6 +98,20 @@ pub enum Fault {
     /// A planned job is killed before completing (no evict is ever sent —
     /// exercises threshold-triggered dead-job cleanup).
     KillPlan(usize),
+    /// Gray fault: the node's disk runs at the given percentage of its
+    /// nominal bandwidth for the given duration, then recovers. IO keeps
+    /// completing, just slowly.
+    DiskDegrade(NodeId, u32, SimDuration),
+    /// Gray fault: the node's control plane stops responding for the given
+    /// duration (long GC / scheduler stall). Incoming control messages are
+    /// deferred until it resumes and no new tasks are assigned to it, but
+    /// already-running IO and compute continue.
+    NodePause(NodeId, SimDuration),
+    /// Gray fault: the given nodes are partitioned from the rest of the
+    /// **control plane** (master and other slaves) for the given duration.
+    /// Data-plane reads are deliberately unaffected — the paper's 10 GbE
+    /// fabric is non-blocking; this models management-network flakiness.
+    Partition(Vec<NodeId>, SimDuration),
 }
 
 #[derive(Debug)]
@@ -93,9 +124,16 @@ enum Event {
     NetTimer(u64),
     TaskLaunched(TaskId),
     TaskComputeDone(TaskId),
-    DeliverMigrates(u32, Vec<MigrateCommand>),
-    DeliverEvict(u32, JobId),
+    DeliverMigrates(u32, SeqNo, Vec<MigrateCommand>),
+    DeliverEvict(u32, SeqNo, JobId),
+    DeliverAck(SeqNo),
+    RpcTimeout(SeqNo),
+    LivenessQuery(u32, Vec<JobId>),
     LivenessReply(u32, Vec<JobId>),
+    NodeResume(u32),
+    DiskRestore(u32),
+    PartitionHeal(usize),
+    CleanupSweep,
     Inject(usize),
 }
 
@@ -155,6 +193,14 @@ pub struct World {
     rams: Vec<Disk>,
     net: Fabric,
     node_alive: Vec<bool>,
+    /// Control-plane channel; its RNG is a dedicated fork so fault
+    /// injection never perturbs the main stream.
+    rpc: RpcChannel,
+    rpc_rng: SimRng,
+    /// Per-node control-plane pause end (gray fault); `None` = responsive.
+    paused_until: Vec<Option<SimTime>>,
+    /// Check slave/memstore invariants after every event (chaos harness).
+    validate: bool,
 
     disk_gen: Vec<u64>,
     ram_gen: Vec<u64>,
@@ -211,6 +257,10 @@ impl World {
         cfg.validate();
         let mut engine = Engine::new(cfg.seed);
         let mut rng = engine.rng().fork();
+        // A second fork dedicated to the RPC channel: with a reliable
+        // channel it is never consumed, and with an unreliable one the main
+        // stream's draws are unaffected either way.
+        let rpc_rng = engine.rng().fork();
 
         let mut namenode = NameNode::new(cfg.dfs);
         for n in 0..cfg.nodes {
@@ -222,15 +272,15 @@ impl World {
                 .unwrap_or_else(|e| panic!("loading {path}: {e}"));
         }
 
-        let mut mems: Vec<MemStore<BlockId>> =
-            (0..cfg.nodes).map(|_| MemStore::new(cfg.mem_capacity)).collect();
+        let mut mems: Vec<MemStore<BlockId>> = (0..cfg.nodes)
+            .map(|_| MemStore::new(cfg.mem_capacity))
+            .collect();
         if mode == FsMode::HdfsInputsInRam {
             // vmtouch: lock every input replica in memory before the run.
-            for n in 0..cfg.nodes {
+            for (n, mem) in mems.iter_mut().enumerate() {
                 for info in namenode.blocks_on(NodeId(n as u32)) {
                     if info.bytes > 0 {
-                        mems[n]
-                            .insert(SimTime::ZERO, info.id, info.bytes, Residency::Pinned)
+                        mem.insert(SimTime::ZERO, info.id, info.bytes, Residency::Pinned)
                             .expect("inputs exceed cluster RAM");
                     }
                 }
@@ -258,6 +308,9 @@ impl World {
         for (i, (at, _)) in faults.iter().enumerate() {
             engine.schedule_at(*at, Event::Inject(i));
         }
+        if mode == FsMode::Ignem && !cfg.cleanup_sweep.is_zero() {
+            engine.schedule_at(SimTime::ZERO + cfg.cleanup_sweep, Event::CleanupSweep);
+        }
 
         let unfinished = plans.len();
         let plan_state = plans
@@ -281,6 +334,10 @@ impl World {
             rams,
             net,
             node_alive: vec![true; cfg.nodes],
+            rpc: RpcChannel::new(cfg.rpc),
+            rpc_rng,
+            paused_until: vec![None; cfg.nodes],
+            validate: false,
             disk_gen: vec![0; cfg.nodes],
             ram_gen: vec![0; cfg.nodes],
             net_gen: 0,
@@ -301,7 +358,9 @@ impl World {
             job_spec: HashMap::new(),
             job_migrated: HashSet::new(),
             live_jobs: HashSet::new(),
-            hypothetical: (0..cfg.nodes).map(|_| TimeWeighted::new(0.0, true)).collect(),
+            hypothetical: (0..cfg.nodes)
+                .map(|_| TimeWeighted::new(0.0, true))
+                .collect(),
             hyp_assign: HashMap::new(),
             faults,
             unfinished_plans: unfinished,
@@ -334,6 +393,29 @@ impl World {
         &self.namenode
     }
 
+    /// Enables per-event invariant checking: after every event, each alive
+    /// slave's reference lists and memory accounting are cross-checked
+    /// against its MemStore ([`IgnemSlave::check_consistency`]). Expensive;
+    /// meant for the chaos harness.
+    pub fn with_validation(mut self) -> Self {
+        self.validate = true;
+        self
+    }
+
+    fn check_invariants(&self) {
+        for n in 0..self.cfg.nodes {
+            if !self.node_alive[n] {
+                continue;
+            }
+            if let Err(e) = self.slaves[n].check_consistency(&self.mems[n]) {
+                panic!(
+                    "slave invariant violated on node{n} at {}: {e}",
+                    self.engine.now()
+                );
+            }
+        }
+    }
+
     /// Runs the simulation to completion and returns the metrics.
     ///
     /// # Panics
@@ -344,6 +426,9 @@ impl World {
         const MAX_EVENTS: u64 = 200_000_000;
         while let Some(ev) = self.engine.pop() {
             self.handle(ev);
+            if self.validate {
+                self.check_invariants();
+            }
             assert!(
                 self.engine.processed() < MAX_EVENTS,
                 "simulation exceeded {MAX_EVENTS} events — likely stuck"
@@ -381,11 +466,14 @@ impl World {
             agg.liveness_queries += st.liveness_queries;
         }
         self.metrics.master_stats = self.master.stats();
-        self.metrics.disk_utilization = self
-            .disks
-            .iter()
-            .map(|d| d.utilization(end))
-            .collect();
+        self.metrics.rpc = self.rpc.stats();
+        for n in 0..self.cfg.nodes {
+            if self.node_alive[n] {
+                self.metrics.leaked_job_refs += self.slaves[n].total_references() as u64;
+                self.metrics.final_migrated_bytes += self.mems[n].migrated_used();
+            }
+        }
+        self.metrics.disk_utilization = self.disks.iter().map(|d| d.utilization(end)).collect();
         self.metrics
     }
 
@@ -403,21 +491,35 @@ impl World {
             Event::NetTimer(gen) => self.on_net_timer(gen),
             Event::TaskLaunched(t) => self.on_task_launched(t),
             Event::TaskComputeDone(t) => self.on_task_compute_done(t),
-            Event::DeliverMigrates(n, cmds) => self.on_deliver_migrates(n, cmds),
-            Event::DeliverEvict(n, job) => self.on_deliver_evict(n, job),
+            Event::DeliverMigrates(n, seq, cmds) => self.on_deliver_migrates(n, seq, cmds),
+            Event::DeliverEvict(n, seq, job) => self.on_deliver_evict(n, seq, job),
+            Event::DeliverAck(seq) => self.master.on_ack(seq),
+            Event::RpcTimeout(seq) => self.on_rpc_timeout(seq),
+            Event::LivenessQuery(n, jobs) => self.on_liveness_query(n, jobs),
             Event::LivenessReply(n, dead) => self.on_liveness_reply(n, dead),
+            Event::NodeResume(n) => self.paused_until[n as usize] = None,
+            Event::DiskRestore(n) => self.on_disk_restore(n),
+            Event::PartitionHeal(id) => self.rpc.heal(id),
+            Event::CleanupSweep => self.on_cleanup_sweep(),
             Event::Inject(i) => self.on_inject(i),
         }
     }
 
     fn on_submit(&mut self, plan: usize) {
+        if self.plan_state[plan].finished {
+            // The plan was killed before this submission fired.
+            return;
+        }
         let now = self.engine.now();
         let stage = self.plan_state[plan].current_stage;
         let spec = self.plans[plan].stages[stage].clone();
         let job = JobId(self.next_job);
         self.next_job += 1;
         if self.trace.is_some() {
-            let msg = format!("{} submitted as {job} (stage {stage})", self.plans[plan].name);
+            let msg = format!(
+                "{} submitted as {job} (stage {stage})",
+                self.plans[plan].name
+            );
             self.trace("job", || msg);
         }
         self.job_to_plan.insert(job, (plan, stage));
@@ -449,23 +551,32 @@ impl World {
         }
 
         // The job-submitter's Ignem hook.
-        if self.mode == FsMode::Ignem && spec.submit.migrate.is_some() {
+        if let (FsMode::Ignem, Some(mode)) = (self.mode, spec.submit.migrate) {
             if let JobInput::DfsFiles(files) = &spec.input {
                 let req = MigrateRequest {
                     job,
                     files: files.clone(),
-                    mode: spec.submit.migrate.expect("checked above"),
+                    mode,
                     submitted: now,
                 };
-                let batches = self
+                match self
                     .master
                     .handle_migrate(&req, &self.namenode, &mut self.rng)
-                    .expect("migrate request referenced missing file");
-                self.job_migrated.insert(job);
-                let rpc = self.net.rpc_latency();
-                for b in batches {
-                    self.engine
-                        .schedule_in(rpc, Event::DeliverMigrates(b.to.0, b.migrates));
+                {
+                    Ok(batches) => {
+                        self.job_migrated.insert(job);
+                        for b in batches {
+                            self.master_send(b.to.0, RpcPayload::Migrates(b.migrates));
+                        }
+                    }
+                    Err(e) => {
+                        // Migration is best-effort: a bad request must not
+                        // take the simulation down — the job just reads cold.
+                        if self.trace.is_some() {
+                            let msg = format!("migrate request for {job} rejected: {e}");
+                            self.trace("migration", || msg);
+                        }
+                    }
                 }
             }
         }
@@ -535,6 +646,15 @@ impl World {
         if !self.node_alive[n as usize] {
             return;
         }
+        if self.paused_until[n as usize].is_some() {
+            // A paused node misses its heartbeat (no new work assigned)
+            // but keeps beating once responsive again.
+            if self.unfinished_plans > 0 {
+                self.engine
+                    .schedule_in(self.cfg.compute.heartbeat, Event::Heartbeat(n));
+            }
+            return;
+        }
         self.assign_tasks(NodeId(n), false);
         if self.cfg.compute.speculation && n == 0 {
             // One straggler sweep per heartbeat round (node 0's beat).
@@ -594,36 +714,42 @@ impl World {
     /// attempt).
     fn cancel_task_io(&mut self, task: TaskId) {
         let now = self.engine.now();
-        let disk_keys: Vec<(u32, RequestId)> = self
+        // Owner maps are HashMaps; sort every collected key set so two runs
+        // with the same seed cancel (and thus draw randomness) in the same
+        // order.
+        let mut disk_keys: Vec<(u32, RequestId)> = self
             .disk_owner
             .iter()
             .filter(|(_, o)| matches!(o, DiskOwner::MapRead { task: t, .. } if *t == task))
             .map(|(k, _)| *k)
             .collect();
+        disk_keys.sort_unstable();
         for key in disk_keys {
             self.disk_owner.remove(&key);
             let done = self.disks[key.0 as usize].cancel(now, key.1);
             self.process_disk(key.0, done);
             self.resched_disk(key.0);
         }
-        let ram_keys: Vec<(u32, RequestId)> = self
+        let mut ram_keys: Vec<(u32, RequestId)> = self
             .ram_owner
             .iter()
             .filter(|(_, o)| matches!(o, DiskOwner::MapRead { task: t, .. } if *t == task))
             .map(|(k, _)| *k)
             .collect();
+        ram_keys.sort_unstable();
         for key in ram_keys {
             self.ram_owner.remove(&key);
             let done = self.rams[key.0 as usize].cancel(now, key.1);
             self.process_ram(key.0, done);
             self.resched_ram(key.0);
         }
-        let xfers: Vec<TransferId> = self
+        let mut xfers: Vec<TransferId> = self
             .net_owner
             .iter()
             .filter(|(_, o)| matches!(o, NetOwner::MapRead { task: t, .. } if *t == task))
             .map(|(k, _)| *k)
             .collect();
+        xfers.sort_unstable();
         for id in xfers {
             self.net_owner.remove(&id);
             let done = self.net.cancel(now, id);
@@ -659,7 +785,13 @@ impl World {
             )
             .or_else(|| choose_reduce_task(&self.tracker));
             let Some(task) = pick else { break };
-            if reuse && self.tracker.job(self.tracker.task(task).job).started_tasks() == 0 {
+            if reuse
+                && self
+                    .tracker
+                    .job(self.tracker.task(task).job)
+                    .started_tasks()
+                    == 0
+            {
                 // Container reuse only applies to jobs whose AM is already
                 // running tasks; fresh jobs wait for a heartbeat.
                 break;
@@ -702,14 +834,23 @@ impl World {
             Some(b) => {
                 let mems = &self.mems;
                 let alive = &self.node_alive;
-                plan_read(
+                match plan_read(
                     &self.namenode,
                     node,
                     b,
                     |nd, blk| alive[nd.0 as usize] && mems[nd.0 as usize].contains(&blk),
                     &mut self.rng,
-                )
-                .expect("block unreadable (all replicas dead)")
+                ) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        // Every replica is currently dead (mid-failure
+                        // window). Retry after a heartbeat instead of
+                        // crashing: re-replication may restore a copy.
+                        self.engine
+                            .schedule_in(self.cfg.compute.heartbeat, Event::TaskLaunched(task));
+                        return;
+                    }
+                }
             }
         };
         match source {
@@ -874,10 +1015,9 @@ impl World {
         }
         // Job completion evict (paper: the submitter issues it).
         if self.job_migrated.remove(&job) {
-            let rpc = self.net.rpc_latency();
             for b in self.master.handle_evict(job) {
                 for j in b.evicts {
-                    self.engine.schedule_in(rpc, Event::DeliverEvict(b.to.0, j));
+                    self.master_send(b.to.0, RpcPayload::Evict(j));
                 }
             }
         }
@@ -919,32 +1059,177 @@ impl World {
     // Ignem plumbing
     // ------------------------------------------------------------------
 
-    fn on_deliver_migrates(&mut self, n: u32, cmds: Vec<MigrateCommand>) {
+    /// Registers an acked send with the master and dispatches its first
+    /// transmission through the unreliable channel.
+    fn master_send(&mut self, to: u32, payload: RpcPayload) {
+        let (seq, timeout) = self.master.register_send(NodeId(to), payload.clone());
+        self.dispatch_send(seq, to, payload, timeout);
+    }
+
+    /// Sends one (re)transmission attempt: schedules a delivery event for
+    /// every copy the channel lets through, plus the ack timeout.
+    fn dispatch_send(&mut self, seq: SeqNo, to: u32, payload: RpcPayload, timeout: SimDuration) {
+        let rpc = self.net.rpc_latency();
+        let copies = self.rpc.deliveries(
+            &mut self.rpc_rng,
+            RpcPeer::Master,
+            RpcPeer::Slave(NodeId(to)),
+        );
+        for extra in copies {
+            let ev = match &payload {
+                RpcPayload::Migrates(cmds) => Event::DeliverMigrates(to, seq, cmds.clone()),
+                RpcPayload::Evict(job) => Event::DeliverEvict(to, seq, *job),
+            };
+            self.engine.schedule_in(rpc + extra, ev);
+        }
+        self.engine.schedule_in(timeout, Event::RpcTimeout(seq));
+    }
+
+    /// Routes a slave's acknowledgement back to the master (also lossy: a
+    /// lost ack triggers a retransmission the slave absorbs idempotently).
+    fn slave_ack(&mut self, n: u32, seq: SeqNo) {
+        let rpc = self.net.rpc_latency();
+        let copies = self.rpc.deliveries(
+            &mut self.rpc_rng,
+            RpcPeer::Slave(NodeId(n)),
+            RpcPeer::Master,
+        );
+        for extra in copies {
+            self.engine.schedule_in(rpc + extra, Event::DeliverAck(seq));
+        }
+    }
+
+    fn on_rpc_timeout(&mut self, seq: SeqNo) {
+        match self.master.on_timeout(seq) {
+            RetryDecision::Settled => {}
+            RetryDecision::Retry {
+                to,
+                payload,
+                next_timeout,
+            } => {
+                if self.trace.is_some() {
+                    let msg = format!("retransmitting seq {} to {to}", seq.0);
+                    self.trace("rpc", || msg);
+                }
+                self.dispatch_send(seq, to.0, payload, next_timeout);
+            }
+            RetryDecision::GiveUp { to } => {
+                if self.trace.is_some() {
+                    let msg = format!("gave up on seq {} to {to}", seq.0);
+                    self.trace("rpc", || msg);
+                }
+            }
+        }
+    }
+
+    /// Whether the node's control plane is paused; if so, re-queues `ev` for
+    /// the resume instant and returns true.
+    fn defer_if_paused(&mut self, n: u32, ev: Event) -> bool {
+        if let Some(until) = self.paused_until[n as usize] {
+            self.engine.schedule_at(until, ev);
+            return true;
+        }
+        false
+    }
+
+    fn on_deliver_migrates(&mut self, n: u32, seq: SeqNo, cmds: Vec<MigrateCommand>) {
         if !self.node_alive[n as usize] {
+            return; // dead node never acks; the master retries, then gives up
+        }
+        if self.defer_if_paused(n, Event::DeliverMigrates(n, seq, cmds.clone())) {
             return;
         }
         let now = self.engine.now();
         let actions = self.slaves[n as usize].enqueue(now, cmds, &mut self.mems[n as usize]);
         self.process_slave_actions(n, actions);
+        self.slave_ack(n, seq);
     }
 
-    fn on_deliver_evict(&mut self, n: u32, job: JobId) {
+    fn on_deliver_evict(&mut self, n: u32, seq: SeqNo, job: JobId) {
         if !self.node_alive[n as usize] {
+            return;
+        }
+        if self.defer_if_paused(n, Event::DeliverEvict(n, seq, job)) {
             return;
         }
         let now = self.engine.now();
         let actions = self.slaves[n as usize].on_evict_job(now, job, &mut self.mems[n as usize]);
         self.process_slave_actions(n, actions);
+        self.slave_ack(n, seq);
+    }
+
+    /// A slave's liveness query arriving at the master: evaluate which of
+    /// the named jobs are dead and route the reply back through the channel.
+    fn on_liveness_query(&mut self, n: u32, jobs: Vec<JobId>) {
+        let dead: Vec<JobId> = jobs
+            .into_iter()
+            .filter(|j| !self.live_jobs.contains(j))
+            .collect();
+        let rpc = self.net.rpc_latency();
+        let copies = self.rpc.deliveries(
+            &mut self.rpc_rng,
+            RpcPeer::Master,
+            RpcPeer::Slave(NodeId(n)),
+        );
+        for extra in copies {
+            self.engine
+                .schedule_in(rpc + extra, Event::LivenessReply(n, dead.clone()));
+        }
     }
 
     fn on_liveness_reply(&mut self, n: u32, dead: Vec<JobId>) {
         if !self.node_alive[n as usize] {
             return;
         }
+        if self.defer_if_paused(n, Event::LivenessReply(n, dead.clone())) {
+            return;
+        }
         let now = self.engine.now();
         let actions =
             self.slaves[n as usize].on_liveness_result(now, dead, &mut self.mems[n as usize]);
         self.process_slave_actions(n, actions);
+    }
+
+    /// The master's periodic reference-cleanup sweep: for every responsive
+    /// slave still interested in a job the master knows to be dead, push an
+    /// unsolicited liveness verdict. This is the backstop for references
+    /// created by a migrate batch delivered *after* a master failover purged
+    /// the slave (the master has no job record, so no evict ever comes, and
+    /// the slave's own threshold-triggered query may never fire once the
+    /// buffer is quiet). In a healthy run every sweep finds nothing and the
+    /// sweep neither consumes randomness nor sends anything.
+    fn on_cleanup_sweep(&mut self) {
+        for n in 0..self.cfg.nodes as u32 {
+            if !self.node_alive[n as usize] || self.paused_until[n as usize].is_some() {
+                continue;
+            }
+            let dead: Vec<JobId> = self.slaves[n as usize]
+                .interested_jobs()
+                .into_iter()
+                .filter(|j| !self.live_jobs.contains(j))
+                .collect();
+            if dead.is_empty() {
+                continue;
+            }
+            let rpc = self.net.rpc_latency();
+            let copies = self.rpc.deliveries(
+                &mut self.rpc_rng,
+                RpcPeer::Master,
+                RpcPeer::Slave(NodeId(n)),
+            );
+            for extra in copies {
+                self.engine
+                    .schedule_in(rpc + extra, Event::LivenessReply(n, dead.clone()));
+            }
+        }
+        // Keep sweeping while work may still create references, or any
+        // alive slave still holds interest (a reply may have been lost).
+        let interest = (0..self.cfg.nodes)
+            .any(|n| self.node_alive[n] && !self.slaves[n].interested_jobs().is_empty());
+        if self.unfinished_plans > 0 || interest {
+            self.engine
+                .schedule_in(self.cfg.cleanup_sweep, Event::CleanupSweep);
+        }
     }
 
     fn process_slave_actions(&mut self, n: u32, actions: Vec<SlaveAction>) {
@@ -969,12 +1254,20 @@ impl World {
                     }
                 }
                 SlaveAction::QueryJobLiveness { jobs } => {
-                    let dead: Vec<JobId> = jobs
-                        .into_iter()
-                        .filter(|j| !self.live_jobs.contains(j))
-                        .collect();
-                    let rpc = self.net.rpc_latency() * 2;
-                    self.engine.schedule_in(rpc, Event::LivenessReply(n, dead));
+                    // Routed through the lossy channel both ways (the dead
+                    // set is evaluated when the query *arrives* at the
+                    // master). Not acked: the slave's cooldown re-issues
+                    // lost queries on the next buffer-pressure check.
+                    let rpc = self.net.rpc_latency();
+                    let copies = self.rpc.deliveries(
+                        &mut self.rpc_rng,
+                        RpcPeer::Slave(NodeId(n)),
+                        RpcPeer::Master,
+                    );
+                    for extra in copies {
+                        self.engine
+                            .schedule_in(rpc + extra, Event::LivenessQuery(n, jobs.clone()));
+                    }
                 }
             }
         }
@@ -1077,8 +1370,11 @@ impl World {
                     }
                     self.migration_req.remove(&(n, block));
                     let now = self.engine.now();
-                    let actions =
-                        self.slaves[n as usize].on_read_done(now, block, &mut self.mems[n as usize]);
+                    let actions = self.slaves[n as usize].on_read_done(
+                        now,
+                        block,
+                        &mut self.mems[n as usize],
+                    );
                     self.process_slave_actions(n, actions);
                 }
                 DiskOwner::MapRead {
@@ -1095,10 +1391,11 @@ impl World {
                         let done = self.disks[target as usize].buffered_write(now, c.bytes);
                         self.process_disk(target, done);
                         self.resched_disk(target);
-                        self.namenode
-                            .add_replica(block, NodeId(target))
-                            .expect("re-replication target vanished");
-                        self.metrics.rereplicated += 1;
+                        // The target may have raced a concurrent failure or
+                        // already hold the replica; skip, don't crash.
+                        if self.namenode.add_replica(block, NodeId(target)).is_ok() {
+                            self.metrics.rereplicated += 1;
+                        }
                     }
                     self.start_next_rereplication();
                 }
@@ -1129,11 +1426,10 @@ impl World {
             }
             let source = *self.rng.choose(&holders);
             let target = *self.rng.choose(&candidates);
-            let bytes = self
-                .namenode
-                .block_info(block)
-                .expect("block vanished")
-                .bytes;
+            let Ok(info) = self.namenode.block_info(block) else {
+                continue; // block deleted while queued for re-replication
+            };
+            let bytes = info.bytes;
             let owner = DiskOwner::Rereplicate {
                 block,
                 target: target.0,
@@ -1258,13 +1554,12 @@ impl World {
             let msg = format!("{:?}", self.faults[idx].1);
             self.trace("fault", || msg);
         }
-        match self.faults[idx].1 {
+        match self.faults[idx].1.clone() {
             Fault::MasterFail => {
                 self.master.fail();
                 for n in 0..self.cfg.nodes {
                     if self.node_alive[n] {
-                        let actions =
-                            self.slaves[n].on_master_failed(now, &mut self.mems[n]);
+                        let actions = self.slaves[n].on_master_failed(now, &mut self.mems[n]);
                         self.process_slave_actions(n as u32, actions);
                     }
                 }
@@ -1278,7 +1573,42 @@ impl World {
             }
             Fault::NodeFail(node) => self.fail_node(node),
             Fault::KillPlan(p) => self.kill_plan(p),
+            Fault::DiskDegrade(node, percent, duration) => {
+                let n = node.0 as usize;
+                assert!(percent > 0 && percent <= 100, "bad degrade percent");
+                if self.node_alive[n] {
+                    let factor = percent as f64 / 100.0;
+                    let done = self.disks[n].set_speed_factor(now, factor);
+                    self.process_disk(node.0, done);
+                    self.resched_disk(node.0);
+                    self.engine
+                        .schedule_in(duration, Event::DiskRestore(node.0));
+                }
+            }
+            Fault::NodePause(node, duration) => {
+                let n = node.0 as usize;
+                if self.node_alive[n] {
+                    self.paused_until[n] = Some(now + duration);
+                    self.engine.schedule_in(duration, Event::NodeResume(node.0));
+                }
+            }
+            Fault::Partition(nodes, duration) => {
+                // The fault index keys the partition so overlapping
+                // partitions heal independently.
+                self.rpc.partition(idx, &nodes);
+                self.engine.schedule_in(duration, Event::PartitionHeal(idx));
+            }
         }
+    }
+
+    fn on_disk_restore(&mut self, n: u32) {
+        if !self.node_alive[n as usize] {
+            return;
+        }
+        let now = self.engine.now();
+        let done = self.disks[n as usize].set_speed_factor(now, 1.0);
+        self.process_disk(n, done);
+        self.resched_disk(n);
     }
 
     fn fail_node(&mut self, node: NodeId) {
@@ -1288,7 +1618,9 @@ impl World {
         }
         let now = self.engine.now();
         self.node_alive[n] = false;
-        self.namenode.mark_dead(node).expect("node registered");
+        // The node is registered in every normal construction path; if a
+        // test built an exotic topology, dying twice must stay harmless.
+        let _ = self.namenode.mark_dead(node);
         // Slave dies with the node; cancel its migration read.
         let actions = self.slaves[n].fail(now, &mut self.mems[n]);
         self.process_slave_actions(node.0, actions);
@@ -1299,7 +1631,10 @@ impl World {
         // Cancel in-flight IO owned by requeued tasks or served by the dead
         // node, re-issuing reads for still-running remote readers.
         let mut reissue: Vec<(TaskId, Option<BlockId>, u64)> = Vec::new();
-        let disk_keys: Vec<(u32, RequestId)> = self.disk_owner.keys().copied().collect();
+        // Sorted so two identical runs cancel and re-issue in one order
+        // (HashMap iteration order varies per process).
+        let mut disk_keys: Vec<(u32, RequestId)> = self.disk_owner.keys().copied().collect();
+        disk_keys.sort_unstable();
         for key in disk_keys {
             let owner = self.disk_owner[&key];
             if let DiskOwner::Rereplicate { block, target } = owner {
@@ -1337,7 +1672,8 @@ impl World {
                 }
             }
         }
-        let ram_keys: Vec<(u32, RequestId)> = self.ram_owner.keys().copied().collect();
+        let mut ram_keys: Vec<(u32, RequestId)> = self.ram_owner.keys().copied().collect();
+        ram_keys.sort_unstable();
         for key in ram_keys {
             if key.0 != node.0 {
                 continue;
@@ -1347,7 +1683,8 @@ impl World {
             self.process_ram(key.0, done);
             self.resched_ram(key.0);
         }
-        let xfers: Vec<TransferId> = self.net_owner.keys().copied().collect();
+        let mut xfers: Vec<TransferId> = self.net_owner.keys().copied().collect();
+        xfers.sort_unstable();
         for id in xfers {
             let owner = self.net_owner[&id];
             match owner {
@@ -1399,12 +1736,13 @@ impl World {
             return;
         }
         let now = self.engine.now();
-        let jobs: Vec<JobId> = self
+        let mut jobs: Vec<JobId> = self
             .job_to_plan
             .iter()
             .filter(|(_, &(plan, _))| plan == p)
             .map(|(&j, _)| j)
             .collect();
+        jobs.sort_unstable();
         for job in jobs {
             self.tracker.kill_job(job);
             self.live_jobs.remove(&job);

@@ -1,0 +1,176 @@
+//! Randomized chaos campaign: many seeded fault plans, five invariants.
+//!
+//! Each run executes with per-event slave-consistency validation
+//! (do-not-harm), then checks the end-state invariants (leak-freedom,
+//! memory conservation, completion of surviving plans) and finally
+//! re-runs the identical `(seed, fault plan)` to assert bit-identical
+//! metrics (determinism).
+
+use ignem_cluster::chaos::{run_chaos, ChaosConfig};
+use ignem_cluster::experiment::{swim_files, swim_plan};
+use ignem_cluster::prelude::*;
+use ignem_netsim::rpc::RpcConfig;
+use ignem_simcore::rng::SimRng;
+use ignem_simcore::time::SimDuration;
+use ignem_simcore::units::GB;
+use ignem_workloads::swim::{SwimConfig, SwimTrace};
+
+/// One full chaos check: run, invariants, then a second run for the
+/// determinism fingerprint.
+fn check_seed(cfg: ChaosConfig) {
+    let first = run_chaos(&cfg);
+    first.assert_invariants();
+    let second = run_chaos(&cfg);
+    assert_eq!(
+        first.fingerprint, second.fingerprint,
+        "nondeterministic run for seed {} (faults: {:?})",
+        cfg.seed, first.faults
+    );
+}
+
+#[test]
+fn chaos_campaign_default_channel() {
+    // 20 randomized fault plans over a mildly unreliable channel.
+    for seed in 0..20 {
+        check_seed(ChaosConfig {
+            seed,
+            ..ChaosConfig::default()
+        });
+    }
+}
+
+#[test]
+fn chaos_campaign_heavy_loss() {
+    // The acceptance scenario: 20% drop probability plus duplication, and
+    // every surviving plan still completes on every seed.
+    for seed in 100..108 {
+        let cfg = ChaosConfig {
+            seed,
+            rpc: RpcConfig {
+                drop_p: 0.2,
+                dup_p: 0.15,
+                jitter: SimDuration::from_millis(50),
+            },
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos(&cfg);
+        report.assert_invariants();
+        // The channel must actually have been hostile, not vacuously clean.
+        assert!(report.metrics.rpc.sent > 0, "no control-plane traffic");
+    }
+}
+
+#[test]
+fn heavy_loss_actually_drops_and_duplicates() {
+    // Across the heavy-loss campaign the channel must exhibit both failure
+    // modes; per-seed counts can be zero by chance, the aggregate cannot.
+    let mut dropped = 0;
+    let mut duplicated = 0;
+    for seed in 100..108 {
+        let cfg = ChaosConfig {
+            seed,
+            rpc: RpcConfig {
+                drop_p: 0.2,
+                dup_p: 0.15,
+                jitter: SimDuration::from_millis(50),
+            },
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos(&cfg);
+        dropped += report.metrics.rpc.dropped;
+        duplicated += report.metrics.rpc.duplicated;
+    }
+    assert!(dropped > 0, "drop_p=0.2 never dropped a message");
+    assert!(duplicated > 0, "dup_p=0.15 never duplicated a message");
+}
+
+#[test]
+fn swim_completes_under_heavy_loss_and_duplication() {
+    // The acceptance scenario on the paper's own workload: a (scaled-down)
+    // SWIM trace over a 20%-drop + duplicating control plane. Every job
+    // must complete, references and the migration buffer must drain.
+    let swim = SwimConfig {
+        jobs: 40,
+        total_input: 8 * GB,
+        ..SwimConfig::default()
+    };
+    let trace = SwimTrace::generate(&swim, &mut SimRng::new(2018));
+    let cfg = ClusterConfig {
+        rpc: RpcConfig {
+            drop_p: 0.2,
+            dup_p: 0.15,
+            jitter: SimDuration::from_millis(50),
+        },
+        ..ClusterConfig::default()
+    };
+    let files = swim_files(&trace);
+    let plans = swim_plan(&trace, true);
+    let total = plans.len();
+    let m = World::new(cfg, FsMode::Ignem, &files, plans, vec![])
+        .with_validation()
+        .run();
+    assert_eq!(m.plans.len(), total, "a SWIM job failed to complete");
+    assert_eq!(m.leaked_job_refs, 0, "reference lists leaked");
+    assert_eq!(m.final_migrated_bytes, 0, "migration buffer leaked");
+    assert!(m.rpc.dropped > 0, "channel never dropped");
+    assert!(m.rpc.duplicated > 0, "channel never duplicated");
+    assert!(m.master_stats.retries > 0, "no retransmissions happened");
+}
+
+#[test]
+fn chaos_without_faults_is_clean() {
+    // Zero faults over an unreliable channel: retries mask every loss and
+    // all plans complete.
+    let cfg = ChaosConfig {
+        seed: 42,
+        faults: 0,
+        rpc: RpcConfig {
+            drop_p: 0.2,
+            dup_p: 0.15,
+            jitter: SimDuration::from_millis(50),
+        },
+        ..ChaosConfig::default()
+    };
+    let report = run_chaos(&cfg);
+    assert!(report.faults.is_empty());
+    report.assert_invariants();
+    assert_eq!(report.metrics.plans.len(), report.total_plans);
+}
+
+#[test]
+fn chaos_reliable_channel_many_faults() {
+    // Dense fault plans over a perfectly reliable channel isolate the
+    // fault-handling paths from the retry machinery.
+    for seed in 200..206 {
+        check_seed(ChaosConfig {
+            seed,
+            faults: 6,
+            rpc: RpcConfig::default(),
+            ..ChaosConfig::default()
+        });
+    }
+}
+
+#[test]
+fn duplicate_delivery_never_double_applies() {
+    // A duplication-only channel (nothing dropped, plenty duplicated):
+    // dedup on the slave must absorb every duplicate, so the run stays
+    // leak-free, conserves memory and completes everything.
+    let cfg = ChaosConfig {
+        seed: 7,
+        faults: 0,
+        rpc: RpcConfig {
+            drop_p: 0.0,
+            dup_p: 0.5,
+            jitter: SimDuration::from_millis(10),
+        },
+        ..ChaosConfig::default()
+    };
+    let report = run_chaos(&cfg);
+    report.assert_invariants();
+    assert!(
+        report.metrics.rpc.duplicated > 0,
+        "dup_p=0.5 never duplicated"
+    );
+    assert_eq!(report.metrics.plans.len(), report.total_plans);
+}

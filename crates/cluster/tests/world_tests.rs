@@ -99,7 +99,14 @@ fn extra_lead_time_migrates_more() {
         let mut spec = job(&files, true);
         spec.submit.extra_lead_time = SimDuration::from_secs(extra);
         let plan = vec![PlannedJob::single("t", SimDuration::from_secs(1), spec)];
-        World::new(ClusterConfig::default(), FsMode::Ignem, &files, plan, vec![]).run()
+        World::new(
+            ClusterConfig::default(),
+            FsMode::Ignem,
+            &files,
+            plan,
+            vec![],
+        )
+        .run()
     };
     let plain = mk(0);
     let delayed = mk(20);
@@ -127,7 +134,14 @@ fn multi_stage_plan_runs_sequentially() {
         submit: SimDuration::from_secs(1),
         stages: vec![s1, s2],
     }];
-    let m = World::new(ClusterConfig::default(), FsMode::Ignem, &files, plan, vec![]).run();
+    let m = World::new(
+        ClusterConfig::default(),
+        FsMode::Ignem,
+        &files,
+        plan,
+        vec![],
+    )
+    .run();
     assert_eq!(m.plans.len(), 1);
     assert_eq!(m.jobs.len(), 2, "two stage jobs must have run");
     // Query duration covers both stages.
@@ -158,7 +172,14 @@ fn master_failure_purges_but_jobs_still_finish() {
         job(&files, true),
     )];
     let faults = vec![(SimTime::from_secs(3), Fault::MasterFail)];
-    let m = World::new(ClusterConfig::default(), FsMode::Ignem, &files, plan, faults).run();
+    let m = World::new(
+        ClusterConfig::default(),
+        FsMode::Ignem,
+        &files,
+        plan,
+        faults,
+    )
+    .run();
     assert_eq!(m.plans.len(), 1, "job must survive master failure");
     assert!(m.slave_stats.purges >= 1);
     for series in &m.mem_series {
@@ -180,7 +201,14 @@ fn slave_restart_loses_data_but_jobs_finish() {
         (SimTime::from_secs(4), Fault::SlaveRestart(NodeId(0))),
         (SimTime::from_secs(4), Fault::SlaveRestart(NodeId(1))),
     ];
-    let m = World::new(ClusterConfig::default(), FsMode::Ignem, &files, plan, faults).run();
+    let m = World::new(
+        ClusterConfig::default(),
+        FsMode::Ignem,
+        &files,
+        plan,
+        faults,
+    )
+    .run();
     assert_eq!(m.plans.len(), 1);
 }
 
@@ -227,7 +255,14 @@ fn node_failure_under_ignem_still_completes() {
         job(&files, true),
     )];
     let faults = vec![(SimTime::from_secs(5), Fault::NodeFail(NodeId(1)))];
-    let m = World::new(ClusterConfig::default(), FsMode::Ignem, &files, plan, faults).run();
+    let m = World::new(
+        ClusterConfig::default(),
+        FsMode::Ignem,
+        &files,
+        plan,
+        faults,
+    )
+    .run();
     assert_eq!(m.plans.len(), 1);
 }
 
@@ -300,16 +335,7 @@ fn speculation_rescues_stragglers() {
     let mut spec = job(&files, false);
     spec.map_cpu_rate = 20e6; // compute-dominated so jitter matters
     let plan = vec![PlannedJob::single("spec", SimDuration::from_secs(1), spec)];
-    let run = || {
-        World::new(
-            cfg.clone(),
-            FsMode::Hdfs,
-            &files,
-            plan.clone(),
-            vec![],
-        )
-        .run()
-    };
+    let run = || World::new(cfg.clone(), FsMode::Hdfs, &files, plan.clone(), vec![]).run();
     let a = run();
     assert_eq!(a.plans.len(), 1);
     assert!(a.speculated > 0, "no speculative attempts fired");
@@ -340,8 +366,14 @@ fn trace_records_lifecycle() {
         job(&files, true),
     )];
     let (sink, entries) = SharedVecSink::new();
-    let world = World::new(ClusterConfig::default(), FsMode::Ignem, &files, plan, vec![])
-        .with_trace(Box::new(sink));
+    let world = World::new(
+        ClusterConfig::default(),
+        FsMode::Ignem,
+        &files,
+        plan,
+        vec![],
+    )
+    .with_trace(Box::new(sink));
     let m = world.run();
     assert_eq!(m.plans.len(), 1);
     let entries = entries.borrow();
@@ -381,8 +413,10 @@ fn disk_utilization_is_sane() {
 #[test]
 fn read_caching_serves_repeats_only() {
     use ignem_cluster::experiment::run_rereads;
-    let mut cfg = ClusterConfig::default();
-    cfg.cache_reads = true;
+    let cfg = ClusterConfig {
+        cache_reads: true,
+        ..ClusterConfig::default()
+    };
     let (_, first, repeat) = run_rereads(&cfg, FsMode::Hdfs, 4, GB);
     assert!(
         repeat < first * 0.8,

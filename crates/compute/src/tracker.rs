@@ -666,12 +666,7 @@ mod tests {
         tr.submit(JobId(1), spec(0), t(0), t(0), &inputs(3));
         let node = NodeId(5);
         // Block 2 in memory, block 1 on local disk, block 0 remote.
-        let pick = choose_map_task(
-            &tr,
-            node,
-            |_, b| b == BlockId(2),
-            |_, b| b == BlockId(1),
-        );
+        let pick = choose_map_task(&tr, node, |_, b| b == BlockId(2), |_, b| b == BlockId(1));
         let TaskKind::Map { block, .. } = tr.task(pick.unwrap()).kind else {
             panic!()
         };

@@ -62,6 +62,26 @@ pub struct MigrateCommand {
     pub submitted: SimTime,
 }
 
+/// Sequence number identifying one master → slave send that awaits an
+/// acknowledgement. Allocated by the master's retransmission outbox;
+/// monotonic across master restarts so stale timeout events can never be
+/// confused with a fresh send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqNo(pub u64);
+
+/// The payload of one acknowledged master → slave control message. The
+/// channel carrying it is unreliable, so the payload must be cheap to
+/// clone for retransmission and safe for the slave to apply twice
+/// ([`IgnemSlave::enqueue`](crate::slave::IgnemSlave::enqueue) is
+/// idempotent; evicts are naturally so).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcPayload {
+    /// A batch of migrate commands.
+    Migrates(Vec<MigrateCommand>),
+    /// An evict instruction for a completed job.
+    Evict(JobId),
+}
+
 /// A batched set of commands for one slave.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlaveBatch {

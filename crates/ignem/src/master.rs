@@ -19,25 +19,67 @@ use ignem_dfs::error::DfsError;
 use ignem_dfs::namenode::NameNode;
 use ignem_netsim::NodeId;
 use ignem_simcore::rng::SimRng;
+use ignem_simcore::time::SimDuration;
 
-use crate::command::{JobId, MigrateCommand, MigrateRequest, SlaveBatch};
 #[cfg(test)]
 use crate::command::EvictionMode;
+use crate::command::{JobId, MigrateCommand, MigrateRequest, RpcPayload, SeqNo, SlaveBatch};
+
+/// Retry policy for unacknowledged master → slave sends: a fixed initial
+/// ack timeout, escalated exponentially per attempt and capped, with a
+/// bounded number of attempts before the master gives up (the slave is
+/// presumed dead; its references will be reclaimed by liveness cleanup).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryConfig {
+    /// Time to wait for the first acknowledgement.
+    pub ack_timeout: SimDuration,
+    /// Multiplier applied to the timeout after each unacknowledged attempt.
+    pub backoff: f64,
+    /// Upper bound on the escalated timeout.
+    pub max_timeout: SimDuration,
+    /// Total delivery attempts (first send included) before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            ack_timeout: SimDuration::from_secs(1),
+            backoff: 2.0,
+            max_timeout: SimDuration::from_secs(30),
+            max_attempts: 8,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// The ack timeout for the given attempt number (1-based), escalated
+    /// exponentially and capped at [`max_timeout`](Self::max_timeout).
+    pub fn timeout_for(&self, attempt: u32) -> SimDuration {
+        let base = self.ack_timeout.as_secs_f64();
+        let cap = self.max_timeout.as_secs_f64();
+        let secs = (base * self.backoff.powi(attempt.saturating_sub(1) as i32)).min(cap);
+        SimDuration::from_secs_f64(secs)
+    }
+}
 
 /// Master-side configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MasterConfig {
     /// How many replicas of each block to migrate. The paper chooses **1**
     /// (§III-A2): extra copies waste disk bandwidth and memory because the
     /// network is fast enough to read a remote migrated replica. Higher
     /// values exist for the ablation benches.
     pub replicas_to_migrate: usize,
+    /// Retransmission policy for sends over the unreliable channel.
+    pub retry: RetryConfig,
 }
 
 impl Default for MasterConfig {
     fn default() -> Self {
         MasterConfig {
             replicas_to_migrate: 1,
+            retry: RetryConfig::default(),
         }
     }
 }
@@ -54,6 +96,12 @@ pub struct MasterStats {
     /// Evict requests for jobs the master had no state for (e.g. after a
     /// master failure).
     pub unknown_evicts: u64,
+    /// Acknowledgements received for outstanding sends.
+    pub acks: u64,
+    /// Retransmissions after an ack timeout.
+    pub retries: u64,
+    /// Sends abandoned after exhausting every attempt.
+    pub gave_up: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -96,6 +144,44 @@ pub struct IgnemMaster {
     config: MasterConfig,
     jobs: BTreeMap<JobId, JobRecord>,
     stats: MasterStats,
+    /// Next sequence number; monotonic for the master's whole lifetime,
+    /// surviving [`fail`](Self::fail), so a timeout event scheduled for a
+    /// pre-failure send can never alias a post-restart send.
+    next_seq: u64,
+    /// Sends awaiting acknowledgement.
+    outbox: BTreeMap<SeqNo, PendingSend>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingSend {
+    to: NodeId,
+    payload: RpcPayload,
+    /// Delivery attempts made so far (1 after the initial send).
+    attempt: u32,
+}
+
+/// What the master decides when an ack timeout fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// The send was already acknowledged (or the master restarted); the
+    /// timeout is stale and nothing happens.
+    Settled,
+    /// Retransmit `payload` to `to` now and arm a new timeout.
+    Retry {
+        /// Destination slave.
+        to: NodeId,
+        /// Payload to retransmit.
+        payload: RpcPayload,
+        /// Timeout to arm for this attempt (escalated, capped).
+        next_timeout: SimDuration,
+    },
+    /// Every attempt is exhausted; the slave is presumed unreachable. Any
+    /// state it holds for the affected job is reclaimed later by liveness
+    /// cleanup, not by further retransmission.
+    GiveUp {
+        /// The unreachable slave.
+        to: NodeId,
+    },
 }
 
 impl IgnemMaster {
@@ -208,12 +294,69 @@ impl IgnemMaster {
             .collect()
     }
 
+    /// Registers a send over the unreliable channel in the retransmission
+    /// outbox. Returns the sequence number stamped on the message and the
+    /// ack timeout the caller must arm for this first attempt.
+    pub fn register_send(&mut self, to: NodeId, payload: RpcPayload) -> (SeqNo, SimDuration) {
+        let seq = SeqNo(self.next_seq);
+        self.next_seq += 1;
+        self.outbox.insert(
+            seq,
+            PendingSend {
+                to,
+                payload,
+                attempt: 1,
+            },
+        );
+        (seq, self.config.retry.timeout_for(1))
+    }
+
+    /// Records an acknowledgement. Duplicate and stale acks (e.g. a
+    /// retransmission acked twice, or an ack arriving after a master
+    /// restart) are ignored.
+    pub fn on_ack(&mut self, seq: SeqNo) {
+        if self.outbox.remove(&seq).is_some() {
+            self.stats.acks += 1;
+        }
+    }
+
+    /// Handles an ack-timeout firing for `seq` and decides what to do: the
+    /// send may have been settled in the meantime, be retransmitted with an
+    /// escalated timeout, or be abandoned after
+    /// [`RetryConfig::max_attempts`] attempts.
+    pub fn on_timeout(&mut self, seq: SeqNo) -> RetryDecision {
+        let Some(pending) = self.outbox.get_mut(&seq) else {
+            return RetryDecision::Settled;
+        };
+        if pending.attempt >= self.config.retry.max_attempts {
+            let pending = self.outbox.remove(&seq).expect("checked above");
+            self.stats.gave_up += 1;
+            return RetryDecision::GiveUp { to: pending.to };
+        }
+        pending.attempt += 1;
+        self.stats.retries += 1;
+        RetryDecision::Retry {
+            to: pending.to,
+            payload: pending.payload.clone(),
+            next_timeout: self.config.retry.timeout_for(pending.attempt),
+        }
+    }
+
+    /// Number of sends still awaiting acknowledgement.
+    pub fn pending_sends(&self) -> usize {
+        self.outbox.len()
+    }
+
     /// Simulates a master crash + restart: all soft state is lost. The
     /// cluster layer must subsequently call each slave's
     /// [`on_master_failed`](crate::slave::IgnemSlave::on_master_failed) so
-    /// slaves purge reference lists and stay consistent (§III-A5).
+    /// slaves purge reference lists and stay consistent (§III-A5). The
+    /// outbox is dropped too (pre-failure timeouts then settle as stale),
+    /// but `next_seq` keeps counting so restarted sends never reuse a
+    /// sequence number.
     pub fn fail(&mut self) {
         self.jobs.clear();
+        self.outbox.clear();
     }
 }
 
@@ -330,6 +473,78 @@ mod tests {
             .handle_migrate(&request(1, vec!["/f"]), &nn, &mut rng)
             .unwrap();
         assert!(batches.iter().all(|b| b.to != NodeId(0)));
+    }
+
+    #[test]
+    fn retry_timeout_escalates_and_caps() {
+        let retry = RetryConfig::default();
+        assert_eq!(retry.timeout_for(1), SimDuration::from_secs(1));
+        assert_eq!(retry.timeout_for(2), SimDuration::from_secs(2));
+        assert_eq!(retry.timeout_for(4), SimDuration::from_secs(8));
+        // 2^9 = 512 s would exceed the cap.
+        assert_eq!(retry.timeout_for(10), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn ack_settles_and_stale_timeouts_are_ignored() {
+        let mut m = IgnemMaster::new();
+        let (seq, first) = m.register_send(NodeId(2), RpcPayload::Evict(JobId(7)));
+        assert_eq!(first, SimDuration::from_secs(1));
+        assert_eq!(m.pending_sends(), 1);
+        m.on_ack(seq);
+        assert_eq!(m.pending_sends(), 0);
+        assert_eq!(m.stats().acks, 1);
+        // Duplicate ack and late timeout are both inert.
+        m.on_ack(seq);
+        assert_eq!(m.stats().acks, 1);
+        assert_eq!(m.on_timeout(seq), RetryDecision::Settled);
+        assert_eq!(m.stats().retries, 0);
+    }
+
+    #[test]
+    fn timeouts_retry_then_give_up() {
+        let mut m = IgnemMaster::with_config(MasterConfig {
+            retry: RetryConfig {
+                max_attempts: 3,
+                ..RetryConfig::default()
+            },
+            ..MasterConfig::default()
+        });
+        let payload = RpcPayload::Evict(JobId(1));
+        let (seq, _) = m.register_send(NodeId(5), payload.clone());
+        assert_eq!(
+            m.on_timeout(seq),
+            RetryDecision::Retry {
+                to: NodeId(5),
+                payload: payload.clone(),
+                next_timeout: SimDuration::from_secs(2),
+            }
+        );
+        assert_eq!(
+            m.on_timeout(seq),
+            RetryDecision::Retry {
+                to: NodeId(5),
+                payload,
+                next_timeout: SimDuration::from_secs(4),
+            }
+        );
+        assert_eq!(m.on_timeout(seq), RetryDecision::GiveUp { to: NodeId(5) });
+        assert_eq!(m.pending_sends(), 0);
+        assert_eq!(m.stats().retries, 2);
+        assert_eq!(m.stats().gave_up, 1);
+        // Another stray timeout after give-up is stale.
+        assert_eq!(m.on_timeout(seq), RetryDecision::Settled);
+    }
+
+    #[test]
+    fn failure_clears_outbox_but_seq_stays_monotonic() {
+        let mut m = IgnemMaster::new();
+        let (seq0, _) = m.register_send(NodeId(1), RpcPayload::Evict(JobId(1)));
+        m.fail();
+        assert_eq!(m.pending_sends(), 0);
+        assert_eq!(m.on_timeout(seq0), RetryDecision::Settled);
+        let (seq1, _) = m.register_send(NodeId(1), RpcPayload::Evict(JobId(2)));
+        assert!(seq1 > seq0, "sequence numbers must never be reused");
     }
 
     #[test]

@@ -247,7 +247,19 @@ impl IgnemSlave {
         self.job_blocks.keys().copied().collect()
     }
 
+    /// Total `(job, block)` reference entries on resident migrated blocks
+    /// (the leak-freedom quantity: zero once every job's data is reclaimed).
+    pub fn total_references(&self) -> usize {
+        self.refs.values().map(Vec::len).sum()
+    }
+
     /// Handles a batch of migrate commands from the master.
+    ///
+    /// Idempotent under redelivery: the master retransmits batches that
+    /// were not acknowledged in time, so a command for a (job, block) pair
+    /// that is already queued, in flight or resident is absorbed without
+    /// adding a second waiter or reference (counted in
+    /// [`SlaveStats::deduped`]).
     pub fn enqueue(
         &mut self,
         now: SimTime,
@@ -271,24 +283,32 @@ impl IgnemSlave {
                     self.stats.deduped += 1;
                 }
                 Some(Residency::Migrated) => {
-                    // Resident: append a reference for this job.
-                    self.refs
-                        .entry(cmd.block)
-                        .or_default()
-                        .push((cmd.job, cmd.mode));
-                    self.index_interest(cmd.job, cmd.block);
+                    // Resident: append a reference for this job. An
+                    // unreliable channel may redeliver a command, so the
+                    // append is idempotent per (job, block) — a duplicate
+                    // must not grow the reference list, or a single
+                    // eviction would no longer release the block.
+                    let list = self.refs.entry(cmd.block).or_default();
+                    if !list.iter().any(|&(j, _)| j == cmd.job) {
+                        list.push((cmd.job, cmd.mode));
+                        self.index_interest(cmd.job, cmd.block);
+                    }
                     self.stats.deduped += 1;
                 }
                 None => {
                     if let Some(cur) = self.current.get_mut(&cmd.block) {
-                        cur.waiters.push(waiter);
-                        self.index_interest(cmd.job, cmd.block);
+                        if !cur.waiters.iter().any(|w| w.job == cmd.job) {
+                            cur.waiters.push(waiter);
+                            self.index_interest(cmd.job, cmd.block);
+                        }
                         self.stats.deduped += 1;
                         continue;
                     }
                     if let Some(q) = self.queue.get_mut(&cmd.block) {
-                        q.waiters.push(waiter);
-                        self.index_interest(cmd.job, cmd.block);
+                        if !q.waiters.iter().any(|w| w.job == cmd.job) {
+                            q.waiters.push(waiter);
+                            self.index_interest(cmd.job, cmd.block);
+                        }
                         self.stats.deduped += 1;
                     } else {
                         let arrival = self.arrivals;
@@ -421,8 +441,9 @@ impl IgnemSlave {
 
     /// Master failure: purge **all** reference lists so the slave is
     /// consistent with the new master's empty state (§III-A5). Queued work
-    /// is dropped; an in-flight read is allowed to finish and will be
-    /// discarded on completion.
+    /// is dropped and any in-flight migration read is cancelled — the
+    /// restarted master has no record of it, so letting it finish would
+    /// waste disk bandwidth and orphan the IO.
     pub fn on_master_failed(
         &mut self,
         now: SimTime,
@@ -434,12 +455,12 @@ impl IgnemSlave {
             self.stats.evicted += 1;
         }
         self.queue.clear();
-        for cur in self.current.values_mut() {
-            cur.waiters.clear();
-        }
         self.job_blocks.clear();
         self.liveness_pending = false;
-        Vec::new()
+        std::mem::take(&mut self.current)
+            .into_keys()
+            .map(|block| SlaveAction::CancelRead { block })
+            .collect()
     }
 
     /// Slave process failure + restart: all migrated data is discarded (the
@@ -474,6 +495,137 @@ impl IgnemSlave {
             self.release_job(now, job, mem);
         }
         self.try_start(now, mem)
+    }
+
+    /// Whether a liveness query is outstanding (no reply received yet).
+    pub fn liveness_query_outstanding(&self) -> bool {
+        self.liveness_pending
+    }
+
+    /// Verifies the slave's bookkeeping against the node's memory store.
+    /// Used by the chaos harness after every event to catch corruption the
+    /// moment it happens rather than at the end of a run.
+    ///
+    /// Checked invariants:
+    /// * reference lists and migrated-resident blocks are in bijection, and
+    ///   every list is non-empty (do-not-harm: nothing resident without a
+    ///   referencing job, nothing evicted while referenced);
+    /// * migrated bytes plus in-flight migration bytes never exceed the
+    ///   configured buffer capacity (memory-accounting conservation);
+    /// * a block is in at most one of {queued, in flight, resident};
+    /// * the job → blocks interest index matches the waiters/references.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_consistency(&self, mem: &MemStore<BlockId>) -> Result<(), String> {
+        let resident = mem.keys_with(Residency::Migrated);
+        for block in &resident {
+            match self.refs.get(block) {
+                None => {
+                    return Err(format!(
+                        "node {:?}: migrated block {block:?} resident without a reference list",
+                        self.node
+                    ))
+                }
+                Some(list) if list.is_empty() => {
+                    return Err(format!(
+                        "node {:?}: migrated block {block:?} has an empty reference list",
+                        self.node
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
+        for block in self.refs.keys() {
+            if mem.residency(block) != Some(Residency::Migrated) {
+                return Err(format!(
+                    "node {:?}: reference list for {block:?} but block not migrated-resident",
+                    self.node
+                ));
+            }
+            if self.queue.contains_key(block) || self.current.contains_key(block) {
+                return Err(format!(
+                    "node {:?}: block {block:?} both resident and queued/in-flight",
+                    self.node
+                ));
+            }
+        }
+        for block in self.queue.keys() {
+            if self.current.contains_key(block) {
+                return Err(format!(
+                    "node {:?}: block {block:?} both queued and in flight",
+                    self.node
+                ));
+            }
+        }
+        let inflight: u64 = self.current.values().map(|c| c.bytes).sum();
+        if mem.migrated_used() + inflight > self.config.buffer_capacity {
+            return Err(format!(
+                "node {:?}: buffer over budget: {} resident + {} in flight > {}",
+                self.node,
+                mem.migrated_used(),
+                inflight,
+                self.config.buffer_capacity
+            ));
+        }
+        // Interest index consistency, both directions.
+        for (&job, blocks) in &self.job_blocks {
+            for block in blocks {
+                let in_refs = self
+                    .refs
+                    .get(block)
+                    .is_some_and(|l| l.iter().any(|&(j, _)| j == job));
+                let in_queue = self
+                    .queue
+                    .get(block)
+                    .is_some_and(|q| q.waiters.iter().any(|w| w.job == job));
+                let in_cur = self
+                    .current
+                    .get(block)
+                    .is_some_and(|c| c.waiters.iter().any(|w| w.job == job));
+                if !(in_refs || in_queue || in_cur) {
+                    return Err(format!(
+                        "node {:?}: interest index names ({job:?}, {block:?}) but no waiter/ref",
+                        self.node
+                    ));
+                }
+            }
+        }
+        let indexed = |job: JobId, block: &BlockId| {
+            self.job_blocks.get(&job).is_some_and(|s| s.contains(block))
+        };
+        for (block, list) in &self.refs {
+            for &(job, _) in list {
+                if !indexed(job, block) {
+                    return Err(format!(
+                        "node {:?}: ref ({job:?}, {block:?}) missing from interest index",
+                        self.node
+                    ));
+                }
+            }
+        }
+        for (block, q) in &self.queue {
+            for w in &q.waiters {
+                if !indexed(w.job, block) {
+                    return Err(format!(
+                        "node {:?}: queued waiter ({:?}, {block:?}) missing from interest index",
+                        self.node, w.job
+                    ));
+                }
+            }
+        }
+        for (block, c) in &self.current {
+            for w in &c.waiters {
+                if !indexed(w.job, block) {
+                    return Err(format!(
+                        "node {:?}: in-flight waiter ({:?}, {block:?}) missing from interest index",
+                        self.node, w.job
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Releases every reference `job` holds: resident refs (evicting
@@ -512,9 +664,7 @@ impl IgnemSlave {
     /// cleanup threshold, query job liveness.
     fn try_start(&mut self, now: SimTime, mem: &mut MemStore<BlockId>) -> Vec<SlaveAction> {
         let mut actions = Vec::new();
-        if self.current.len() >= self.config.max_concurrent_migrations
-            || self.queue.is_empty()
-        {
+        if self.current.len() >= self.config.max_concurrent_migrations || self.queue.is_empty() {
             return actions;
         }
         // Order candidate blocks by policy.
@@ -554,8 +704,12 @@ impl IgnemSlave {
             }
             blocked = true;
         }
-        if blocked && !self.liveness_pending {
+        if blocked {
             let occupancy = mem.migrated_used() as f64 / self.config.buffer_capacity as f64;
+            // An outstanding query only suppresses re-querying within the
+            // cooldown window: under an unreliable channel the reply may
+            // be lost, and a permanently stuck `liveness_pending` would
+            // block cleanup (and therefore progress) forever.
             let cooled = self
                 .last_liveness
                 .is_none_or(|t| now >= t + self.config.liveness_cooldown);
@@ -816,14 +970,16 @@ mod tests {
         s.enqueue(t(0), vec![cmd(1, 10, B64, 0), cmd(1, 11, B64, 0)], &mut mem);
         s.on_read_done(t(1), BlockId(10), &mut mem);
         // Block 11's migration is now in flight; 10 is resident.
-        s.on_master_failed(t(2), &mut mem);
+        let actions = s.on_master_failed(t(2), &mut mem);
         assert!(!mem.contains(&BlockId(10)), "resident blocks purged");
         assert_eq!(s.queue_len(), 0);
-        // In-flight read completes and is discarded.
-        let next = s.on_read_done(t(3), BlockId(11), &mut mem);
-        assert!(next.is_empty());
+        // The in-flight read is cancelled, not orphaned.
+        assert_eq!(
+            actions,
+            vec![SlaveAction::CancelRead { block: BlockId(11) }]
+        );
+        assert!(!s.is_migrating());
         assert!(!mem.contains(&BlockId(11)));
-        assert_eq!(s.stats().wasted_reads, 1);
     }
 
     #[test]
@@ -834,9 +990,7 @@ mod tests {
         let actions = s.fail(t(2), &mut mem);
         assert_eq!(
             actions,
-            vec![SlaveAction::CancelRead {
-                block: BlockId(11)
-            }]
+            vec![SlaveAction::CancelRead { block: BlockId(11) }]
         );
         assert_eq!(mem.migrated_used(), 0);
         assert!(!s.is_migrating());
@@ -848,7 +1002,8 @@ mod tests {
     #[test]
     fn pinned_blocks_are_deduped_without_refs() {
         let (mut s, mut mem) = slave();
-        mem.insert(t(0), BlockId(10), B64, Residency::Pinned).unwrap();
+        mem.insert(t(0), BlockId(10), B64, Residency::Pinned)
+            .unwrap();
         let actions = s.enqueue(t(0), vec![cmd(1, 10, B64, 0)], &mut mem);
         assert!(actions.is_empty());
         assert_eq!(s.stats().deduped, 1);

@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod rpc;
+
 use std::collections::BTreeMap;
 
 use ignem_simcore::flow::{FlowId, FlowResource};
@@ -176,12 +178,8 @@ impl Fabric {
         );
         // Latency as a "seek" on the receiver NIC; it does not consume
         // bandwidth share (degradation is 0 so seeking flows are harmless).
-        let done = self.downlinks[to.0 as usize].add(
-            now,
-            FlowId(id.0),
-            bytes as f64,
-            self.config.latency,
-        );
+        let done =
+            self.downlinks[to.0 as usize].add(now, FlowId(id.0), bytes as f64, self.config.latency);
         self.collect(to, done)
     }
 
@@ -258,7 +256,13 @@ mod tests {
     #[test]
     fn single_transfer_gets_full_nic() {
         let mut net = Fabric::new(2, NetConfig::default());
-        net.start(SimTime::ZERO, TransferId(1), NodeId(0), NodeId(1), 1250 * MB);
+        net.start(
+            SimTime::ZERO,
+            TransferId(1),
+            NodeId(0),
+            NodeId(1),
+            1250 * MB,
+        );
         let done = drain(&mut net);
         assert_eq!(done.len(), 1);
         // 1.25 GB at 1.25 GB/s = 1 s (+ 300 us latency).
@@ -268,8 +272,20 @@ mod tests {
     #[test]
     fn fan_in_shares_receiver_nic() {
         let mut net = Fabric::new(3, NetConfig::default());
-        net.start(SimTime::ZERO, TransferId(1), NodeId(0), NodeId(2), 1250 * MB);
-        net.start(SimTime::ZERO, TransferId(2), NodeId(1), NodeId(2), 1250 * MB);
+        net.start(
+            SimTime::ZERO,
+            TransferId(1),
+            NodeId(0),
+            NodeId(2),
+            1250 * MB,
+        );
+        net.start(
+            SimTime::ZERO,
+            TransferId(2),
+            NodeId(1),
+            NodeId(2),
+            1250 * MB,
+        );
         let done = drain(&mut net);
         assert_eq!(done.len(), 2);
         for d in &done {
@@ -280,8 +296,20 @@ mod tests {
     #[test]
     fn different_receivers_do_not_interfere() {
         let mut net = Fabric::new(4, NetConfig::default());
-        net.start(SimTime::ZERO, TransferId(1), NodeId(0), NodeId(2), 1250 * MB);
-        net.start(SimTime::ZERO, TransferId(2), NodeId(1), NodeId(3), 1250 * MB);
+        net.start(
+            SimTime::ZERO,
+            TransferId(1),
+            NodeId(0),
+            NodeId(2),
+            1250 * MB,
+        );
+        net.start(
+            SimTime::ZERO,
+            TransferId(2),
+            NodeId(1),
+            NodeId(3),
+            1250 * MB,
+        );
         let done = drain(&mut net);
         for d in &done {
             assert!((d.duration().as_secs_f64() - 1.0003).abs() < 1e-3);
@@ -291,7 +319,13 @@ mod tests {
     #[test]
     fn cancel_drops_transfer() {
         let mut net = Fabric::new(2, NetConfig::default());
-        net.start(SimTime::ZERO, TransferId(1), NodeId(0), NodeId(1), 1250 * MB);
+        net.start(
+            SimTime::ZERO,
+            TransferId(1),
+            NodeId(0),
+            NodeId(1),
+            1250 * MB,
+        );
         net.cancel(SimTime::from_secs_f64(0.1), TransferId(1));
         assert_eq!(net.in_flight(), 0);
         assert!(drain(&mut net).is_empty());

@@ -1,44 +1,56 @@
-//! Property-based tests for the network fabric.
+//! Randomized (deterministic, seeded) tests for the network fabric.
 
 use ignem_netsim::{Fabric, NetConfig, NodeId, TransferId};
+use ignem_simcore::rng::SimRng;
 use ignem_simcore::time::SimTime;
-use proptest::prelude::*;
 
-proptest! {
-    /// Every transfer completes exactly once, and no transfer finishes
-    /// faster than its ideal solo time (bytes / NIC bandwidth + latency).
-    #[test]
-    fn transfers_complete_and_respect_capacity(
-        xfers in proptest::collection::vec((0u32..6, 0u32..6, 1u64..2_000, 0u64..2_000_000), 1..30)
-    ) {
+/// Every transfer completes exactly once, and no transfer finishes faster
+/// than its ideal solo time (bytes / NIC bandwidth + latency).
+#[test]
+fn transfers_complete_and_respect_capacity() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::new(0x7E75_0001 ^ seed);
+        let n = 1 + rng.index(29);
         let cfg = NetConfig::default();
         let mut net = Fabric::new(6, cfg);
         let mut expected = 0usize;
         let mut done = Vec::new();
         let mut now = SimTime::ZERO;
-        for (i, &(from, to, mb, at_us)) in xfers.iter().enumerate() {
+        for i in 0..n {
+            let from = rng.index(6) as u32;
+            let to = rng.index(6) as u32;
+            let mb = 1 + rng.next_u64() % 1_999;
+            let at_us = rng.next_u64() % 2_000_000;
             if from == to {
                 continue;
             }
             let t = SimTime::from_micros(at_us);
             now = now.max(t);
-            done.extend(net.start(now, TransferId(i as u64), NodeId(from), NodeId(to), mb * 1_000_000));
+            done.extend(net.start(
+                now,
+                TransferId(i as u64),
+                NodeId(from),
+                NodeId(to),
+                mb * 1_000_000,
+            ));
             expected += 1;
         }
         let mut guard = 0;
         while let Some(t) = net.next_event() {
             done.extend(net.advance(t));
             guard += 1;
-            prop_assert!(guard < 100_000);
+            assert!(guard < 100_000, "seed {seed}");
         }
-        prop_assert_eq!(done.len(), expected);
-        prop_assert_eq!(net.in_flight(), 0);
+        assert_eq!(done.len(), expected, "seed {seed}");
+        assert_eq!(net.in_flight(), 0, "seed {seed}");
         for d in &done {
             let solo = d.bytes as f64 / cfg.nic_bandwidth + cfg.latency.as_secs_f64();
-            prop_assert!(
+            assert!(
                 d.duration().as_secs_f64() + 1e-5 >= solo,
-                "transfer {:?} beat the NIC: {} < {}",
-                d.id, d.duration().as_secs_f64(), solo
+                "seed {seed}: transfer {:?} beat the NIC: {} < {}",
+                d.id,
+                d.duration().as_secs_f64(),
+                solo
             );
         }
     }

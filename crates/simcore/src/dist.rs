@@ -218,10 +218,7 @@ mod tests {
         assert!((m - 8.8).abs() < 0.6, "empirical mean={m}");
         // Median check: about half the samples below 1.8.
         let mut rng = SimRng::new(4);
-        let below = (0..100_000)
-            .filter(|_| d.sample(&mut rng) < 1.8)
-            .count() as f64
-            / 100_000.0;
+        let below = (0..100_000).filter(|_| d.sample(&mut rng) < 1.8).count() as f64 / 100_000.0;
         assert!((below - 0.5).abs() < 0.01, "below-median frac={below}");
     }
 

@@ -123,7 +123,11 @@ impl<E> Engine<E> {
     ///
     /// Panics if `at` is in the past.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry {

@@ -79,7 +79,10 @@ impl FlowResource {
     /// negative.
     pub fn new(capacity: f64, degradation: f64) -> Self {
         assert!(capacity.is_finite() && capacity > 0.0, "bad capacity");
-        assert!(degradation.is_finite() && degradation >= 0.0, "bad degradation");
+        assert!(
+            degradation.is_finite() && degradation >= 0.0,
+            "bad degradation"
+        );
         FlowResource {
             capacity,
             degradation,
@@ -93,6 +96,20 @@ impl FlowResource {
     /// Nominal (concurrency-1) capacity in bytes/s.
     pub fn capacity(&self) -> f64 {
         self.capacity
+    }
+
+    /// Changes the nominal capacity, effective for all time **after** the
+    /// internal clock (callers must [`advance`](Self::advance) to the change
+    /// instant first so earlier progress is accounted at the old rate). Used
+    /// by gray-fault injection (a degraded disk). Any previously queried
+    /// [`next_event`](Self::next_event) is invalidated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not strictly positive.
+    pub fn set_capacity(&mut self, capacity: f64) {
+        assert!(capacity.is_finite() && capacity > 0.0, "bad capacity");
+        self.capacity = capacity;
     }
 
     /// Number of active flows (seeking or transferring).

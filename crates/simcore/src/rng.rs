@@ -5,20 +5,18 @@
 //! stream is stable across `rand` versions, so experiment outputs are
 //! reproducible forever given a seed.
 
-use rand::RngCore;
-
 /// A deterministic SplitMix64 random number generator.
 ///
-/// Implements [`rand::RngCore`] so it composes with the `rand` ecosystem
-/// (e.g. `Rng::gen_range`) while keeping a version-stable stream.
+/// Self-contained (no `rand` dependency): the repository must build with no
+/// network access, and a hand-rolled SplitMix64 keeps the stream
+/// version-stable forever given a seed.
 ///
 /// ```
 /// use ignem_simcore::rng::SimRng;
-/// use rand::Rng;
 ///
 /// let mut a = SimRng::new(42);
 /// let mut b = SimRng::new(42);
-/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
@@ -91,27 +89,23 @@ impl SimRng {
             items.swap(i, j);
         }
     }
-}
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
+    /// Next raw 32-bit output (upper half of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
         (self.splitmix() >> 32) as u32
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
         self.splitmix()
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(8) {
             let bytes = self.splitmix().to_le_bytes();
             chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

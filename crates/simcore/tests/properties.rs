@@ -1,53 +1,77 @@
-//! Property-based tests for the simulation kernel invariants.
+//! Randomized (but fully deterministic) tests for the simulation kernel
+//! invariants. Cases are generated from a seeded [`SimRng`] so the suite
+//! needs no external property-testing crate and reproduces bit-identically
+//! on every run — a hard requirement for an offline build.
 
 use ignem_simcore::prelude::*;
-use proptest::prelude::*;
+use ignem_simcore::rng::SimRng;
 
-proptest! {
-    /// Every flow added to a resource eventually completes (work
-    /// conservation), and total bytes accounted equal total bytes offered.
-    #[test]
-    fn flow_resource_conserves_work(
-        capacity in 1e6f64..1e10,
-        degradation in 0.0f64..3.0,
-        flows in proptest::collection::vec((1e3f64..1e9, 0u64..2_000_000, 0u64..5_000_000), 1..20)
-    ) {
+const CASES: u64 = 64;
+
+/// Every flow added to a resource eventually completes (work conservation),
+/// and total bytes accounted equal total bytes offered.
+#[test]
+fn flow_resource_conserves_work() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(0x5EED_0001 ^ seed);
+        let capacity = rng.uniform_range(1e6, 1e10);
+        let degradation = rng.uniform_range(0.0, 3.0);
+        let n = 1 + rng.index(19);
+        let flows: Vec<(f64, u64, u64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.uniform_range(1e3, 1e9),
+                    rng.next_u64() % 2_000_000,
+                    rng.next_u64() % 5_000_000,
+                )
+            })
+            .collect();
+
         let mut r = FlowResource::new(capacity, degradation);
         let mut expected: f64 = 0.0;
         let mut completed = Vec::new();
-        let mut latest_start = SimTime::ZERO;
         for (i, &(bytes, start_us, seek_us)) in flows.iter().enumerate() {
-            let start = SimTime::from_micros(start_us);
-            let start = start.max(r.clock());
-            latest_start = latest_start.max(start);
-            completed.extend(r.add(start, FlowId(i as u64), bytes, SimDuration::from_micros(seek_us)));
+            let start = SimTime::from_micros(start_us).max(r.clock());
+            completed.extend(r.add(
+                start,
+                FlowId(i as u64),
+                bytes,
+                SimDuration::from_micros(seek_us),
+            ));
             expected += bytes;
         }
-        // Drain: repeatedly advance to next_event.
         let mut guard = 0;
         while let Some(t) = r.next_event() {
             completed.extend(r.advance(t));
             guard += 1;
-            prop_assert!(guard < 10_000, "flow resource failed to drain");
+            assert!(guard < 10_000, "seed {seed}: flow resource failed to drain");
         }
-        prop_assert_eq!(completed.len(), flows.len());
-        prop_assert!(r.active() == 0);
+        assert_eq!(completed.len(), flows.len(), "seed {seed}");
+        assert_eq!(r.active(), 0, "seed {seed}");
         let err = (r.bytes_completed() - expected).abs() / expected.max(1.0);
-        prop_assert!(err < 1e-6, "byte accounting off by {}", err);
+        assert!(err < 1e-6, "seed {seed}: byte accounting off by {err}");
     }
+}
 
-    /// Sharing never makes a flow finish earlier than its ideal solo time.
-    #[test]
-    fn sharing_never_beats_solo(
-        bytes in 1e6f64..1e9,
-        competitors in 1usize..8,
-    ) {
+/// Sharing never makes a flow finish earlier than its ideal solo time.
+#[test]
+fn sharing_never_beats_solo() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(0x5EED_0002 ^ seed);
+        let bytes = rng.uniform_range(1e6, 1e9);
+        let competitors = 1 + rng.index(7);
+
         let capacity = 100e6;
         let solo_secs = bytes / capacity;
         let mut r = FlowResource::new(capacity, 0.5);
         r.add(SimTime::ZERO, FlowId(0), bytes, SimDuration::ZERO);
         for i in 0..competitors {
-            r.add(SimTime::ZERO, FlowId(1 + i as u64), bytes, SimDuration::ZERO);
+            r.add(
+                SimTime::ZERO,
+                FlowId(1 + i as u64),
+                bytes,
+                SimDuration::ZERO,
+            );
         }
         let mut finish_of_zero = None;
         let mut guard = 0;
@@ -58,17 +82,26 @@ proptest! {
                 }
             }
             guard += 1;
-            prop_assert!(guard < 1000);
+            assert!(guard < 1000, "seed {seed}");
         }
         let finish = finish_of_zero.expect("flow 0 completed").as_secs_f64();
         // Allow integer-microsecond rounding slack.
-        prop_assert!(finish + 1e-5 >= solo_secs, "finish={} solo={}", finish, solo_secs);
+        assert!(
+            finish + 1e-5 >= solo_secs,
+            "seed {seed}: finish={finish} solo={solo_secs}"
+        );
     }
+}
 
-    /// The engine delivers every scheduled, uncancelled event exactly once,
-    /// in nondecreasing time order.
-    #[test]
-    fn engine_delivers_in_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+/// The engine delivers every scheduled, uncancelled event exactly once, in
+/// nondecreasing time order.
+#[test]
+fn engine_delivers_in_order() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(0x5EED_0003 ^ seed);
+        let n = 1 + rng.index(199);
+        let times: Vec<u64> = (0..n).map(|_| rng.next_u64() % 1_000_000).collect();
+
         let mut e: Engine<usize> = Engine::new(0);
         for (i, &t) in times.iter().enumerate() {
             e.schedule_at(SimTime::from_micros(t), i);
@@ -76,56 +109,73 @@ proptest! {
         let mut last = SimTime::ZERO;
         let mut seen = vec![false; times.len()];
         while let Some(i) = e.pop() {
-            prop_assert!(e.now() >= last);
+            assert!(e.now() >= last, "seed {seed}");
             last = e.now();
-            prop_assert!(!seen[i], "event {} delivered twice", i);
+            assert!(!seen[i], "seed {seed}: event {i} delivered twice");
             seen[i] = true;
-            prop_assert_eq!(e.now(), SimTime::from_micros(times[i]));
+            assert_eq!(e.now(), SimTime::from_micros(times[i]), "seed {seed}");
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s), "seed {seed}");
     }
+}
 
-    /// Percentile is monotone in p and bounded by min/max.
-    #[test]
-    fn percentiles_are_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+/// Percentile is monotone in p and bounded by min/max.
+#[test]
+fn percentiles_are_monotone() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(0x5EED_0004 ^ seed);
+        let n = 1 + rng.index(99);
+        let values: Vec<f64> = (0..n).map(|_| rng.uniform_range(-1e6, 1e6)).collect();
+
         let mut s: Samples = values.iter().copied().collect();
         let lo = s.percentile(0.0);
         let hi = s.percentile(100.0);
         let mut prev = lo;
         for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0] {
             let v = s.percentile(p);
-            prop_assert!(v + 1e-9 >= prev);
-            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            assert!(v + 1e-9 >= prev, "seed {seed}");
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "seed {seed}");
             prev = v;
         }
     }
+}
 
-    /// Time-weighted average always lies within [min, max] of values held.
-    #[test]
-    fn time_weighted_average_is_bounded(
-        updates in proptest::collection::vec((1u64..1_000_000u64, 0.0f64..100.0), 1..50)
-    ) {
+/// Time-weighted average always lies within [min, max] of values held.
+#[test]
+fn time_weighted_average_is_bounded() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(0x5EED_0005 ^ seed);
+        let n = 1 + rng.index(49);
         let mut tw = TimeWeighted::new(0.0, false);
         let mut t = SimTime::ZERO;
         let mut lo: f64 = 0.0;
         let mut hi: f64 = 0.0;
-        for &(dt, v) in &updates {
+        for _ in 0..n {
+            let dt = 1 + rng.next_u64() % 999_999;
+            let v = rng.uniform_range(0.0, 100.0);
             t += SimDuration::from_micros(dt);
             tw.set(t, v);
             lo = lo.min(v);
             hi = hi.max(v);
         }
         let avg = tw.average(t);
-        prop_assert!(avg >= lo - 1e-9 && avg <= hi + 1e-9, "avg={} not in [{}, {}]", avg, lo, hi);
+        assert!(
+            avg >= lo - 1e-9 && avg <= hi + 1e-9,
+            "seed {seed}: avg={avg} not in [{lo}, {hi}]"
+        );
     }
+}
 
-    /// Histogram never loses samples.
-    #[test]
-    fn histogram_counts_everything(values in proptest::collection::vec(-100.0f64..1000.0, 0..500)) {
+/// Histogram never loses samples.
+#[test]
+fn histogram_counts_everything() {
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(0x5EED_0006 ^ seed);
+        let n = rng.index(500);
         let mut h = Histogram::uniform(0.0, 100.0, 13);
-        for &v in &values {
-            h.record(v);
+        for _ in 0..n {
+            h.record(rng.uniform_range(-100.0, 1000.0));
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.count(), n as u64, "seed {seed}");
     }
 }

@@ -149,6 +149,22 @@ impl Disk {
         }
     }
 
+    /// Sets the device's speed to `factor` × the profile bandwidth (a gray
+    /// fault: a degraded disk still serves IO, just slowly; `1.0` restores
+    /// nominal speed). Advances to `now` first so work already done is
+    /// accounted at the old rate, and returns any completions that produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive or `now` precedes the
+    /// device clock.
+    pub fn set_speed_factor(&mut self, now: SimTime, factor: f64) -> Vec<Completion> {
+        assert!(factor.is_finite() && factor > 0.0, "bad speed factor");
+        let done = self.advance(now);
+        self.resource.set_capacity(self.profile.bandwidth * factor);
+        done
+    }
+
     /// Submits a read or migration request of `bytes`.
     /// Returns any requests that completed while advancing to `now`.
     ///
@@ -329,8 +345,7 @@ mod tests {
         }
         let done = drain(&mut disk);
         assert_eq!(done.len(), 4);
-        let mean =
-            done.iter().map(|c| c.duration().as_secs_f64()).sum::<f64>() / done.len() as f64;
+        let mean = done.iter().map(|c| c.duration().as_secs_f64()).sum::<f64>() / done.len() as f64;
         // 4 concurrent requests with d=0.6: much worse than 4x fair share.
         assert!(
             mean > 4.0 * solo,
@@ -415,6 +430,41 @@ mod tests {
         disk.submit(SimTime::ZERO, RequestId(2), IoKind::Read, 20 * MB);
         drain(&mut disk);
         assert_eq!(disk.bytes_read(), 30 * MB);
+    }
+
+    #[test]
+    fn speed_factor_slows_then_restores() {
+        let profile = DeviceProfile::hdd();
+        let solo = profile.solo_time(128 * MIB).as_secs_f64();
+        // Degrade to 25% for the whole request: ~4x slower (seek unchanged).
+        let mut disk = Disk::new(profile);
+        disk.set_speed_factor(SimTime::ZERO, 0.25);
+        disk.submit(SimTime::ZERO, RequestId(1), IoKind::Read, 128 * MIB);
+        let done = drain(&mut disk);
+        assert!(done[0].duration().as_secs_f64() > 3.0 * solo);
+        // Restore and verify the next request runs at nominal speed.
+        let now = disk.resource.clock();
+        disk.set_speed_factor(now, 1.0);
+        disk.submit(now, RequestId(2), IoKind::Read, 128 * MIB);
+        let done = drain(&mut disk);
+        assert!((done[0].duration().as_secs_f64() - solo).abs() < 1e-3);
+    }
+
+    #[test]
+    fn speed_change_mid_request_splits_the_rate() {
+        // 100 MB at 100 MB/s (ram profile is too fast; build a custom one).
+        let profile = DeviceProfile {
+            bandwidth: 100.0 * MB as f64,
+            seek: SimDuration::ZERO,
+            ..DeviceProfile::ssd()
+        };
+        let mut disk = Disk::new(profile);
+        disk.submit(SimTime::ZERO, RequestId(1), IoKind::Read, 100 * MB);
+        // Half done at 0.5 s, then halve the speed: remaining 50 MB at
+        // 50 MB/s takes 1 s more -> finish at 1.5 s.
+        disk.set_speed_factor(t(0.5), 0.5);
+        let done = drain(&mut disk);
+        assert!((done[0].finished.as_secs_f64() - 1.5).abs() < 1e-3);
     }
 
     #[test]

@@ -125,6 +125,22 @@ impl<K: Ord + Copy> MemStore<K> {
         self.blocks.get(key).map(|&(_, r)| r)
     }
 
+    /// The size of `key` in bytes, if resident.
+    pub fn size_of(&self, key: &K) -> Option<u64> {
+        self.blocks.get(key).map(|&(b, _)| b)
+    }
+
+    /// Keys of all resident blocks with the given residency, in key order.
+    /// Lets invariant checkers audit the store contents against external
+    /// bookkeeping (e.g. the Ignem slave's reference lists).
+    pub fn keys_with(&self, residency: Residency) -> Vec<K> {
+        self.blocks
+            .iter()
+            .filter(|(_, (_, r))| *r == residency)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
     /// Inserts a block.
     ///
     /// # Errors
@@ -242,9 +258,7 @@ impl<K: Ord + Copy> MemStore<K> {
 
     /// The raw migrated-occupancy change points `(time, bytes)`.
     pub fn occupancy_changes(&self) -> Vec<(SimTime, f64)> {
-        self.occupancy
-            .sample_series_raw()
-            .to_vec()
+        self.occupancy.sample_series_raw().to_vec()
     }
 }
 

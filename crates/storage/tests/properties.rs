@@ -1,10 +1,10 @@
-//! Property-based tests for the storage substrate.
+//! Randomized (deterministic, seeded) tests for the storage substrate.
 
+use ignem_simcore::rng::SimRng;
 use ignem_simcore::time::SimTime;
 use ignem_storage::device::DeviceProfile;
 use ignem_storage::disk::{Disk, IoKind, RequestId};
 use ignem_storage::memstore::{MemStore, Residency};
-use proptest::prelude::*;
 
 fn drain(disk: &mut Disk) -> usize {
     let mut done = 0;
@@ -17,14 +17,27 @@ fn drain(disk: &mut Disk) -> usize {
     done
 }
 
-proptest! {
-    /// Every submitted request completes exactly once, regardless of the
-    /// interleaving of reads, migrations and buffered writes.
-    #[test]
-    fn disk_completes_everything(
-        ops in proptest::collection::vec((0u8..3, 1u64..256, 0u64..5_000_000), 1..40)
-    ) {
-        for profile in [DeviceProfile::hdd(), DeviceProfile::ssd(), DeviceProfile::ram()] {
+/// Every submitted request completes exactly once, regardless of the
+/// interleaving of reads, migrations and buffered writes.
+#[test]
+fn disk_completes_everything() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::new(0xD15C_0001 ^ seed);
+        let n = 1 + rng.index(39);
+        let ops: Vec<(u8, u64, u64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.index(3) as u8,
+                    1 + rng.next_u64() % 255,
+                    rng.next_u64() % 5_000_000,
+                )
+            })
+            .collect();
+        for profile in [
+            DeviceProfile::hdd(),
+            DeviceProfile::ssd(),
+            DeviceProfile::ram(),
+        ] {
             let mut disk = Disk::new(profile);
             let mut expected = 0usize;
             let mut completed = 0usize;
@@ -52,16 +65,20 @@ proptest! {
                 }
             }
             completed += drain(&mut disk);
-            prop_assert_eq!(completed, expected);
-            prop_assert_eq!(disk.dirty_bytes(), 0, "flush must drain");
-            prop_assert_eq!(disk.in_flight(), 0);
+            assert_eq!(completed, expected, "seed {seed}");
+            assert_eq!(disk.dirty_bytes(), 0, "seed {seed}: flush must drain");
+            assert_eq!(disk.in_flight(), 0, "seed {seed}");
         }
     }
+}
 
-    /// Migration requests never finish faster than an equal-size read
-    /// issued at the same time (the mmap/mlock penalty).
-    #[test]
-    fn migration_never_beats_read(mb in 1u64..512) {
+/// Migration requests never finish faster than an equal-size read issued at
+/// the same time (the mmap/mlock penalty).
+#[test]
+fn migration_never_beats_read() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::new(0xD15C_0002 ^ seed);
+        let mb = 1 + rng.next_u64() % 511;
         let bytes = mb * 1_000_000;
         let mut disk = Disk::new(DeviceProfile::hdd());
         disk.submit(SimTime::ZERO, RequestId(1), IoKind::Read, bytes);
@@ -77,19 +94,27 @@ proptest! {
                 }
             }
         }
-        prop_assert!(mig_t.expect("migration done") >= read_t.expect("read done"));
+        assert!(
+            mig_t.expect("migration done") >= read_t.expect("read done"),
+            "seed {seed}"
+        );
     }
+}
 
-    /// MemStore accounting: used == sum of inserted sizes, always within
-    /// capacity, and migrated accounting is a sub-account of used.
-    #[test]
-    fn memstore_accounting(
-        ops in proptest::collection::vec((0u8..2, 0u64..16, 1u64..100), 1..60)
-    ) {
+/// MemStore accounting: used == sum of inserted sizes, always within
+/// capacity, and migrated accounting is a sub-account of used.
+#[test]
+fn memstore_accounting() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::new(0xD15C_0003 ^ seed);
+        let n = 1 + rng.index(59);
         let mut m: MemStore<u64> = MemStore::new(2_000);
         let mut shadow: std::collections::BTreeMap<u64, (u64, bool)> = Default::default();
         let mut clock = 0u64;
-        for &(op, key, size) in &ops {
+        for _ in 0..n {
+            let op = rng.index(2) as u8;
+            let key = rng.next_u64() % 16;
+            let size = 1 + rng.next_u64() % 99;
             clock += 1;
             let now = SimTime::from_secs(clock);
             match op {
@@ -97,8 +122,12 @@ proptest! {
                     if shadow.contains_key(&key) {
                         continue;
                     }
-                    let migrated = size % 2 == 0;
-                    let residency = if migrated { Residency::Migrated } else { Residency::Pinned };
+                    let migrated = size.is_multiple_of(2);
+                    let residency = if migrated {
+                        Residency::Migrated
+                    } else {
+                        Residency::Pinned
+                    };
                     if m.insert(now, key, size, residency).is_ok() {
                         shadow.insert(key, (size, migrated));
                     }
@@ -106,15 +135,18 @@ proptest! {
                 _ => {
                     let got = m.remove(now, &key);
                     let want = shadow.remove(&key).map(|(s, _)| s);
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want, "seed {seed}");
                 }
             }
             let want_used: u64 = shadow.values().map(|&(s, _)| s).sum();
-            let want_migrated: u64 =
-                shadow.values().filter(|&&(_, mig)| mig).map(|&(s, _)| s).sum();
-            prop_assert_eq!(m.used(), want_used);
-            prop_assert_eq!(m.migrated_used(), want_migrated);
-            prop_assert!(m.used() <= m.capacity());
+            let want_migrated: u64 = shadow
+                .values()
+                .filter(|&&(_, mig)| mig)
+                .map(|&(s, _)| s)
+                .sum();
+            assert_eq!(m.used(), want_used, "seed {seed}");
+            assert_eq!(m.migrated_used(), want_migrated, "seed {seed}");
+            assert!(m.used() <= m.capacity(), "seed {seed}");
         }
     }
 }

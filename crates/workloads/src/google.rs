@@ -152,8 +152,7 @@ impl UtilizationTimelines {
         for _ in 0..config.servers {
             // Per-server mean utilisation: mildly skewed around the target
             // (multiplier uniform in [0.5, 1.5], mean 1).
-            let server_mean =
-                (config.mean_utilization * (0.5 + rng.uniform())).clamp(0.001, 0.6);
+            let server_mean = (config.mean_utilization * (0.5 + rng.uniform())).clamp(0.001, 0.6);
             let mut busy = vec![0.0f64; windows];
             // Poisson bursts: expected busy = rate * mean_burst.
             let rate_per_sec = server_mean / BURST_MEAN_SECS;
@@ -176,7 +175,11 @@ impl UtilizationTimelines {
                     len -= in_window;
                 }
             }
-            timelines.push(busy.into_iter().map(|b| (b / WINDOW as f64).min(1.0)).collect());
+            timelines.push(
+                busy.into_iter()
+                    .map(|b| (b / WINDOW as f64).min(1.0))
+                    .collect(),
+            );
         }
         UtilizationTimelines {
             timelines,
@@ -305,12 +308,7 @@ mod tests {
     fn individual_servers_do_spike() {
         let cfg = GoogleTraceConfig::default();
         let u = UtilizationTimelines::generate(&cfg, &mut SimRng::new(6));
-        let max_any = u
-            .timelines
-            .iter()
-            .flatten()
-            .cloned()
-            .fold(0.0, f64::max);
+        let max_any = u.timelines.iter().flatten().cloned().fold(0.0, f64::max);
         assert!(max_any > 0.10, "no server ever spikes ({max_any})");
     }
 

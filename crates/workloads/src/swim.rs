@@ -101,8 +101,7 @@ impl SwimTrace {
         // 64–512 MB bin).
         let medium_hi = (config.small_max * 8).min(config.largest) as f64;
         for _ in 0..n_medium {
-            sizes
-                .push(log_uniform(rng, config.small_max as f64 + 1.0, medium_hi).round() as u64);
+            sizes.push(log_uniform(rng, config.small_max as f64 + 1.0, medium_hi).round() as u64);
         }
         let body_total: u64 = sizes.iter().sum();
 
@@ -339,6 +338,9 @@ mod tests {
                 SizeBin::Large => large += 1,
             }
         }
-        assert!(small > 0 && medium > 0 && large > 0, "{small}/{medium}/{large}");
+        assert!(
+            small > 0 && medium > 0 && large > 0,
+            "{small}/{medium}/{large}"
+        );
     }
 }

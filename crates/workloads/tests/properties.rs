@@ -1,21 +1,18 @@
-//! Property-based tests for the workload generators.
+//! Randomized (deterministic, seeded) tests for the workload generators.
 
 use ignem_simcore::rng::SimRng;
 use ignem_simcore::time::SimDuration;
 use ignem_simcore::units::{GB, MB};
 use ignem_workloads::swim::{SwimConfig, SwimTrace};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Any seed and any reasonable scale produce a trace honouring the
-    /// published SWIM invariants.
-    #[test]
-    fn swim_invariants_hold_for_any_seed(
-        seed in 0u64..1_000_000,
-        jobs in 40usize..300,
-    ) {
+/// Any seed and any reasonable scale produce a trace honouring the
+/// published SWIM invariants.
+#[test]
+fn swim_invariants_hold_for_any_seed() {
+    for case in 0..32u64 {
+        let mut rng = SimRng::new(0x5311_0001 ^ case);
+        let seed = rng.next_u64() % 1_000_000;
+        let jobs = 40 + rng.index(260);
         let cfg = SwimConfig {
             jobs,
             total_input: (jobs as u64) * 850 * MB, // paper's per-job average
@@ -24,23 +21,29 @@ proptest! {
             ..SwimConfig::default()
         };
         let t = SwimTrace::generate(&cfg, &mut SimRng::new(seed));
-        prop_assert_eq!(t.jobs.len(), jobs);
+        assert_eq!(t.jobs.len(), jobs, "case {case}");
         // Totals within a few percent of the target.
         let total = t.total_input() as f64;
         let want = cfg.total_input as f64;
-        prop_assert!((total - want).abs() / want < 0.06, "total off: {} vs {}", total, want);
+        assert!(
+            (total - want).abs() / want < 0.06,
+            "case {case}: total off: {total} vs {want}"
+        );
         // Small-job fraction within tolerance.
         let frac = t.fraction_at_most(cfg.small_max);
-        prop_assert!((frac - 0.85).abs() < 0.05, "small fraction {}", frac);
+        assert!(
+            (frac - 0.85).abs() < 0.05,
+            "case {case}: small fraction {frac}"
+        );
         // Nobody exceeds the stated maximum; shuffles never exceed inputs.
         for j in &t.jobs {
-            prop_assert!(j.input_bytes <= cfg.largest);
-            prop_assert!(j.shuffle_bytes <= j.input_bytes);
-            prop_assert!(j.input_bytes >= 1);
+            assert!(j.input_bytes <= cfg.largest, "case {case}");
+            assert!(j.shuffle_bytes <= j.input_bytes, "case {case}");
+            assert!(j.input_bytes >= 1, "case {case}");
         }
         // Arrivals are sorted.
         for w in t.jobs.windows(2) {
-            prop_assert!(w[0].submit <= w[1].submit);
+            assert!(w[0].submit <= w[1].submit, "case {case}");
         }
     }
 }

@@ -1,13 +1,16 @@
 //! Failure-resilience demo (paper §III-A4/A5): master failover, slave
-//! restarts, whole-node failure, and dead-job reference cleanup — all
-//! injected mid-workload.
+//! restarts, whole-node failure, dead-job reference cleanup, gray faults
+//! (degraded disks, paused nodes, network partitions) and an unreliable
+//! control plane — all injected mid-workload.
 //!
 //! ```text
 //! cargo run --release --example failure_injection
 //! ```
 
+use ignem_repro::cluster::chaos::{run_chaos, ChaosConfig};
 use ignem_repro::cluster::prelude::*;
 use ignem_repro::compute::{JobInput, JobSpec, SubmitOptions};
+use ignem_repro::netsim::rpc::RpcConfig;
 use ignem_repro::netsim::NodeId;
 use ignem_repro::simcore::time::{SimDuration, SimTime};
 use ignem_repro::simcore::units::{GB, MB};
@@ -27,7 +30,7 @@ fn job(name: &str, files: &[(String, u64)]) -> JobSpec {
     spec
 }
 
-fn run_with(label: &str, faults: Vec<(SimTime, Fault)>) {
+fn run_with(label: &str, rpc: RpcConfig, faults: Vec<(SimTime, Fault)>) {
     let files_a = files_for("/a", 2 * GB);
     let files_b = files_for("/b", 2 * GB);
     let mut all = files_a.clone();
@@ -41,7 +44,10 @@ fn run_with(label: &str, faults: Vec<(SimTime, Fault)>) {
     // force the threshold-triggered liveness cleanup.
     cfg.ignem.buffer_capacity = 256 * MB;
     cfg.ignem.cleanup_threshold = 0.5;
-    let m = World::new(cfg, FsMode::Ignem, &all, plan, faults).run();
+    cfg.rpc = rpc;
+    let m = World::new(cfg, FsMode::Ignem, &all, plan, faults)
+        .with_validation()
+        .run();
     println!("--- {label} ---");
     for p in &m.plans {
         println!("  {} finished in {:.1}s", p.name, p.duration);
@@ -55,24 +61,43 @@ fn run_with(label: &str, faults: Vec<(SimTime, Fault)>) {
         m.slave_stats.purges,
         m.slave_stats.liveness_queries
     );
-    let leaked: f64 = m
-        .mem_series
-        .iter()
-        .filter_map(|s| s.last().map(|&(_, v)| v))
-        .sum();
-    println!("  migration buffer at end: {leaked:.0} bytes (must be 0)\n");
-    assert_eq!(leaked, 0.0, "migration buffer leaked");
+    println!(
+        "  control plane: sent {}, delivered {}, dropped {}, duplicated {}, cut {} | acks {}, retries {}, gave up {}",
+        m.rpc.sent,
+        m.rpc.delivered,
+        m.rpc.dropped,
+        m.rpc.duplicated,
+        m.rpc.cut,
+        m.master_stats.acks,
+        m.master_stats.retries,
+        m.master_stats.gave_up
+    );
+    println!(
+        "  recovery: leaked refs {} (must be 0), migrated bytes at end {} (must be 0)\n",
+        m.leaked_job_refs, m.final_migrated_bytes
+    );
+    assert_eq!(m.leaked_job_refs, 0, "reference lists leaked");
+    assert_eq!(m.final_migrated_bytes, 0, "migration buffer leaked");
 }
 
 fn main() {
     println!("Every scenario must finish all surviving jobs with a clean buffer.\n");
-    run_with("no faults", vec![]);
+    let reliable = RpcConfig::default();
+    let lossy = RpcConfig {
+        drop_p: 0.2,
+        dup_p: 0.1,
+        jitter: SimDuration::from_millis(20),
+    };
+
+    run_with("no faults", reliable, vec![]);
     run_with(
         "master fails at t=5s (slaves purge reference lists)",
+        reliable,
         vec![(SimTime::from_secs(5), Fault::MasterFail)],
     );
     run_with(
         "slaves on node0/node1 restart at t=6s (migrated data discarded)",
+        reliable,
         vec![
             (SimTime::from_secs(6), Fault::SlaveRestart(NodeId(0))),
             (SimTime::from_secs(6), Fault::SlaveRestart(NodeId(1))),
@@ -80,11 +105,75 @@ fn main() {
     );
     run_with(
         "node3 fails outright at t=8s (tasks re-executed, replicas dropped)",
+        reliable,
         vec![(SimTime::from_secs(8), Fault::NodeFail(NodeId(3)))],
     );
     run_with(
         "job-a killed at t=2s, no evict ever sent (liveness cleanup reclaims)",
+        reliable,
         vec![(SimTime::from_secs(2), Fault::KillPlan(0))],
     );
-    println!("All failure scenarios completed with zero leaked buffer bytes.");
+
+    // Gray faults: the node stays up but misbehaves.
+    run_with(
+        "node2's disk degrades to 25% for 15s at t=3s",
+        reliable,
+        vec![(
+            SimTime::from_secs(3),
+            Fault::DiskDegrade(NodeId(2), 25, SimDuration::from_secs(15)),
+        )],
+    );
+    run_with(
+        "node1's daemon pauses for 5s at t=4s (deliveries deferred)",
+        reliable,
+        vec![(
+            SimTime::from_secs(4),
+            Fault::NodePause(NodeId(1), SimDuration::from_secs(5)),
+        )],
+    );
+    run_with(
+        "nodes 0-2 partitioned from the control plane for 8s at t=5s",
+        reliable,
+        vec![(
+            SimTime::from_secs(5),
+            Fault::Partition(
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                SimDuration::from_secs(8),
+            ),
+        )],
+    );
+
+    // Unreliable control plane: drops and duplicates are masked by acks,
+    // retransmission and idempotent slave handling.
+    run_with(
+        "no faults, 20% drop + 10% duplication control plane",
+        lossy,
+        vec![],
+    );
+    run_with(
+        "master failover over the lossy control plane",
+        lossy,
+        vec![(SimTime::from_secs(5), Fault::MasterFail)],
+    );
+
+    // Randomized chaos: one seeded run from the harness used by
+    // `chaos_tests.rs`, with per-event invariant validation.
+    let report = run_chaos(&ChaosConfig {
+        seed: 2026,
+        ..ChaosConfig::default()
+    });
+    println!("--- randomized chaos (seed 2026) ---");
+    for (at, fault) in &report.faults {
+        println!("  t={:.1}s: {fault:?}", at.as_secs_f64());
+    }
+    println!(
+        "  {} of {} plans completed ({} deliberately killed); fingerprint {:#018x}",
+        report.metrics.plans.len(),
+        report.total_plans,
+        report.killed_plans.len(),
+        report.fingerprint
+    );
+    report.assert_invariants();
+
+    println!("\nAll failure scenarios completed with zero leaked buffer bytes.");
 }

@@ -18,7 +18,10 @@ fn main() {
     let trace = GoogleTrace::generate(&cfg, &mut rng);
 
     let (mean, median) = trace.lead_time_stats();
-    println!("Lead-time (job queueing) statistics over {} jobs:", trace.jobs.len());
+    println!(
+        "Lead-time (job queueing) statistics over {} jobs:",
+        trace.jobs.len()
+    );
     println!("  mean {mean:.1}s   median {median:.1}s   (paper: 8.8s / 1.8s)");
 
     let frac = trace.lead_time_sufficiency();

@@ -24,7 +24,13 @@ fn bins(m: &RunMetrics) -> [f64; 3] {
         sum[k] += p.duration;
         cnt[k] += 1;
     }
-    [0, 1, 2].map(|k| if cnt[k] > 0 { sum[k] / cnt[k] as f64 } else { 0.0 })
+    [0, 1, 2].map(|k| {
+        if cnt[k] > 0 {
+            sum[k] / cnt[k] as f64
+        } else {
+            0.0
+        }
+    })
 }
 
 fn main() {
@@ -51,12 +57,18 @@ fn main() {
         trace.fraction_at_most(64_000_000) * 100.0
     );
 
-    let cfg = ClusterConfig { seed, ..ClusterConfig::default() };
+    let cfg = ClusterConfig {
+        seed,
+        ..ClusterConfig::default()
+    };
     let hdfs = run_swim(&cfg, FsMode::Hdfs, &trace, None);
     let ignem = run_swim(&cfg, FsMode::Ignem, &trace, None);
     let ram = run_swim(&cfg, FsMode::HdfsInputsInRam, &trace, None);
 
-    println!("{:<20} {:>10} {:>10} {:>10} {:>9}", "config", "job(s)", "map(s)", "read(s)", "mem-frac");
+    println!(
+        "{:<20} {:>10} {:>10} {:>10} {:>9}",
+        "config", "job(s)", "map(s)", "read(s)", "mem-frac"
+    );
     for (mode, m) in [("HDFS", &hdfs), ("Ignem", &ignem), ("Inputs-in-RAM", &ram)] {
         println!(
             "{mode:<20} {:>10.2} {:>10.2} {:>10.2} {:>8.0}%",

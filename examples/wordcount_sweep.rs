@@ -15,8 +15,10 @@ use ignem_repro::workloads::jobs::WORDCOUNT_SWEEP_GB;
 
 fn main() {
     // Fig. 8 lives in the disk's seek-thrashing operating point.
-    let mut cfg = ClusterConfig::default();
-    cfg.disk = DeviceProfile::hdd_contended();
+    let cfg = ClusterConfig {
+        disk: DeviceProfile::hdd_contended(),
+        ..ClusterConfig::default()
+    };
 
     println!(
         "{:>4} {:>9} {:>9} {:>11} {:>9}",

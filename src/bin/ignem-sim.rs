@@ -31,10 +31,7 @@ impl Args {
         while i < raw.len() {
             let a = &raw[i];
             if let Some(name) = a.strip_prefix("--") {
-                let value = raw
-                    .get(i + 1)
-                    .filter(|v| !v.starts_with("--"))
-                    .cloned();
+                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
                 if value.is_some() {
                     i += 1;
                 }
@@ -109,8 +106,10 @@ fn main() {
         println!("see the module docs at the top of src/bin/ignem-sim.rs");
         return;
     }
-    let mut cfg = ClusterConfig::default();
-    cfg.seed = args.num("seed", 20180615u64);
+    let mut cfg = ClusterConfig {
+        seed: args.num("seed", 20180615u64),
+        ..ClusterConfig::default()
+    };
     if args.has("contended") {
         cfg.disk = DeviceProfile::hdd_contended();
     }
@@ -153,7 +152,10 @@ fn main() {
         "hive" => {
             let queries = fig9_queries();
             let m = run_hive(&cfg, mode, &queries);
-            print_summary(&format!("{} TPC-DS queries under {mode}", queries.len()), &m);
+            print_summary(
+                &format!("{} TPC-DS queries under {mode}", queries.len()),
+                &m,
+            );
             for p in &m.plans {
                 println!(
                     "    {:<5} input {:>5.1}GB  {:>6.1}s",

@@ -111,8 +111,10 @@ fn sort_ordering() {
 /// of delay* makes the job faster than not delaying.
 #[test]
 fn added_delay_can_speed_up_a_job() {
-    let mut cfg = ClusterConfig::default();
-    cfg.disk = DeviceProfile::hdd_contended();
+    let cfg = ClusterConfig {
+        disk: DeviceProfile::hdd_contended(),
+        ..ClusterConfig::default()
+    };
     let plain = run_wordcount(&cfg, FsMode::Ignem, 4, SimDuration::ZERO);
     let delayed = run_wordcount(&cfg, FsMode::Ignem, 4, SimDuration::from_secs(10));
     assert!(
