@@ -1,29 +1,48 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! report [OUT_DIR] [SECTION...]
+//! report [OUT_DIR] [--trace-out PATH] [SECTION...]
 //!
 //! SECTION: fig1 fig2 fig3 fig4 table1 fig5 table2 fig6 fig7 table3 fig8
-//!          fig9 ablation-priority   (default: all)
+//!          fig9 ablation-priority telemetry   (default: all)
 //! OUT_DIR: where CSVs go (default: ./results)
+//! --trace-out PATH: where the telemetry section writes the run's raw
+//!          event stream as JSONL
 //! ```
 
 use ignem_bench::{Report, Section};
 
+/// Whether an argument names a report section (as opposed to OUT_DIR).
+fn is_section(name: &str) -> bool {
+    name.starts_with("fig")
+        || name.starts_with("table")
+        || name.starts_with("ablation")
+        || name.starts_with("extension")
+        || name == "telemetry"
+        || name == "all"
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (out, wanted): (String, Vec<String>) = match args.split_first() {
-        Some((first, rest))
-            if !first.starts_with("fig")
-                && !first.starts_with("table")
-                && !first.starts_with("ablation")
-                && !first.starts_with("extension") =>
-        {
-            (first.clone(), rest.to_vec())
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Strip `--trace-out PATH` before the OUT_DIR heuristic looks at the
+    // first positional argument.
+    let mut trace_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        if i + 1 >= args.len() {
+            eprintln!("--trace-out requires a path");
+            std::process::exit(2);
         }
+        trace_out = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let (out, wanted): (String, Vec<String>) = match args.split_first() {
+        Some((first, rest)) if !is_section(first) => (first.clone(), rest.to_vec()),
         _ => ("results".to_string(), args),
     };
     let mut report = Report::new(&out);
+    if let Some(path) = &trace_out {
+        report.set_trace_out(path);
+    }
     let sections: Vec<Section> = if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         report.all()
     } else {
@@ -51,6 +70,7 @@ fn main() {
                 "extension-benefit" => report.extension_benefit_aware(),
                 "extension-iterative" => report.extension_iterative(),
                 "extension-caching" => report.extension_caching(),
+                "telemetry" => report.telemetry(),
                 other => {
                     eprintln!("unknown section: {other}");
                     std::process::exit(2);

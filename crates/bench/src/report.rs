@@ -8,7 +8,10 @@
 use std::path::Path;
 
 use ignem_cluster::config::{ClusterConfig, FsMode};
-use ignem_cluster::experiment::{run_hive, run_read_micro, run_sort, run_swim, run_wordcount};
+use ignem_cluster::experiment::{
+    run_hive, run_read_micro, run_sort, run_swim, run_swim_recorded, run_wordcount,
+};
+use ignem_cluster::explain::{JobLeadTime, LossCause, TelemetryReport};
 use ignem_cluster::metrics::RunMetrics;
 use ignem_core::policy::Policy;
 use ignem_simcore::rng::SimRng;
@@ -41,6 +44,7 @@ pub struct Report {
     out: std::path::PathBuf,
     trace: SwimTrace,
     swim: Option<SwimBundle>,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 struct SwimBundle {
@@ -63,12 +67,19 @@ impl Report {
             out: out.as_ref().to_path_buf(),
             trace,
             swim: None,
+            trace_out: None,
         }
     }
 
     /// The cluster configuration used for every experiment.
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
+    }
+
+    /// Sets the path where [`telemetry`](Report::telemetry) additionally
+    /// writes the raw event stream as JSONL (the `--trace-out` flag).
+    pub fn set_trace_out(&mut self, path: impl AsRef<Path>) {
+        self.trace_out = Some(path.as_ref().to_path_buf());
     }
 
     fn swim(&mut self) -> &SwimBundle {
@@ -965,6 +976,93 @@ impl Report {
         }
     }
 
+    /// Telemetry deep-dive (not a paper figure): replays the Table I
+    /// SWIM/Ignem run with the flight recorder installed, folds the event
+    /// stream into per-block migration-race verdicts and per-job
+    /// lead-time decompositions, and checks that the verdicts reconcile
+    /// exactly with the run's metrics. When a trace path is set
+    /// ([`Report::set_trace_out`]), the raw JSONL stream is written there
+    /// too.
+    pub fn telemetry(&mut self) -> Section {
+        let (metrics, recorder) = run_swim_recorded(&self.cfg, FsMode::Ignem, &self.trace, 1 << 22);
+        if let Some(path) = &self.trace_out {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).expect("create trace dir");
+                }
+            }
+            std::fs::write(path, recorder.to_jsonl()).expect("write trace JSONL");
+        }
+        let events = recorder.events();
+        let report = TelemetryReport::from_events(&events);
+        report
+            .reconcile(&metrics)
+            .expect("telemetry verdicts must reconcile with run metrics");
+
+        let mut rows = vec![vec!["won_race".to_string(), report.won().to_string()]];
+        for cause in LossCause::ALL {
+            rows.push(vec![
+                cause.tag().to_string(),
+                report.lost_with(cause).to_string(),
+            ]);
+        }
+        write_csv(&self.out, "telemetry_causes", &["verdict", "reads"], &rows);
+
+        let lt_rows: Vec<Vec<String>> = report
+            .lead_times
+            .iter()
+            .map(|lt| {
+                vec![
+                    lt.job.to_string(),
+                    f(lt.queue_delay.as_secs_f64(), 3),
+                    f(lt.heartbeat_delay.as_secs_f64(), 3),
+                    f(lt.migration_service.as_secs_f64(), 3),
+                ]
+            })
+            .collect();
+        write_csv(
+            &self.out,
+            "telemetry_lead_times",
+            &[
+                "job",
+                "queue_delay_s",
+                "heartbeat_delay_s",
+                "migration_service_s",
+            ],
+            &lt_rows,
+        );
+
+        let n = report.lead_times.len().max(1) as f64;
+        let mean = |sel: fn(&JobLeadTime) -> f64| -> f64 {
+            report.lead_times.iter().map(sel).sum::<f64>() / n
+        };
+        let causes = LossCause::ALL
+            .iter()
+            .map(|&c| format!("{} {}", c.tag(), report.lost_with(c)))
+            .collect::<Vec<_>>()
+            .join("   ");
+        let text = format!(
+            "Telemetry — migration-race explainer over the Table I SWIM/Ignem run\n\
+             {} events recorded ({} dropped), {} block reads explained\n\
+             won race (memory): {}   lost race (disk): {}\n\
+             loss causes: {causes}\n\
+             mean lead time: queue {:.2}s + heartbeat {:.2}s; \
+             migration service {:.2}s per job",
+            events.len(),
+            recorder.dropped(),
+            report.verdicts.len(),
+            report.won(),
+            report.lost(),
+            mean(|lt| lt.queue_delay.as_secs_f64()),
+            mean(|lt| lt.heartbeat_delay.as_secs_f64()),
+            mean(|lt| lt.migration_service.as_secs_f64()),
+        );
+        Section {
+            id: "telemetry",
+            text,
+        }
+    }
+
     /// Runs every section in paper order, then the extended ablations.
     pub fn all(&mut self) -> Vec<Section> {
         vec![
@@ -989,6 +1087,7 @@ impl Report {
             self.extension_benefit_aware(),
             self.extension_iterative(),
             self.extension_caching(),
+            self.telemetry(),
         ]
     }
 }

@@ -3,7 +3,7 @@
 //! The harness turns one seed into a complete chaos experiment — a small
 //! Ignem workload, an unreliable control-plane channel and a randomized
 //! fault plan drawn from the full palette ([`Fault`]) — runs it with
-//! per-event invariant validation, and checks five end-state invariants:
+//! per-event invariant validation, and checks six end-state invariants:
 //!
 //! 1. **Do-not-harm**: every event leaves each slave's reference lists,
 //!    queue and memory accounting mutually consistent
@@ -17,6 +17,11 @@
 //!    alive (the generator caps node failures at `replication − 1`).
 //! 5. **Determinism**: two runs of the same `(seed, fault plan)` produce
 //!    bit-identical metrics (compared via [`fingerprint`]).
+//! 6. **Event-stream consistency**: the run's flight-recorder stream is
+//!    internally coherent — sequence numbers strictly increase, every
+//!    `MigrationCompleted` (and every wasted or cancelled read) matches an
+//!    earlier `MigrationStarted` for the same `(node, block)`, and no node
+//!    evicts more migrated bytes than it completed migrating.
 //!
 //! ```
 //! use ignem_cluster::chaos::{run_chaos, ChaosConfig};
@@ -25,10 +30,13 @@
 //! report.assert_invariants();
 //! ```
 
+use std::collections::HashMap;
+
 use ignem_compute::job::{JobInput, JobSpec, SubmitOptions};
 use ignem_netsim::rpc::RpcConfig;
 use ignem_netsim::NodeId;
 use ignem_simcore::rng::SimRng;
+use ignem_simcore::telemetry::{Event, EventRecord, FlightRecorder};
 use ignem_simcore::time::{SimDuration, SimTime};
 use ignem_simcore::units::MIB;
 
@@ -81,11 +89,17 @@ pub struct ChaosReport {
     pub metrics: RunMetrics,
     /// Bit-exact digest of the metrics (see [`fingerprint`]).
     pub fingerprint: u64,
+    /// The flight-recorder event stream of the run, in emission order.
+    pub events: Vec<EventRecord>,
+    /// Records the flight recorder had to evict to stay within its bound;
+    /// invariant 6 is only checked when this is zero (a truncated stream
+    /// can legitimately miss `MigrationStarted` events).
+    pub events_dropped: u64,
 }
 
 impl ChaosReport {
-    /// Checks the end-state invariants (2–4 of the module docs; 1 is
-    /// enforced per event during the run, 5 by comparing two reports).
+    /// Checks the end-state invariants (2–4 and 6 of the module docs; 1
+    /// is enforced per event during the run, 5 by comparing two reports).
     ///
     /// # Panics
     ///
@@ -118,6 +132,77 @@ impl ChaosReport {
             assert!(
                 completed.contains(&plan) || self.killed_plans.contains(&plan),
                 "plan {plan} neither completed nor was killed (faults: {:?})",
+                self.faults
+            );
+        }
+        if self.events_dropped == 0 {
+            self.assert_event_stream_consistent();
+        }
+    }
+
+    /// Invariant 6: the flight-recorder stream is internally coherent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first inconsistency.
+    pub fn assert_event_stream_consistent(&self) {
+        // Disk reads the slaves claimed to finish must each match an
+        // earlier start for the same (node, block); wasted and cancelled
+        // reads consume a start the same way. Eviction can only release
+        // bytes that a completed migration brought into memory.
+        let mut outstanding: HashMap<(u32, u64), u64> = HashMap::new();
+        let mut completed_bytes: HashMap<u32, u64> = HashMap::new();
+        let mut evicted_bytes: HashMap<u32, u64> = HashMap::new();
+        let mut last_seq: Option<u64> = None;
+        for rec in &self.events {
+            if let Some(prev) = last_seq {
+                assert!(
+                    rec.seq > prev,
+                    "event sequence not strictly increasing: {} after {prev}",
+                    rec.seq
+                );
+            }
+            last_seq = Some(rec.seq);
+            match &rec.event {
+                Event::MigrationStarted { node, block, .. } => {
+                    *outstanding.entry((*node, *block)).or_default() += 1;
+                }
+                Event::MigrationCompleted { node, block, bytes } => {
+                    let pending = outstanding.entry((*node, *block)).or_default();
+                    assert!(
+                        *pending > 0,
+                        "node{node} completed migrating block {block} without a start \
+                         (seq {}, faults: {:?})",
+                        rec.seq,
+                        self.faults
+                    );
+                    *pending -= 1;
+                    *completed_bytes.entry(*node).or_default() += bytes;
+                }
+                Event::MigrationWasted { node, block, .. }
+                | Event::MigrationCancelled { node, block } => {
+                    let pending = outstanding.entry((*node, *block)).or_default();
+                    assert!(
+                        *pending > 0,
+                        "node{node} wasted/cancelled block {block} without a start \
+                         (seq {}, faults: {:?})",
+                        rec.seq,
+                        self.faults
+                    );
+                    *pending -= 1;
+                }
+                Event::BlockEvicted { node, bytes, .. } => {
+                    *evicted_bytes.entry(*node).or_default() += bytes;
+                }
+                _ => {}
+            }
+        }
+        for (node, &gone) in &evicted_bytes {
+            let migrated = completed_bytes.get(node).copied().unwrap_or(0);
+            assert!(
+                gone <= migrated,
+                "node{node} evicted {gone} bytes but completed only {migrated} \
+                 (faults: {:?})",
                 self.faults
             );
         }
@@ -317,7 +402,12 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
 
     let (files, plans) = workload(cfg.jobs);
     let total_plans = plans.len();
-    let world = World::new(cluster, FsMode::Ignem, &files, plans, faults.clone()).with_validation();
+    // Generous bound: chaos workloads emit a few thousand events, so the
+    // recorder keeps the whole run and invariant 6 sees everything.
+    let recorder = FlightRecorder::new(1 << 20);
+    let world = World::new(cluster, FsMode::Ignem, &files, plans, faults.clone())
+        .with_telemetry(Box::new(recorder.clone()))
+        .with_validation();
     let metrics = world.run();
     let fp = fingerprint(&metrics);
     ChaosReport {
@@ -326,6 +416,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         total_plans,
         metrics,
         fingerprint: fp,
+        events: recorder.events(),
+        events_dropped: recorder.dropped(),
     }
 }
 

@@ -9,6 +9,7 @@ use ignem_compute::job::{JobInput, JobSpec, SubmitOptions};
 use ignem_core::command::EvictionMode;
 use ignem_core::policy::Policy;
 use ignem_simcore::rng::SimRng;
+use ignem_simcore::telemetry::FlightRecorder;
 use ignem_simcore::time::SimDuration;
 use ignem_simcore::units::GB;
 use ignem_workloads::jobs::{sort_job, wordcount_job};
@@ -154,6 +155,33 @@ pub fn run_swim_with(
         vec![],
     )
     .run()
+}
+
+/// Runs the SWIM workload like [`run_swim`], but with a
+/// [`FlightRecorder`] of the given capacity installed; returns the
+/// metrics together with the recorder, so callers can feed
+/// [`FlightRecorder::events`] to the
+/// [explainer](crate::explain::TelemetryReport) or export
+/// [`FlightRecorder::to_jsonl`].
+pub fn run_swim_recorded(
+    cfg: &ClusterConfig,
+    mode: FsMode,
+    trace: &SwimTrace,
+    capacity: usize,
+) -> (RunMetrics, FlightRecorder) {
+    let files = swim_files(trace);
+    let migrate = mode == FsMode::Ignem;
+    let recorder = FlightRecorder::new(capacity);
+    let metrics = World::new(
+        cfg.clone(),
+        mode,
+        &files,
+        swim_plan_with(trace, migrate, EvictionMode::Explicit),
+        vec![],
+    )
+    .with_telemetry(Box::new(recorder.clone()))
+    .run();
+    (metrics, recorder)
 }
 
 /// Runs the 40 GB sort job (Table III).

@@ -1,0 +1,752 @@
+//! Migration-race explainer: folds a telemetry event stream into per-block
+//! verdicts and per-job lead-time decompositions.
+//!
+//! The paper's central race is *migration vs. the task that wants the
+//! block*: Ignem migrates cold data upward while the scheduler is still
+//! paying submitter, ApplicationMaster, and heartbeat latencies, and a
+//! block read hits memory only if the migration finished first. Aggregate
+//! metrics say *how often* the migration won; this module says *why* it
+//! lost, block by block, from the typed event stream
+//! ([`ignem_simcore::telemetry`]):
+//!
+//! * [`Verdict::WonRace`] — the read was served from memory; `margin` is
+//!   how long the migrated block sat resident before the read started.
+//! * [`Verdict::LostRace`] — the read went to disk; [`LossCause`] names
+//!   the furthest stage the migration reached before the read started,
+//!   and `shortfall` estimates how late it was.
+//!
+//! The verdict fold is intentionally *reconcilable*: `World` emits
+//! `BlockRead` under exactly the guard that records a
+//! [`BlockRead`](crate::metrics::BlockRead) metric, so
+//! [`TelemetryReport::reconcile`] can assert `#WonRace == memory reads`
+//! and `#LostRace == disk reads` — any drift means the instrumentation
+//! and the metrics disagree about what happened.
+//!
+//! Lead-time decomposition ([`JobLeadTime`]) splits the head start a job
+//! unknowingly gives its migrations into queue delay (submission →
+//! schedulable), heartbeat delay (schedulable → first task assignment),
+//! and the migration service time spent on the job's own blocks.
+
+use std::collections::HashMap;
+
+use ignem_simcore::telemetry::{Event, EventRecord, ReadClass};
+use ignem_simcore::time::{SimDuration, SimTime};
+
+use crate::metrics::{ReadKind, RunMetrics};
+
+/// Why a block read lost the migration race, ordered by how far the
+/// migration got before the read started (furthest first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LossCause {
+    /// The block *was* migrated but got evicted again before the read.
+    Evicted,
+    /// The disk read for the migration was in flight (or the block was
+    /// resident on a node the reader didn't use) — the disk was the
+    /// bottleneck.
+    DiskContended,
+    /// The migration command reached the slave but sat behind other
+    /// queued migrations.
+    QueuedBehind,
+    /// The master assigned the migration but no slave ever acted on it
+    /// before the read — the command was lost or still retrying.
+    RpcLost,
+    /// The master never assigned a migration for this block at all.
+    NeverScheduled,
+}
+
+impl LossCause {
+    /// Stable lowercase tag for CSV/JSON output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            LossCause::Evicted => "evicted",
+            LossCause::DiskContended => "disk_contended",
+            LossCause::QueuedBehind => "queued_behind",
+            LossCause::RpcLost => "rpc_lost",
+            LossCause::NeverScheduled => "never_scheduled",
+        }
+    }
+
+    /// All causes, in the order [`LossCause`] declares them.
+    pub const ALL: [LossCause; 5] = [
+        LossCause::Evicted,
+        LossCause::DiskContended,
+        LossCause::QueuedBehind,
+        LossCause::RpcLost,
+        LossCause::NeverScheduled,
+    ];
+}
+
+/// The outcome of one block read's race against its migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The read was served from memory.
+    WonRace {
+        /// How long the block had been resident when the read started
+        /// (zero when the completing migration fell outside the recorded
+        /// window).
+        margin: SimDuration,
+    },
+    /// The read went to disk.
+    LostRace {
+        /// How late the migration was: time from the read's start to the
+        /// moment the block would have been (or was) available, falling
+        /// back to the age of the furthest migration step when no later
+        /// completion exists.
+        shortfall: SimDuration,
+        /// The furthest stage the migration reached before the read.
+        cause: LossCause,
+    },
+}
+
+impl Verdict {
+    /// The loss cause, if this verdict is a loss.
+    pub fn cause(&self) -> Option<LossCause> {
+        match self {
+            Verdict::WonRace { .. } => None,
+            Verdict::LostRace { cause, .. } => Some(*cause),
+        }
+    }
+}
+
+/// One block read, explained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockVerdict {
+    /// Reading task.
+    pub task: u64,
+    /// Owning job.
+    pub job: u64,
+    /// Block read.
+    pub block: u64,
+    /// Node that served the bytes.
+    pub node: u32,
+    /// Bytes read.
+    pub bytes: u64,
+    /// When the read started.
+    pub read_start: SimTime,
+    /// The race outcome.
+    pub verdict: Verdict,
+}
+
+/// How much head start a job's migrations got, decomposed the way the
+/// paper argues in §II: the block upload can overlap the job's own
+/// startup latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobLeadTime {
+    /// Job id.
+    pub job: u64,
+    /// Submission → schedulable (submitter + AM overhead).
+    pub queue_delay: SimDuration,
+    /// Schedulable → first task assignment (heartbeat latency).
+    pub heartbeat_delay: SimDuration,
+    /// Total disk time spent migrating blocks this job asked for first.
+    pub migration_service: SimDuration,
+}
+
+/// Per-`(node, block)` migration timeline, indexed in the first pass and
+/// queried per read in the second.
+#[derive(Debug, Default)]
+struct Timeline {
+    enqueued: Vec<SimTime>,
+    started: Vec<SimTime>,
+    completed: Vec<SimTime>,
+    evicted: Vec<SimTime>,
+}
+
+impl Timeline {
+    fn is_empty(&self) -> bool {
+        self.enqueued.is_empty()
+            && self.started.is_empty()
+            && self.completed.is_empty()
+            && self.evicted.is_empty()
+    }
+
+    /// Last element of a (chronologically sorted) time list at or before
+    /// `t`.
+    fn last_at_or_before(times: &[SimTime], t: SimTime) -> Option<SimTime> {
+        times.iter().rev().find(|&&x| x <= t).copied()
+    }
+
+    /// First element strictly after `t`.
+    fn first_after(times: &[SimTime], t: SimTime) -> Option<SimTime> {
+        times.iter().find(|&&x| x > t).copied()
+    }
+}
+
+/// The explainer's output: every block read's verdict, every job's
+/// lead-time decomposition, and bulk counts for reporting.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    /// Per-read verdicts, in read-completion order.
+    pub verdicts: Vec<BlockVerdict>,
+    /// Per-job lead times, for jobs whose submission, scheduling, and
+    /// first assignment all fell inside the recorded window.
+    pub lead_times: Vec<JobLeadTime>,
+}
+
+impl TelemetryReport {
+    /// Folds an event stream (e.g.
+    /// [`FlightRecorder::events`](ignem_simcore::telemetry::FlightRecorder::events))
+    /// into verdicts and lead times. The stream must be in emission order;
+    /// a truncated stream (ring-buffer eviction) degrades gracefully —
+    /// reads whose migration history fell off the front get zero margins /
+    /// `NeverScheduled` verdicts rather than errors.
+    pub fn from_events(events: &[EventRecord]) -> TelemetryReport {
+        // Pass 1: index migration timelines, assignments, job lifecycle
+        // times, and attribute completed migration rounds to the job that
+        // first asked for them.
+        let mut timelines: HashMap<(u32, u64), Timeline> = HashMap::new();
+        let mut assigned: HashMap<(u64, u64), Vec<(u32, SimTime)>> = HashMap::new();
+        let mut submitted: HashMap<u64, SimTime> = HashMap::new();
+        let mut scheduled: HashMap<u64, SimTime> = HashMap::new();
+        let mut first_assign: HashMap<u64, SimTime> = HashMap::new();
+        let mut migration_service: HashMap<u64, SimDuration> = HashMap::new();
+        // Current migration round per (node, block): the first enqueued
+        // waiter owns the round; `started` opens it, completion/waste/
+        // cancellation closes it.
+        let mut round_owner: HashMap<(u32, u64), u64> = HashMap::new();
+        let mut round_started: HashMap<(u32, u64), SimTime> = HashMap::new();
+        let mut job_order: Vec<u64> = Vec::new();
+
+        for rec in events {
+            match &rec.event {
+                Event::JobSubmitted { job, .. } => {
+                    submitted.entry(*job).or_insert(rec.at);
+                    job_order.push(*job);
+                }
+                Event::JobScheduled { job } => {
+                    scheduled.entry(*job).or_insert(rec.at);
+                }
+                Event::TaskAssigned { job, .. } => {
+                    first_assign.entry(*job).or_insert(rec.at);
+                }
+                Event::MigrationAssigned {
+                    job, block, node, ..
+                } => {
+                    assigned
+                        .entry((*job, *block))
+                        .or_default()
+                        .push((*node, rec.at));
+                }
+                Event::MigrationEnqueued {
+                    node, job, block, ..
+                } => {
+                    let key = (*node, *block);
+                    timelines.entry(key).or_default().enqueued.push(rec.at);
+                    round_owner.entry(key).or_insert(*job);
+                }
+                Event::MigrationStarted { node, block, .. } => {
+                    let key = (*node, *block);
+                    timelines.entry(key).or_default().started.push(rec.at);
+                    round_started.insert(key, rec.at);
+                }
+                Event::MigrationCompleted { node, block, .. } => {
+                    let key = (*node, *block);
+                    timelines.entry(key).or_default().completed.push(rec.at);
+                    if let (Some(owner), Some(started)) =
+                        (round_owner.remove(&key), round_started.remove(&key))
+                    {
+                        *migration_service.entry(owner).or_default() +=
+                            rec.at.saturating_duration_since(started);
+                    }
+                }
+                Event::MigrationWasted { node, block, .. }
+                | Event::MigrationCancelled { node, block } => {
+                    // The round ended without delivering the block; its
+                    // `started` evidence stays in the timeline, but no
+                    // service time is credited.
+                    let key = (*node, *block);
+                    round_owner.remove(&key);
+                    round_started.remove(&key);
+                }
+                Event::MigrationDiscarded { node, block } => {
+                    // A queued (never-started) waiter went away; release
+                    // ownership only if no read is in flight.
+                    let key = (*node, *block);
+                    if !round_started.contains_key(&key) {
+                        round_owner.remove(&key);
+                    }
+                }
+                Event::BlockEvicted { node, block, .. } => {
+                    timelines
+                        .entry((*node, *block))
+                        .or_default()
+                        .evicted
+                        .push(rec.at);
+                }
+                _ => {}
+            }
+        }
+
+        // Pass 2: verdict per block read.
+        let mut verdicts = Vec::new();
+        for rec in events {
+            if let Event::BlockRead {
+                task,
+                job,
+                block,
+                node,
+                bytes,
+                class,
+                duration_us,
+            } = &rec.event
+            {
+                let read_start =
+                    SimTime::from_micros(rec.at.as_micros().saturating_sub(*duration_us));
+                let verdict = match class {
+                    ReadClass::Memory => {
+                        let margin = timelines
+                            .get(&(*node, *block))
+                            .and_then(|tl| Timeline::last_at_or_before(&tl.completed, read_start))
+                            .map(|done| read_start.saturating_duration_since(done))
+                            .unwrap_or(SimDuration::ZERO);
+                        Verdict::WonRace { margin }
+                    }
+                    ReadClass::LocalDisk | ReadClass::RemoteDisk => {
+                        explain_disk_read(&timelines, &assigned, *job, *block, read_start)
+                    }
+                };
+                verdicts.push(BlockVerdict {
+                    task: *task,
+                    job: *job,
+                    block: *block,
+                    node: *node,
+                    bytes: *bytes,
+                    read_start,
+                    verdict,
+                });
+            }
+        }
+
+        // Lead times, in submission order, for jobs fully inside the
+        // recorded window.
+        let mut lead_times = Vec::new();
+        for job in job_order {
+            let (Some(&sub), Some(&sched), Some(&assign)) = (
+                submitted.get(&job),
+                scheduled.get(&job),
+                first_assign.get(&job),
+            ) else {
+                continue;
+            };
+            lead_times.push(JobLeadTime {
+                job,
+                queue_delay: sched.saturating_duration_since(sub),
+                heartbeat_delay: assign.saturating_duration_since(sched),
+                migration_service: migration_service
+                    .get(&job)
+                    .copied()
+                    .unwrap_or(SimDuration::ZERO),
+            });
+        }
+
+        TelemetryReport {
+            verdicts,
+            lead_times,
+        }
+    }
+
+    /// Number of reads that won the race (memory reads).
+    pub fn won(&self) -> usize {
+        self.verdicts
+            .iter()
+            .filter(|v| matches!(v.verdict, Verdict::WonRace { .. }))
+            .count()
+    }
+
+    /// Number of reads that lost the race (disk reads), all causes.
+    pub fn lost(&self) -> usize {
+        self.verdicts.len() - self.won()
+    }
+
+    /// Number of lost reads with the given cause.
+    pub fn lost_with(&self, cause: LossCause) -> usize {
+        self.verdicts
+            .iter()
+            .filter(|v| v.verdict.cause() == Some(cause))
+            .count()
+    }
+
+    /// Checks that the verdicts agree with a run's metrics: one verdict
+    /// per recorded block read, `#WonRace` equal to the memory-read count,
+    /// and `#LostRace` (all causes) equal to the disk-read count. Returns
+    /// a description of the first mismatch.
+    ///
+    /// Only meaningful when the flight recorder kept the whole run (no
+    /// ring-buffer eviction); a truncated stream legitimately undercounts.
+    pub fn reconcile(&self, metrics: &RunMetrics) -> Result<(), String> {
+        if self.verdicts.len() != metrics.block_reads.len() {
+            return Err(format!(
+                "verdict count {} != recorded block reads {}",
+                self.verdicts.len(),
+                metrics.block_reads.len()
+            ));
+        }
+        let mem = metrics
+            .block_reads
+            .iter()
+            .filter(|r| r.kind == ReadKind::Memory)
+            .count();
+        if self.won() != mem {
+            return Err(format!(
+                "{} WonRace verdicts != {mem} memory reads",
+                self.won()
+            ));
+        }
+        let disk = metrics.block_reads.len() - mem;
+        if self.lost() != disk {
+            return Err(format!(
+                "{} LostRace verdicts != {disk} disk reads",
+                self.lost()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Ranks how far a migration got on one node by `read_start` and derives
+/// the verdict; the caller keeps the max-progress verdict across every
+/// node the master assigned.
+fn explain_disk_read(
+    timelines: &HashMap<(u32, u64), Timeline>,
+    assigned: &HashMap<(u64, u64), Vec<(u32, SimTime)>>,
+    job: u64,
+    block: u64,
+    read_start: SimTime,
+) -> Verdict {
+    let Some(assignments) = assigned.get(&(job, block)).filter(|a| !a.is_empty()) else {
+        return Verdict::LostRace {
+            shortfall: SimDuration::ZERO,
+            cause: LossCause::NeverScheduled,
+        };
+    };
+    let first_assigned_at = assignments[0].1;
+
+    // (rank, shortfall, cause): higher rank = the migration got further.
+    let mut best: Option<(u8, SimDuration, LossCause)> = None;
+    for &(node, _) in assignments {
+        let Some(tl) = timelines.get(&(node, block)).filter(|tl| !tl.is_empty()) else {
+            continue;
+        };
+        let completed = Timeline::last_at_or_before(&tl.completed, read_start);
+        let evicted = Timeline::last_at_or_before(&tl.evicted, read_start);
+        let started = Timeline::last_at_or_before(&tl.started, read_start);
+        let enqueued = Timeline::last_at_or_before(&tl.enqueued, read_start);
+
+        let candidate = if let Some(done) = completed {
+            match evicted {
+                Some(gone) if gone >= done => (
+                    3,
+                    read_start.saturating_duration_since(gone),
+                    LossCause::Evicted,
+                ),
+                // Resident on this node at read time, yet the reader used
+                // another replica's disk: the contended disk path won the
+                // planner's cost model, so charge contention with no
+                // measurable shortfall.
+                _ => (3, SimDuration::ZERO, LossCause::DiskContended),
+            }
+        } else if let Some(begun) = started {
+            let shortfall = Timeline::first_after(&tl.completed, read_start)
+                .map(|done| done.saturating_duration_since(read_start))
+                .unwrap_or_else(|| read_start.saturating_duration_since(begun));
+            (2, shortfall, LossCause::DiskContended)
+        } else if let Some(queued) = enqueued {
+            let shortfall = Timeline::first_after(&tl.started, read_start)
+                .map(|begun| begun.saturating_duration_since(read_start))
+                .unwrap_or_else(|| read_start.saturating_duration_since(queued));
+            (1, shortfall, LossCause::QueuedBehind)
+        } else {
+            // The slave acted on the block only after the read began — the
+            // command effectively arrived too late; treated like a lost
+            // command below.
+            continue;
+        };
+        if best.map(|(rank, ..)| candidate.0 > rank).unwrap_or(true) {
+            best = Some(candidate);
+        }
+    }
+
+    match best {
+        Some((_, shortfall, cause)) => Verdict::LostRace { shortfall, cause },
+        None => Verdict::LostRace {
+            shortfall: read_start.saturating_duration_since(first_assigned_at),
+            cause: LossCause::RpcLost,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, at_us: u64, event: Event) -> EventRecord {
+        EventRecord {
+            seq,
+            at: SimTime::from_micros(at_us),
+            event,
+        }
+    }
+
+    fn read(at_us: u64, class: ReadClass, duration_us: u64) -> Event {
+        let _ = at_us;
+        Event::BlockRead {
+            task: 1,
+            job: 1,
+            block: 10,
+            node: 0,
+            bytes: 64,
+            class,
+            duration_us,
+        }
+    }
+
+    fn migration_chain(job: u64, block: u64, node: u32) -> Vec<Event> {
+        vec![
+            Event::MigrationAssigned {
+                job,
+                block,
+                node,
+                bytes: 64,
+            },
+            Event::MigrationEnqueued {
+                node,
+                job,
+                block,
+                bytes: 64,
+            },
+            Event::MigrationStarted {
+                node,
+                block,
+                bytes: 64,
+            },
+            Event::MigrationCompleted {
+                node,
+                block,
+                bytes: 64,
+            },
+        ]
+    }
+
+    #[test]
+    fn memory_read_wins_with_margin() {
+        let mut events: Vec<EventRecord> = Vec::new();
+        for (i, ev) in migration_chain(1, 10, 0).into_iter().enumerate() {
+            events.push(rec(i as u64, (i as u64 + 1) * 1_000, ev));
+        }
+        // Read starts at t=10_000 (completes 12_000 after 2_000us); the
+        // migration completed at t=4_000 → margin 6_000us.
+        events.push(rec(4, 12_000, read(12_000, ReadClass::Memory, 2_000)));
+        let report = TelemetryReport::from_events(&events);
+        assert_eq!(report.won(), 1);
+        assert_eq!(
+            report.verdicts[0].verdict,
+            Verdict::WonRace {
+                margin: SimDuration::from_micros(6_000)
+            }
+        );
+    }
+
+    #[test]
+    fn unassigned_block_is_never_scheduled() {
+        let events = vec![rec(0, 5_000, read(5_000, ReadClass::LocalDisk, 1_000))];
+        let report = TelemetryReport::from_events(&events);
+        assert_eq!(report.lost_with(LossCause::NeverScheduled), 1);
+    }
+
+    #[test]
+    fn assigned_but_silent_slave_is_rpc_lost() {
+        let events = vec![
+            rec(
+                0,
+                1_000,
+                Event::MigrationAssigned {
+                    job: 1,
+                    block: 10,
+                    node: 3,
+                    bytes: 64,
+                },
+            ),
+            rec(1, 9_000, read(9_000, ReadClass::LocalDisk, 1_000)),
+        ];
+        let report = TelemetryReport::from_events(&events);
+        assert_eq!(report.lost_with(LossCause::RpcLost), 1);
+        assert_eq!(
+            report.verdicts[0].verdict,
+            Verdict::LostRace {
+                // read_start 8_000 − assigned 1_000.
+                shortfall: SimDuration::from_micros(7_000),
+                cause: LossCause::RpcLost,
+            }
+        );
+    }
+
+    #[test]
+    fn in_flight_migration_is_disk_contended_with_completion_shortfall() {
+        let events = vec![
+            rec(
+                0,
+                1_000,
+                Event::MigrationAssigned {
+                    job: 1,
+                    block: 10,
+                    node: 0,
+                    bytes: 64,
+                },
+            ),
+            rec(
+                1,
+                1_500,
+                Event::MigrationEnqueued {
+                    node: 0,
+                    job: 1,
+                    block: 10,
+                    bytes: 64,
+                },
+            ),
+            rec(
+                2,
+                2_000,
+                Event::MigrationStarted {
+                    node: 0,
+                    block: 10,
+                    bytes: 64,
+                },
+            ),
+            // Read starts at 4_000 while the migration is still on disk…
+            rec(3, 5_000, read(5_000, ReadClass::LocalDisk, 1_000)),
+            // …and it finally lands at 7_000: shortfall 3_000.
+            rec(
+                4,
+                7_000,
+                Event::MigrationCompleted {
+                    node: 0,
+                    block: 10,
+                    bytes: 64,
+                },
+            ),
+        ];
+        let report = TelemetryReport::from_events(&events);
+        assert_eq!(
+            report.verdicts[0].verdict,
+            Verdict::LostRace {
+                shortfall: SimDuration::from_micros(3_000),
+                cause: LossCause::DiskContended,
+            }
+        );
+    }
+
+    #[test]
+    fn queued_migration_is_queued_behind() {
+        let events = vec![
+            rec(
+                0,
+                1_000,
+                Event::MigrationAssigned {
+                    job: 1,
+                    block: 10,
+                    node: 0,
+                    bytes: 64,
+                },
+            ),
+            rec(
+                1,
+                1_500,
+                Event::MigrationEnqueued {
+                    node: 0,
+                    job: 1,
+                    block: 10,
+                    bytes: 64,
+                },
+            ),
+            rec(2, 5_000, read(5_000, ReadClass::LocalDisk, 1_000)),
+        ];
+        let report = TelemetryReport::from_events(&events);
+        assert_eq!(
+            report.verdicts[0].verdict,
+            Verdict::LostRace {
+                // No later start recorded: age since enqueue, 4_000 − 1_500.
+                shortfall: SimDuration::from_micros(2_500),
+                cause: LossCause::QueuedBehind,
+            }
+        );
+    }
+
+    #[test]
+    fn evicted_block_is_evicted() {
+        let mut events: Vec<EventRecord> = Vec::new();
+        for (i, ev) in migration_chain(1, 10, 0).into_iter().enumerate() {
+            events.push(rec(i as u64, (i as u64 + 1) * 1_000, ev));
+        }
+        events.push(rec(
+            4,
+            6_000,
+            Event::BlockEvicted {
+                node: 0,
+                block: 10,
+                bytes: 64,
+            },
+        ));
+        events.push(rec(5, 10_000, read(10_000, ReadClass::LocalDisk, 1_000)));
+        let report = TelemetryReport::from_events(&events);
+        assert_eq!(
+            report.verdicts[0].verdict,
+            Verdict::LostRace {
+                // read_start 9_000 − evicted 6_000.
+                shortfall: SimDuration::from_micros(3_000),
+                cause: LossCause::Evicted,
+            }
+        );
+    }
+
+    #[test]
+    fn lead_time_decomposes_and_attributes_migration_service() {
+        let mut events = vec![
+            rec(
+                0,
+                1_000,
+                Event::JobSubmitted {
+                    job: 1,
+                    name: "wc".into(),
+                    plan: 0,
+                    stage: 0,
+                },
+            ),
+            rec(1, 4_000, Event::JobScheduled { job: 1 }),
+        ];
+        for (i, ev) in migration_chain(1, 10, 0).into_iter().enumerate() {
+            events.push(rec(2 + i as u64, 4_000 + (i as u64 + 1) * 1_000, ev));
+        }
+        events.push(rec(
+            6,
+            10_000,
+            Event::TaskAssigned {
+                task: 1,
+                job: 1,
+                node: 0,
+            },
+        ));
+        let report = TelemetryReport::from_events(&events);
+        assert_eq!(report.lead_times.len(), 1);
+        let lt = report.lead_times[0];
+        assert_eq!(lt.queue_delay, SimDuration::from_micros(3_000));
+        assert_eq!(lt.heartbeat_delay, SimDuration::from_micros(6_000));
+        // Started at 7_000, completed at 8_000.
+        assert_eq!(lt.migration_service, SimDuration::from_micros(1_000));
+    }
+
+    #[test]
+    fn reconcile_spots_count_drift() {
+        let events = vec![rec(0, 5_000, read(5_000, ReadClass::Memory, 1_000))];
+        let report = TelemetryReport::from_events(&events);
+        let mut metrics = RunMetrics::default();
+        assert!(report.reconcile(&metrics).is_err());
+        metrics.block_reads.push(crate::metrics::BlockRead {
+            bytes: 64,
+            secs: 0.001,
+            kind: ReadKind::Memory,
+        });
+        assert!(report.reconcile(&metrics).is_ok());
+        metrics.block_reads[0].kind = ReadKind::LocalDisk;
+        assert!(report.reconcile(&metrics).is_err());
+    }
+}

@@ -28,6 +28,7 @@
 pub mod chaos;
 pub mod config;
 pub mod experiment;
+pub mod explain;
 pub mod metrics;
 pub mod world;
 
@@ -35,6 +36,7 @@ pub mod world;
 pub mod prelude {
     pub use crate::chaos::{run_chaos, ChaosConfig, ChaosReport};
     pub use crate::config::{ClusterConfig, FsMode};
+    pub use crate::explain::{BlockVerdict, JobLeadTime, LossCause, TelemetryReport, Verdict};
     pub use crate::metrics::{BlockRead, JobResult, PlanResult, ReadKind, RunMetrics};
     pub use crate::world::{Fault, PlannedJob, World};
 }

@@ -149,6 +149,16 @@ impl RunMetrics {
 
     /// Mean over nodes of the time-average migrated-buffer occupancy,
     /// considering only nonzero-occupancy samples the way Fig. 7 does.
+    ///
+    /// Zero-length windows — consecutive samples at the same instant, as
+    /// produced when several buffer changes land on one engine tick — carry
+    /// no time weight and are skipped defensively (`t1 > t0` guard) so they
+    /// can never poison the average with a `0.0 * v` term or, worse, a
+    /// negative window from an unsorted series. The tail after the last
+    /// sample is extrapolated only when `end > t_last`; a series whose last
+    /// sample lies at or beyond `end` contributes no tail, i.e. `end`
+    /// values inside the sampled range silently ignore everything sampled
+    /// after them.
     pub fn mean_nonzero_occupancy(series: &[Vec<(SimTime, f64)>], end: SimTime) -> f64 {
         let mut weighted = 0.0;
         let mut busy_secs = 0.0;
@@ -156,7 +166,7 @@ impl RunMetrics {
             for w in node.windows(2) {
                 let (t0, v) = w[0];
                 let (t1, _) = w[1];
-                if v > 0.0 {
+                if v > 0.0 && t1 > t0 {
                     let dt = t1.duration_since(t0).as_secs_f64();
                     weighted += v * dt;
                     busy_secs += dt;
@@ -251,6 +261,28 @@ mod tests {
         ]];
         let mean = RunMetrics::mean_nonzero_occupancy(&series, SimTime::from_secs(40));
         assert_eq!(mean, 100.0);
+    }
+
+    #[test]
+    fn nonzero_occupancy_skips_zero_length_windows() {
+        // Two samples at the same instant (a burst of buffer changes on one
+        // engine tick) must not contribute weight; only the 10s window at
+        // 300 bytes and the 5s tail at 50 bytes count.
+        let series = vec![vec![
+            (SimTime::ZERO, 100.0),
+            (SimTime::ZERO, 300.0),
+            (SimTime::from_secs(10), 50.0),
+        ]];
+        let mean = RunMetrics::mean_nonzero_occupancy(&series, SimTime::from_secs(15));
+        assert!((mean - (300.0 * 10.0 + 50.0 * 5.0) / 15.0).abs() < 1e-9);
+
+        // A run whose only nonzero sample sits exactly at `end` has no
+        // measurable busy time at all.
+        let flat = vec![vec![(SimTime::from_secs(5), 42.0)]];
+        assert_eq!(
+            RunMetrics::mean_nonzero_occupancy(&flat, SimTime::from_secs(5)),
+            0.0
+        );
     }
 
     #[test]

@@ -56,6 +56,9 @@ use ignem_netsim::{Fabric, NodeId, TransferId};
 use ignem_simcore::event::Engine;
 use ignem_simcore::rng::SimRng;
 use ignem_simcore::stats::TimeWeighted;
+use ignem_simcore::telemetry::{
+    Event as TelemetryEvent, EventSink, ReadClass, Telemetry, TraceAdapter,
+};
 use ignem_simcore::time::{SimDuration, SimTime};
 use ignem_simcore::trace::TraceSink;
 use ignem_storage::disk::{Completion, Disk, IoKind, RequestId};
@@ -234,7 +237,10 @@ pub struct World {
     unfinished_plans: usize,
     rerep_queue: Vec<BlockId>,
     rerep_active: bool,
-    trace: Option<Box<dyn TraceSink>>,
+    /// Shared typed-event handle (disabled unless a sink is installed);
+    /// clones of it live inside the master, every slave and the RPC
+    /// channel, all stamping events off the same now-cursor.
+    telemetry: Telemetry,
     metrics: RunMetrics,
 }
 
@@ -366,26 +372,36 @@ impl World {
             unfinished_plans: unfinished,
             rerep_queue: Vec::new(),
             rerep_active: false,
-            trace: None,
+            telemetry: Telemetry::default(),
             metrics: RunMetrics::default(),
             cfg,
         }
     }
 
-    /// Installs a trace sink; every major state transition (job lifecycle,
-    /// migrations, evictions, faults) is recorded with its simulated time.
-    /// Tracing is free when no sink is installed.
-    pub fn with_trace(mut self, sink: Box<dyn TraceSink>) -> Self {
-        self.trace = Some(sink);
-        self
+    /// Installs a legacy string-trace sink; every major state transition
+    /// (job lifecycle, migrations, evictions, faults) is recorded with its
+    /// simulated time. Implemented as a [`TraceAdapter`] over the typed
+    /// event stream, so it sees exactly what
+    /// [`with_telemetry`](Self::with_telemetry) sinks see. Tracing is free
+    /// when no sink is installed.
+    pub fn with_trace(self, sink: Box<dyn TraceSink>) -> Self {
+        self.with_telemetry(Box::new(TraceAdapter::new(sink)))
     }
 
-    /// Emits a trace record if a sink is installed.
-    fn trace(&mut self, category: &'static str, msg: impl FnOnce() -> String) {
-        if let Some(sink) = self.trace.as_mut() {
-            let now = self.engine.now();
-            sink.record(now, category, msg());
+    /// Installs a typed event sink (e.g. a
+    /// [`FlightRecorder`](ignem_simcore::telemetry::FlightRecorder)) and
+    /// propagates the shared emission handle into the master, every slave
+    /// and the RPC channel. Emission is zero-cost when no sink is
+    /// installed, and consumes no randomness either way.
+    pub fn with_telemetry(mut self, sink: Box<dyn EventSink>) -> Self {
+        let telemetry = Telemetry::new(sink);
+        self.master.set_telemetry(telemetry.clone());
+        for slave in &mut self.slaves {
+            slave.set_telemetry(telemetry.clone());
         }
+        self.rpc.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self
     }
 
     /// The NameNode (for test assertions and custom setup).
@@ -482,6 +498,10 @@ impl World {
     // ------------------------------------------------------------------
 
     fn handle(&mut self, ev: Event) {
+        // One cursor update per dispatched event: every component emission
+        // below (world, master, slaves, RPC channel) happens inside this
+        // call, and the engine clock cannot advance during it.
+        self.telemetry.set_now(self.engine.now());
         match ev {
             Event::Submit(plan) => self.on_submit(plan),
             Event::Queued(job) => self.on_queued(job),
@@ -497,9 +517,9 @@ impl World {
             Event::RpcTimeout(seq) => self.on_rpc_timeout(seq),
             Event::LivenessQuery(n, jobs) => self.on_liveness_query(n, jobs),
             Event::LivenessReply(n, dead) => self.on_liveness_reply(n, dead),
-            Event::NodeResume(n) => self.paused_until[n as usize] = None,
+            Event::NodeResume(n) => self.on_node_resume(n),
             Event::DiskRestore(n) => self.on_disk_restore(n),
-            Event::PartitionHeal(id) => self.rpc.heal(id),
+            Event::PartitionHeal(id) => self.on_partition_heal(id),
             Event::CleanupSweep => self.on_cleanup_sweep(),
             Event::Inject(i) => self.on_inject(i),
         }
@@ -515,13 +535,12 @@ impl World {
         let spec = self.plans[plan].stages[stage].clone();
         let job = JobId(self.next_job);
         self.next_job += 1;
-        if self.trace.is_some() {
-            let msg = format!(
-                "{} submitted as {job} (stage {stage})",
-                self.plans[plan].name
-            );
-            self.trace("job", || msg);
-        }
+        self.telemetry.emit(|| TelemetryEvent::JobSubmitted {
+            job: job.0,
+            name: self.plans[plan].name.clone(),
+            plan: plan as u64,
+            stage: stage as u64,
+        });
         self.job_to_plan.insert(job, (plan, stage));
         self.job_submit_time.insert(job, now);
         self.live_jobs.insert(job);
@@ -572,10 +591,10 @@ impl World {
                     Err(e) => {
                         // Migration is best-effort: a bad request must not
                         // take the simulation down — the job just reads cold.
-                        if self.trace.is_some() {
-                            let msg = format!("migrate request for {job} rejected: {e}");
-                            self.trace("migration", || msg);
-                        }
+                        self.telemetry.emit(|| TelemetryEvent::MigrationRejected {
+                            job: job.0,
+                            reason: e.to_string(),
+                        });
                     }
                 }
             }
@@ -604,6 +623,8 @@ impl World {
         if !self.live_jobs.contains(&job) {
             return; // killed while in the submitter
         }
+        self.telemetry
+            .emit(|| TelemetryEvent::JobScheduled { job: job.0 });
         let now = self.engine.now();
         let spec = self.job_spec[&job].clone();
         let inputs: Vec<MapInput> = match &spec.input {
@@ -702,10 +723,10 @@ impl World {
         for t in to_speculate {
             if self.tracker.speculate(t).is_some() {
                 self.metrics.speculated += 1;
-                if self.trace.is_some() {
-                    let msg = format!("straggler {t:?} speculated");
-                    self.trace("task", || msg);
-                }
+                self.telemetry.emit(|| TelemetryEvent::TaskSpeculated {
+                    task: t.0,
+                    job: self.tracker.task(t).job.0,
+                });
             }
         }
     }
@@ -797,11 +818,11 @@ impl World {
                 break;
             }
             assert!(self.slots.acquire(node), "slot vanished");
-            if self.trace.is_some() {
-                let job = self.tracker.task(task).job;
-                let msg = format!("task {task:?} of {job} assigned to {node}");
-                self.trace("task", || msg);
-            }
+            self.telemetry.emit(|| TelemetryEvent::TaskAssigned {
+                task: task.0,
+                job: self.tracker.task(task).job.0,
+                node: node.0,
+            });
             self.tracker.assign(now, task, node);
             self.engine.schedule_in(
                 self.cfg.compute.task_launch_overhead,
@@ -821,6 +842,11 @@ impl World {
         // Task runtimes are measured from launch (first byte of IO), the
         // way the paper's Table II / Fig. 2 report mapper durations.
         self.task_launched_at.insert(task, self.engine.now());
+        self.telemetry.emit(|| TelemetryEvent::TaskStarted {
+            task: task.0,
+            job: rec.job.0,
+            node: node.0,
+        });
         match rec.kind {
             TaskKind::Map { block, bytes } => self.start_map_read(task, node, block, bytes),
             TaskKind::Reduce { .. } => self.start_shuffle(task, node, rec.job),
@@ -970,6 +996,11 @@ impl World {
         }
         let outcome = self.tracker.complete(now, task);
         self.slots.release(node);
+        self.telemetry.emit(|| TelemetryEvent::TaskFinished {
+            task: task.0,
+            job: rec.job.0,
+            node: node.0,
+        });
         if let Some((loser, loser_node)) = outcome.cancelled_attempt {
             self.task_launched_at.remove(&loser);
             self.cancel_task_io(loser);
@@ -1021,14 +1052,10 @@ impl World {
                 }
             }
         }
-        if self.trace.is_some() {
-            let msg = format!(
-                "{} ({job}) finished after {:.2}s",
-                spec.name,
-                now.duration_since(submitted).as_secs_f64()
-            );
-            self.trace("job", || msg);
-        }
+        self.telemetry.emit(|| TelemetryEvent::JobCompleted {
+            job: job.0,
+            duration_us: now.duration_since(submitted).as_micros(),
+        });
         self.metrics.jobs.push(JobResult {
             name: spec.name.clone(),
             plan,
@@ -1100,25 +1127,15 @@ impl World {
     }
 
     fn on_rpc_timeout(&mut self, seq: SeqNo) {
+        // The master itself emits RpcRetried / RpcGaveUp.
         match self.master.on_timeout(seq) {
             RetryDecision::Settled => {}
             RetryDecision::Retry {
                 to,
                 payload,
                 next_timeout,
-            } => {
-                if self.trace.is_some() {
-                    let msg = format!("retransmitting seq {} to {to}", seq.0);
-                    self.trace("rpc", || msg);
-                }
-                self.dispatch_send(seq, to.0, payload, next_timeout);
-            }
-            RetryDecision::GiveUp { to } => {
-                if self.trace.is_some() {
-                    let msg = format!("gave up on seq {} to {to}", seq.0);
-                    self.trace("rpc", || msg);
-                }
-            }
+            } => self.dispatch_send(seq, to.0, payload, next_timeout),
+            RetryDecision::GiveUp { .. } => {}
         }
     }
 
@@ -1236,10 +1253,7 @@ impl World {
         for a in actions {
             match a {
                 SlaveAction::StartRead { block, bytes } => {
-                    if self.trace.is_some() {
-                        let msg = format!("node{n} starts migrating {block} ({bytes} bytes)");
-                        self.trace("migration", || msg);
-                    }
+                    // The slave emits MigrationStarted when it issues this.
                     let owner = DiskOwner::Migration { block };
                     let req = self.submit_disk(n, IoKind::Migration, bytes, owner);
                     self.migration_req.insert((n, block), req);
@@ -1247,6 +1261,10 @@ impl World {
                 SlaveAction::CancelRead { block } => {
                     if let Some(req) = self.migration_req.remove(&(n, block)) {
                         self.disk_owner.remove(&(n, req));
+                        self.telemetry.emit(|| TelemetryEvent::MigrationCancelled {
+                            node: n,
+                            block: block.0,
+                        });
                         let now = self.engine.now();
                         let done = self.disks[n as usize].cancel(now, req);
                         self.process_disk(n, done);
@@ -1364,10 +1382,7 @@ impl World {
             };
             match owner {
                 DiskOwner::Migration { block } => {
-                    if self.trace.is_some() {
-                        let msg = format!("node{n} finished migrating {block}");
-                        self.trace("migration", || msg);
-                    }
+                    // The slave emits MigrationCompleted / MigrationWasted.
                     self.migration_req.remove(&(n, block));
                     let now = self.engine.now();
                     let actions = self.slaves[n as usize].on_read_done(
@@ -1503,11 +1518,26 @@ impl World {
         let ignem_compute::tracker::TaskState::Assigned(_) = rec.state else {
             return; // requeued meanwhile
         };
-        if block.is_some() {
+        if let Some(b) = block {
             self.metrics.block_reads.push(BlockRead {
                 bytes,
                 secs: now.duration_since(started).as_secs_f64(),
                 kind,
+            });
+            // Emitted under exactly the guard that records the metric, so
+            // the explainer's verdict counts reconcile with RunMetrics.
+            self.telemetry.emit(|| TelemetryEvent::BlockRead {
+                task: task.0,
+                job: rec.job.0,
+                block: b.0,
+                node: serving,
+                bytes,
+                class: match kind {
+                    ReadKind::Memory => ReadClass::Memory,
+                    ReadKind::LocalDisk => ReadClass::LocalDisk,
+                    ReadKind::RemoteDisk => ReadClass::RemoteDisk,
+                },
+                duration_us: now.duration_since(started).as_micros(),
             });
         }
         // Optional PACMan-style page cache on the serving node.
@@ -1550,10 +1580,9 @@ impl World {
 
     fn on_inject(&mut self, idx: usize) {
         let now = self.engine.now();
-        if self.trace.is_some() {
-            let msg = format!("{:?}", self.faults[idx].1);
-            self.trace("fault", || msg);
-        }
+        self.telemetry.emit(|| TelemetryEvent::FaultInjected {
+            desc: format!("{:?}", self.faults[idx].1),
+        });
         match self.faults[idx].1.clone() {
             Fault::MasterFail => {
                 self.master.fail();
@@ -1605,10 +1634,27 @@ impl World {
         if !self.node_alive[n as usize] {
             return;
         }
+        self.telemetry.emit(|| TelemetryEvent::FaultHealed {
+            desc: format!("node{n} disk restored to nominal speed"),
+        });
         let now = self.engine.now();
         let done = self.disks[n as usize].set_speed_factor(now, 1.0);
         self.process_disk(n, done);
         self.resched_disk(n);
+    }
+
+    fn on_node_resume(&mut self, n: u32) {
+        self.telemetry.emit(|| TelemetryEvent::FaultHealed {
+            desc: format!("node{n} control plane resumed"),
+        });
+        self.paused_until[n as usize] = None;
+    }
+
+    fn on_partition_heal(&mut self, id: usize) {
+        self.telemetry.emit(|| TelemetryEvent::FaultHealed {
+            desc: format!("partition {id} healed"),
+        });
+        self.rpc.heal(id);
     }
 
     fn fail_node(&mut self, node: NodeId) {

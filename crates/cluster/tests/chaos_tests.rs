@@ -1,10 +1,11 @@
-//! Randomized chaos campaign: many seeded fault plans, five invariants.
+//! Randomized chaos campaign: many seeded fault plans, six invariants.
 //!
 //! Each run executes with per-event slave-consistency validation
 //! (do-not-harm), then checks the end-state invariants (leak-freedom,
-//! memory conservation, completion of surviving plans) and finally
-//! re-runs the identical `(seed, fault plan)` to assert bit-identical
-//! metrics (determinism).
+//! memory conservation, completion of surviving plans, event-stream
+//! consistency from the flight recorder) and finally re-runs the
+//! identical `(seed, fault plan)` to assert bit-identical metrics
+//! (determinism).
 
 use ignem_cluster::chaos::{run_chaos, ChaosConfig};
 use ignem_cluster::experiment::{swim_files, swim_plan};
@@ -148,6 +149,28 @@ fn chaos_reliable_channel_many_faults() {
             rpc: RpcConfig::default(),
             ..ChaosConfig::default()
         });
+    }
+}
+
+#[test]
+fn chaos_event_stream_is_consistent() {
+    // Invariant 6 in isolation, on fresh seeds: every run's flight
+    // recorder keeps the whole stream, sequence numbers strictly
+    // increase, and every completion/waste/cancellation pairs with an
+    // earlier start.
+    for seed in 305..311 {
+        let report = run_chaos(&ChaosConfig {
+            seed,
+            ..ChaosConfig::default()
+        });
+        report.assert_invariants();
+        assert_eq!(report.events_dropped, 0, "flight recorder truncated");
+        assert!(!report.events.is_empty(), "no events recorded");
+        assert!(
+            report.events.windows(2).all(|w| w[0].seq < w[1].seq),
+            "sequence numbers must strictly increase"
+        );
+        report.assert_event_stream_consistent();
     }
 }
 

@@ -19,6 +19,7 @@ use ignem_dfs::error::DfsError;
 use ignem_dfs::namenode::NameNode;
 use ignem_netsim::NodeId;
 use ignem_simcore::rng::SimRng;
+use ignem_simcore::telemetry::{Event, Telemetry};
 use ignem_simcore::time::SimDuration;
 
 #[cfg(test)]
@@ -150,6 +151,8 @@ pub struct IgnemMaster {
     next_seq: u64,
     /// Sends awaiting acknowledgement.
     outbox: BTreeMap<SeqNo, PendingSend>,
+    /// Typed event emission (disabled by default).
+    telemetry: Telemetry,
 }
 
 #[derive(Debug, Clone)]
@@ -201,6 +204,13 @@ impl IgnemMaster {
             config,
             ..IgnemMaster::default()
         }
+    }
+
+    /// Installs a telemetry handle; the master then emits
+    /// [`Event::MigrationAssigned`] and the retransmission events
+    /// ([`Event::RpcRetried`] / [`Event::RpcAcked`] / [`Event::RpcGaveUp`]).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Activity counters.
@@ -262,6 +272,12 @@ impl IgnemMaster {
                         submitted: req.submitted,
                     });
                 self.stats.blocks_assigned += 1;
+                self.telemetry.emit(|| Event::MigrationAssigned {
+                    job: req.job.0,
+                    block: info.id.0,
+                    node: target.0,
+                    bytes: info.bytes,
+                });
             }
         }
 
@@ -317,6 +333,7 @@ impl IgnemMaster {
     pub fn on_ack(&mut self, seq: SeqNo) {
         if self.outbox.remove(&seq).is_some() {
             self.stats.acks += 1;
+            self.telemetry.emit(|| Event::RpcAcked { seq: seq.0 });
         }
     }
 
@@ -331,10 +348,20 @@ impl IgnemMaster {
         if pending.attempt >= self.config.retry.max_attempts {
             let pending = self.outbox.remove(&seq).expect("checked above");
             self.stats.gave_up += 1;
+            self.telemetry.emit(|| Event::RpcGaveUp {
+                seq: seq.0,
+                node: pending.to.0,
+            });
             return RetryDecision::GiveUp { to: pending.to };
         }
         pending.attempt += 1;
         self.stats.retries += 1;
+        let (node, attempt) = (pending.to.0, pending.attempt);
+        self.telemetry.emit(|| Event::RpcRetried {
+            seq: seq.0,
+            node,
+            attempt,
+        });
         RetryDecision::Retry {
             to: pending.to,
             payload: pending.payload.clone(),

@@ -29,6 +29,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use ignem_dfs::block::BlockId;
 use ignem_netsim::NodeId;
+use ignem_simcore::telemetry::{Event, Telemetry};
 use ignem_simcore::time::{SimDuration, SimTime};
 use ignem_storage::memstore::{MemStore, Residency};
 
@@ -178,6 +179,8 @@ pub struct IgnemSlave {
     liveness_pending: bool,
     last_liveness: Option<SimTime>,
     stats: SlaveStats,
+    /// Typed event emission (disabled by default).
+    telemetry: Telemetry,
 }
 
 impl IgnemSlave {
@@ -204,7 +207,15 @@ impl IgnemSlave {
             liveness_pending: false,
             last_liveness: None,
             stats: SlaveStats::default(),
+            telemetry: Telemetry::default(),
         }
+    }
+
+    /// Installs a telemetry handle; the slave then emits the migration
+    /// lifecycle events (enqueued / started / completed / wasted /
+    /// discarded / evicted).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The node this slave runs on.
@@ -292,6 +303,7 @@ impl IgnemSlave {
                     if !list.iter().any(|&(j, _)| j == cmd.job) {
                         list.push((cmd.job, cmd.mode));
                         self.index_interest(cmd.job, cmd.block);
+                        self.emit_enqueued(&cmd);
                     }
                     self.stats.deduped += 1;
                 }
@@ -300,6 +312,7 @@ impl IgnemSlave {
                         if !cur.waiters.iter().any(|w| w.job == cmd.job) {
                             cur.waiters.push(waiter);
                             self.index_interest(cmd.job, cmd.block);
+                            self.emit_enqueued(&cmd);
                         }
                         self.stats.deduped += 1;
                         continue;
@@ -308,6 +321,7 @@ impl IgnemSlave {
                         if !q.waiters.iter().any(|w| w.job == cmd.job) {
                             q.waiters.push(waiter);
                             self.index_interest(cmd.job, cmd.block);
+                            self.emit_enqueued(&cmd);
                         }
                         self.stats.deduped += 1;
                     } else {
@@ -322,6 +336,7 @@ impl IgnemSlave {
                             },
                         );
                         self.index_interest(cmd.job, cmd.block);
+                        self.emit_enqueued(&cmd);
                     }
                 }
             }
@@ -349,6 +364,11 @@ impl IgnemSlave {
         if cur.waiters.is_empty() {
             // Everyone lost interest while the read was in flight.
             self.stats.wasted_reads += 1;
+            self.telemetry.emit(|| Event::MigrationWasted {
+                node: self.node.0,
+                block: block.0,
+                bytes: cur.bytes,
+            });
         } else {
             match mem.insert(now, block, cur.bytes, Residency::Migrated) {
                 Ok(()) => {
@@ -357,11 +377,21 @@ impl IgnemSlave {
                     let list: Vec<(JobId, EvictionMode)> =
                         cur.waiters.iter().map(|w| (w.job, w.mode)).collect();
                     self.refs.insert(block, list);
+                    self.telemetry.emit(|| Event::MigrationCompleted {
+                        node: self.node.0,
+                        block: block.0,
+                        bytes: cur.bytes,
+                    });
                 }
                 Err(_) => {
                     // Pinned data or other migrations squeezed us out
                     // between the capacity check and completion; drop.
                     self.stats.wasted_reads += 1;
+                    self.telemetry.emit(|| Event::MigrationWasted {
+                        node: self.node.0,
+                        block: block.0,
+                        bytes: cur.bytes,
+                    });
                     for w in &cur.waiters {
                         self.unindex_interest(w.job, block);
                     }
@@ -407,6 +437,10 @@ impl IgnemSlave {
         if drop_queue_entry {
             self.queue.remove(&block);
             self.stats.discarded += 1;
+            self.telemetry.emit(|| Event::MigrationDiscarded {
+                node: self.node.0,
+                block: block.0,
+            });
         }
         // In-flight interest: the read is finishing anyway; this job no
         // longer needs a reference afterwards.
@@ -433,8 +467,13 @@ impl IgnemSlave {
         }
         if evict {
             self.refs.remove(&block);
-            mem.remove(now, &block);
+            let bytes = mem.remove(now, &block).unwrap_or(0);
             self.stats.evicted += 1;
+            self.telemetry.emit(|| Event::BlockEvicted {
+                node: self.node.0,
+                block: block.0,
+                bytes,
+            });
         }
         self.try_start(now, mem)
     }
@@ -451,8 +490,13 @@ impl IgnemSlave {
     ) -> Vec<SlaveAction> {
         self.stats.purges += 1;
         for (block, _) in std::mem::take(&mut self.refs) {
-            mem.remove(now, &block);
+            let bytes = mem.remove(now, &block).unwrap_or(0);
             self.stats.evicted += 1;
+            self.telemetry.emit(|| Event::BlockEvicted {
+                node: self.node.0,
+                block: block.0,
+                bytes,
+            });
         }
         self.queue.clear();
         self.job_blocks.clear();
@@ -469,7 +513,12 @@ impl IgnemSlave {
     pub fn fail(&mut self, now: SimTime, mem: &mut MemStore<BlockId>) -> Vec<SlaveAction> {
         self.stats.purges += 1;
         for (block, _) in std::mem::take(&mut self.refs) {
-            mem.remove(now, &block);
+            let bytes = mem.remove(now, &block).unwrap_or(0);
+            self.telemetry.emit(|| Event::BlockEvicted {
+                node: self.node.0,
+                block: block.0,
+                bytes,
+            });
         }
         mem.purge_migrated(now);
         self.queue.clear();
@@ -640,8 +689,13 @@ impl IgnemSlave {
                 list.retain(|&(j, _)| j != job);
                 if list.is_empty() {
                     self.refs.remove(&block);
-                    mem.remove(now, &block);
+                    let bytes = mem.remove(now, &block).unwrap_or(0);
                     self.stats.evicted += 1;
+                    self.telemetry.emit(|| Event::BlockEvicted {
+                        node: self.node.0,
+                        block: block.0,
+                        bytes,
+                    });
                 }
                 continue;
             }
@@ -650,6 +704,10 @@ impl IgnemSlave {
                 if q.waiters.is_empty() {
                     self.queue.remove(&block);
                     self.stats.discarded += 1;
+                    self.telemetry.emit(|| Event::MigrationDiscarded {
+                        node: self.node.0,
+                        block: block.0,
+                    });
                 }
                 continue;
             }
@@ -700,6 +758,11 @@ impl IgnemSlave {
                     block,
                     bytes: q.bytes,
                 });
+                self.telemetry.emit(|| Event::MigrationStarted {
+                    node: self.node.0,
+                    block: block.0,
+                    bytes,
+                });
                 continue;
             }
             blocked = true;
@@ -723,6 +786,17 @@ impl IgnemSlave {
             }
         }
         actions
+    }
+
+    /// Telemetry for a newly accepted `(job, block)` interest; dedup paths
+    /// (idempotent redelivery) never reach this.
+    fn emit_enqueued(&self, cmd: &MigrateCommand) {
+        self.telemetry.emit(|| Event::MigrationEnqueued {
+            node: self.node.0,
+            job: cmd.job.0,
+            block: cmd.block.0,
+            bytes: cmd.bytes,
+        });
     }
 
     fn index_interest(&mut self, job: JobId, block: BlockId) {

@@ -25,6 +25,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use ignem_simcore::rng::SimRng;
+use ignem_simcore::telemetry::{Event, Peer, Telemetry};
 use ignem_simcore::time::SimDuration;
 
 use crate::NodeId;
@@ -46,6 +47,14 @@ impl RpcPeer {
         match self {
             RpcPeer::Master => u32::MAX,
             RpcPeer::Slave(n) => n.0,
+        }
+    }
+
+    /// The telemetry-layer rendering of this endpoint.
+    fn telemetry_peer(self) -> Peer {
+        match self {
+            RpcPeer::Master => Peer::Master,
+            RpcPeer::Slave(n) => Peer::Node(n.0),
         }
     }
 }
@@ -119,6 +128,8 @@ pub struct RpcChannel {
     /// when exactly one of its endpoints is inside a partition set.
     partitions: BTreeMap<usize, BTreeSet<u32>>,
     stats: RpcStats,
+    /// Typed event emission (disabled by default; consumes no randomness).
+    telemetry: Telemetry,
 }
 
 impl RpcChannel {
@@ -134,7 +145,15 @@ impl RpcChannel {
             edge_drop: BTreeMap::new(),
             partitions: BTreeMap::new(),
             stats: RpcStats::default(),
+            telemetry: Telemetry::default(),
         }
+    }
+
+    /// Installs a telemetry handle; the channel then emits
+    /// [`Event::RpcSent`] / [`Event::RpcDropped`] / [`Event::RpcDuplicated`]
+    /// / [`Event::RpcCut`] as it decides each message's fate.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The channel configuration.
@@ -193,8 +212,16 @@ impl RpcChannel {
     /// so a fault-free run is bit-identical to one without the channel.
     pub fn deliveries(&mut self, rng: &mut SimRng, from: RpcPeer, to: RpcPeer) -> Vec<SimDuration> {
         self.stats.sent += 1;
+        self.telemetry.emit(|| Event::RpcSent {
+            from: from.telemetry_peer(),
+            to: to.telemetry_peer(),
+        });
         if self.is_cut(from, to) {
             self.stats.cut += 1;
+            self.telemetry.emit(|| Event::RpcCut {
+                from: from.telemetry_peer(),
+                to: to.telemetry_peer(),
+            });
             return Vec::new();
         }
         let drop_p = self
@@ -208,10 +235,18 @@ impl RpcChannel {
         }
         if rng.uniform() < drop_p {
             self.stats.dropped += 1;
+            self.telemetry.emit(|| Event::RpcDropped {
+                from: from.telemetry_peer(),
+                to: to.telemetry_peer(),
+            });
             return Vec::new();
         }
         let copies = if self.config.dup_p > 0.0 && rng.uniform() < self.config.dup_p {
             self.stats.duplicated += 1;
+            self.telemetry.emit(|| Event::RpcDuplicated {
+                from: from.telemetry_peer(),
+                to: to.telemetry_peer(),
+            });
             2
         } else {
             1

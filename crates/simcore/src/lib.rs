@@ -12,7 +12,9 @@
 //! * [`flow`] — fluid-flow processor-sharing resources with concurrency
 //!   degradation ([`flow::FlowResource`]): the disk/NIC model.
 //! * [`stats`] — online stats, CDFs, histograms, time-weighted series.
-//! * [`trace`] — structured simulation tracing ([`trace::TraceSink`]).
+//! * [`trace`] — legacy string tracing ([`trace::TraceSink`]).
+//! * [`telemetry`] — typed event stream ([`telemetry::Event`]), flight
+//!   recorder with JSONL export, adapter onto the legacy trace sinks.
 //! * [`units`] — byte-size constants and formatting.
 //!
 //! ## Example
@@ -37,6 +39,7 @@ pub mod event;
 pub mod flow;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod units;

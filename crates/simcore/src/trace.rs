@@ -38,12 +38,58 @@ impl TraceSink for NullSink {
 
 /// A sink that prints each record to stderr, prefixed with the simulated
 /// time — handy for ad-hoc debugging.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct StderrSink;
+///
+/// An optional category filter keeps chatty categories out of the way
+/// when debugging one subsystem (e.g. chaos tests drowning in task
+/// events):
+///
+/// ```
+/// use ignem_simcore::trace::StderrSink;
+///
+/// let sink = StderrSink::with_filter("migration, rpc");
+/// assert!(sink.accepts("migration"));
+/// assert!(!sink.accepts("task"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StderrSink {
+    /// `None` prints everything; `Some` prints only the listed categories.
+    filter: Option<Vec<String>>,
+}
+
+impl StderrSink {
+    /// Creates an unfiltered sink (prints every category).
+    pub fn new() -> Self {
+        StderrSink::default()
+    }
+
+    /// Creates a sink printing only the categories in `spec`, an
+    /// env-style comma-separated list like `"migration,rpc"`. Whitespace
+    /// around entries is ignored; an empty spec means "print everything".
+    pub fn with_filter(spec: &str) -> Self {
+        let cats: Vec<String> = spec
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        StderrSink {
+            filter: if cats.is_empty() { None } else { Some(cats) },
+        }
+    }
+
+    /// Whether records in `category` pass the filter.
+    pub fn accepts(&self, category: &str) -> bool {
+        match &self.filter {
+            None => true,
+            Some(cats) => cats.iter().any(|c| c == category),
+        }
+    }
+}
 
 impl TraceSink for StderrSink {
     fn record(&mut self, at: SimTime, category: &'static str, message: String) {
-        eprintln!("[{at}] {category}: {message}");
+        if self.accepts(category) {
+            eprintln!("[{at}] {category}: {message}");
+        }
     }
 }
 
@@ -106,6 +152,23 @@ mod tests {
     fn null_sink_is_silent() {
         let mut s = NullSink;
         s.record(SimTime::ZERO, "x", "dropped".into());
+    }
+
+    #[test]
+    fn stderr_filter_parses_env_style_lists() {
+        let all = StderrSink::new();
+        assert!(all.accepts("task"));
+        let some = StderrSink::with_filter("migration,rpc");
+        assert!(some.accepts("migration"));
+        assert!(some.accepts("rpc"));
+        assert!(!some.accepts("task"));
+        // Whitespace and empty entries are tolerated; an empty spec means
+        // "everything".
+        let spaced = StderrSink::with_filter(" migration , ,rpc ");
+        assert!(spaced.accepts("rpc"));
+        assert!(!spaced.accepts("job"));
+        let empty = StderrSink::with_filter("  ,  ");
+        assert!(empty.accepts("anything"));
     }
 
     #[test]
