@@ -3,7 +3,7 @@
 //! The harness turns one seed into a complete chaos experiment — a small
 //! Ignem workload, an unreliable control-plane channel and a randomized
 //! fault plan drawn from the full palette ([`Fault`]) — runs it with
-//! per-event invariant validation, and checks six end-state invariants:
+//! per-event invariant validation, and checks seven end-state invariants:
 //!
 //! 1. **Do-not-harm**: every event leaves each slave's reference lists,
 //!    queue and memory accounting mutually consistent
@@ -22,6 +22,20 @@
 //!    `MigrationCompleted` (and every wasted or cancelled read) matches an
 //!    earlier `MigrationStarted` for the same `(node, block)`, and no node
 //!    evicts more migrated bytes than it completed migrating.
+//! 7. **Ledger conservation**: the double-entry residency ledger balances
+//!    against the final resident bytes, and (when the recorder kept the
+//!    whole stream) its credit/debit sides equal the bytes the event
+//!    stream says were migrated and evicted.
+//!
+//! Chaos runs enable the epoch/lease reference lifecycle
+//! ([`ChaosConfig::lease`]) so orphaned references expire even when the
+//! periodic sweep has wound down; set it to `None` to reproduce the
+//! legacy behaviour (and its seed-304 leak).
+//!
+//! When a seed fails, [`minimize_faults`] shrinks its fault plan to a
+//! 1-minimal schedule — dropping any single remaining fault makes the
+//! violation disappear — and [`MinimizedSchedule::describe`] renders it
+//! with the explainer's leak records for the bug report.
 //!
 //! ```
 //! use ignem_cluster::chaos::{run_chaos, ChaosConfig};
@@ -41,6 +55,7 @@ use ignem_simcore::time::{SimDuration, SimTime};
 use ignem_simcore::units::MIB;
 
 use crate::config::{ClusterConfig, FsMode};
+use crate::explain::{LossCause, TelemetryReport};
 use crate::metrics::RunMetrics;
 use crate::world::{Fault, PlannedJob, World};
 
@@ -58,6 +73,12 @@ pub struct ChaosConfig {
     pub faults: usize,
     /// Control-plane channel behaviour.
     pub rpc: RpcConfig,
+    /// Reference-lease duration handed to every slave
+    /// ([`IgnemConfig::lease`](ignem_core::slave::IgnemConfig)). The
+    /// default (60 s) outlives any healthy job's quiet periods but expires
+    /// orphans deterministically; `None` disables leasing and restores
+    /// the legacy sweep-only cleanup.
+    pub lease: Option<SimDuration>,
 }
 
 impl Default for ChaosConfig {
@@ -72,6 +93,7 @@ impl Default for ChaosConfig {
                 dup_p: 0.1,
                 jitter: SimDuration::from_millis(20),
             },
+            lease: Some(SimDuration::from_secs(60)),
         }
     }
 }
@@ -98,23 +120,27 @@ pub struct ChaosReport {
 }
 
 impl ChaosReport {
-    /// Checks the end-state invariants (2–4 and 6 of the module docs; 1
-    /// is enforced per event during the run, 5 by comparing two reports).
+    /// Checks the end-state invariants (2–4, 6 and 7 of the module docs;
+    /// 1 is enforced per event during the run, 5 by comparing two
+    /// reports) without panicking.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a description of the violated invariant.
-    pub fn assert_invariants(&self) {
-        assert_eq!(
-            self.metrics.leaked_job_refs, 0,
-            "reference leak: {} entries survive the run (faults: {:?})",
-            self.metrics.leaked_job_refs, self.faults
-        );
-        assert_eq!(
-            self.metrics.final_migrated_bytes, 0,
-            "memory not conserved: {} migrated bytes remain (faults: {:?})",
-            self.metrics.final_migrated_bytes, self.faults
-        );
+    /// Returns a description of the first violated invariant; the
+    /// minimizer uses this to probe shrunken fault schedules.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.metrics.leaked_job_refs != 0 {
+            return Err(format!(
+                "reference leak: {} entries survive the run (faults: {:?})",
+                self.metrics.leaked_job_refs, self.faults
+            ));
+        }
+        if self.metrics.final_migrated_bytes != 0 {
+            return Err(format!(
+                "memory not conserved: {} migrated bytes remain (faults: {:?})",
+                self.metrics.final_migrated_bytes, self.faults
+            ));
+        }
         // Every plan completes exactly once unless it was deliberately
         // killed; a killed plan may still complete if the kill fired after
         // its last stage finished.
@@ -122,30 +148,100 @@ impl ChaosReport {
         let mut sorted = completed.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(
-            sorted.len(),
-            completed.len(),
-            "a plan completed twice (faults: {:?})",
-            self.faults
-        );
-        for plan in 0..self.total_plans {
-            assert!(
-                completed.contains(&plan) || self.killed_plans.contains(&plan),
-                "plan {plan} neither completed nor was killed (faults: {:?})",
+        if sorted.len() != completed.len() {
+            return Err(format!(
+                "a plan completed twice (faults: {:?})",
                 self.faults
-            );
+            ));
         }
+        for plan in 0..self.total_plans {
+            if !completed.contains(&plan) && !self.killed_plans.contains(&plan) {
+                return Err(format!(
+                    "plan {plan} neither completed nor was killed (faults: {:?})",
+                    self.faults
+                ));
+            }
+        }
+        self.check_ledger()?;
         if self.events_dropped == 0 {
-            self.assert_event_stream_consistent();
+            self.check_event_stream_consistent()?;
         }
+        Ok(())
+    }
+
+    /// Checks the end-state invariants, panicking on the first violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn assert_invariants(&self) {
+        if let Err(e) = self.check_invariants() {
+            panic!("{e}");
+        }
+    }
+
+    /// Invariant 7: the residency ledger balances. The total balance must
+    /// equal the migrated bytes still resident, and — when the flight
+    /// recorder kept the whole run — each side of the ledger must equal
+    /// what the event stream witnessed (credits ↔ completed migrations,
+    /// debits ↔ evictions, one `BlockEvicted` per counted eviction).
+    fn check_ledger(&self) -> Result<(), String> {
+        let ledger = &self.metrics.ledger;
+        if ledger.total_balance() != self.metrics.final_migrated_bytes {
+            return Err(format!(
+                "ledger balance {} != final migrated bytes {} (faults: {:?})",
+                ledger.total_balance(),
+                self.metrics.final_migrated_bytes,
+                self.faults
+            ));
+        }
+        if self.events_dropped != 0 {
+            return Ok(());
+        }
+        let mut completed_bytes = 0u64;
+        let mut evicted_bytes = 0u64;
+        let mut evictions = 0u64;
+        for rec in &self.events {
+            match &rec.event {
+                Event::MigrationCompleted { bytes, .. } => completed_bytes += bytes,
+                Event::BlockEvicted { bytes, .. } => {
+                    evicted_bytes += bytes;
+                    evictions += 1;
+                }
+                _ => {}
+            }
+        }
+        let credited: u64 = ledger.entries.iter().map(|e| e.credited).sum();
+        let debited: u64 = ledger.entries.iter().map(|e| e.debited).sum();
+        if credited != completed_bytes {
+            return Err(format!(
+                "ledger credits {credited} != {completed_bytes} bytes of completed \
+                 migrations in the event stream (faults: {:?})",
+                self.faults
+            ));
+        }
+        if debited != evicted_bytes {
+            return Err(format!(
+                "ledger debits {debited} != {evicted_bytes} evicted bytes in the \
+                 event stream (faults: {:?})",
+                self.faults
+            ));
+        }
+        if self.metrics.slave_stats.evicted != evictions {
+            return Err(format!(
+                "evicted counter {} != {evictions} BlockEvicted events (faults: {:?})",
+                self.metrics.slave_stats.evicted, self.faults
+            ));
+        }
+        Ok(())
     }
 
     /// Invariant 6: the flight-recorder stream is internally coherent.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a description of the first inconsistency.
-    pub fn assert_event_stream_consistent(&self) {
+    /// Returns a description of the first inconsistency.
+    pub fn check_event_stream_consistent(&self) -> Result<(), String> {
         // Disk reads the slaves claimed to finish must each match an
         // earlier start for the same (node, block); wasted and cancelled
         // reads consume a start the same way. Eviction can only release
@@ -156,11 +252,12 @@ impl ChaosReport {
         let mut last_seq: Option<u64> = None;
         for rec in &self.events {
             if let Some(prev) = last_seq {
-                assert!(
-                    rec.seq > prev,
-                    "event sequence not strictly increasing: {} after {prev}",
-                    rec.seq
-                );
+                if rec.seq <= prev {
+                    return Err(format!(
+                        "event sequence not strictly increasing: {} after {prev}",
+                        rec.seq
+                    ));
+                }
             }
             last_seq = Some(rec.seq);
             match &rec.event {
@@ -169,26 +266,26 @@ impl ChaosReport {
                 }
                 Event::MigrationCompleted { node, block, bytes } => {
                     let pending = outstanding.entry((*node, *block)).or_default();
-                    assert!(
-                        *pending > 0,
-                        "node{node} completed migrating block {block} without a start \
-                         (seq {}, faults: {:?})",
-                        rec.seq,
-                        self.faults
-                    );
+                    if *pending == 0 {
+                        return Err(format!(
+                            "node{node} completed migrating block {block} without a start \
+                             (seq {}, faults: {:?})",
+                            rec.seq, self.faults
+                        ));
+                    }
                     *pending -= 1;
                     *completed_bytes.entry(*node).or_default() += bytes;
                 }
                 Event::MigrationWasted { node, block, .. }
                 | Event::MigrationCancelled { node, block } => {
                     let pending = outstanding.entry((*node, *block)).or_default();
-                    assert!(
-                        *pending > 0,
-                        "node{node} wasted/cancelled block {block} without a start \
-                         (seq {}, faults: {:?})",
-                        rec.seq,
-                        self.faults
-                    );
+                    if *pending == 0 {
+                        return Err(format!(
+                            "node{node} wasted/cancelled block {block} without a start \
+                             (seq {}, faults: {:?})",
+                            rec.seq, self.faults
+                        ));
+                    }
                     *pending -= 1;
                 }
                 Event::BlockEvicted { node, bytes, .. } => {
@@ -199,12 +296,25 @@ impl ChaosReport {
         }
         for (node, &gone) in &evicted_bytes {
             let migrated = completed_bytes.get(node).copied().unwrap_or(0);
-            assert!(
-                gone <= migrated,
-                "node{node} evicted {gone} bytes but completed only {migrated} \
-                 (faults: {:?})",
-                self.faults
-            );
+            if gone > migrated {
+                return Err(format!(
+                    "node{node} evicted {gone} bytes but completed only {migrated} \
+                     (faults: {:?})",
+                    self.faults
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Invariant 6, panicking form (kept for existing tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first inconsistency.
+    pub fn assert_event_stream_consistent(&self) {
+        if let Err(e) = self.check_event_stream_consistent() {
+            panic!("{e}");
         }
     }
 }
@@ -339,10 +449,17 @@ pub fn fingerprint(m: &RunMetrics) -> u64 {
         s.discarded,
         s.wasted_reads,
         s.evicted,
+        s.evicted_bytes,
         s.purges,
         s.liveness_queries,
+        s.stale_epochs,
+        s.lease_expiries,
     ] {
         h.u64(v);
+    }
+    for e in &m.ledger.entries {
+        h.u64(e.credited);
+        h.u64(e.debited);
     }
     let ms = &m.master_stats;
     for v in [
@@ -370,8 +487,26 @@ pub fn fingerprint(m: &RunMetrics) -> u64 {
     h.0
 }
 
-/// Runs one chaos experiment with per-event invariant validation.
+/// Runs one chaos experiment with per-event invariant validation,
+/// drawing the fault plan from the seed.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    // The fault plan is drawn from a fork of its own so the workload shape
+    // and the simulation streams are untouched by how many faults we draw.
+    let mut fault_rng = SimRng::new(cfg.seed ^ 0xC4A0_5EED);
+    let faults = generate_faults(
+        &mut fault_rng,
+        cfg.nodes,
+        ClusterConfig::default().dfs.replication,
+        cfg.jobs,
+        cfg.faults,
+    );
+    run_chaos_with(cfg, faults)
+}
+
+/// Runs one chaos experiment against an *explicit* fault schedule instead
+/// of a generated one — the minimizer's probe, and the replay vehicle for
+/// pinned regression schedules.
+pub fn run_chaos_with(cfg: &ChaosConfig, faults: Vec<(SimTime, Fault)>) -> ChaosReport {
     let mut cluster = ClusterConfig {
         nodes: cfg.nodes,
         seed: cfg.seed,
@@ -380,18 +515,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     };
     // Small buffers stress eviction and liveness-triggered cleanup.
     cluster.ignem.buffer_capacity = 512 * MIB;
+    cluster.ignem.lease = cfg.lease;
     cluster.validate();
 
-    // The fault plan is drawn from a fork of its own so the workload shape
-    // and the simulation streams are untouched by how many faults we draw.
-    let mut fault_rng = SimRng::new(cfg.seed ^ 0xC4A0_5EED);
-    let faults = generate_faults(
-        &mut fault_rng,
-        cfg.nodes,
-        cluster.dfs.replication,
-        cfg.jobs,
-        cfg.faults,
-    );
     let killed_plans: Vec<usize> = faults
         .iter()
         .filter_map(|(_, f)| match f {
@@ -419,6 +545,120 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         events: recorder.events(),
         events_dropped: recorder.dropped(),
     }
+}
+
+/// A failing fault schedule shrunk to 1-minimality, plus the violation it
+/// still reproduces.
+#[derive(Debug, Clone)]
+pub struct MinimizedSchedule {
+    /// The seed whose experiment failed.
+    pub seed: u64,
+    /// The minimal fault schedule: removing any single entry makes the
+    /// violation disappear.
+    pub faults: Vec<(SimTime, Fault)>,
+    /// The invariant violation the minimal schedule reproduces.
+    pub violation: String,
+    /// The report of the final (minimal) failing run.
+    pub report: ChaosReport,
+}
+
+impl MinimizedSchedule {
+    /// Renders the minimized schedule for a bug report: the violation,
+    /// every remaining fault, and the explainer's leak records from the
+    /// final failing run's event stream.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "seed {} violates: {}", self.seed, self.violation);
+        let _ = writeln!(out, "minimal fault schedule ({}):", self.faults.len());
+        for (at, fault) in &self.faults {
+            let _ = writeln!(out, "  t={:.6}s  {fault:?}", at.as_secs_f64());
+        }
+        let leaks = TelemetryReport::from_events(&self.report.events).leaked;
+        let _ = writeln!(out, "leaked references ({}):", leaks.len());
+        for leak in &leaks {
+            let _ = writeln!(
+                out,
+                "  [{}] node{} block {} ({} bytes) held for jobs {:?}",
+                LossCause::LeakedReference.tag(),
+                leak.node,
+                leak.block,
+                leak.bytes,
+                leak.jobs
+            );
+        }
+        out
+    }
+}
+
+/// Probes one candidate schedule: `Ok` when every invariant holds, `Err`
+/// with the violation (and the finished report, when the run survived to
+/// produce one — a mid-run panic from per-event validation yields `None`).
+fn probe(
+    cfg: &ChaosConfig,
+    faults: &[(SimTime, Fault)],
+) -> Result<(), Box<(String, Option<ChaosReport>)>> {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_chaos_with(cfg, faults.to_vec())
+    }));
+    match outcome {
+        Ok(report) => match report.check_invariants() {
+            Ok(()) => Ok(()),
+            Err(violation) => Err(Box::new((violation, Some(report)))),
+        },
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "run panicked".into());
+            Err(Box::new((msg, None)))
+        }
+    }
+}
+
+/// Shrinks a failing seed's fault schedule to a 1-minimal reproducer.
+///
+/// Returns `None` when the seed's full schedule passes its invariants.
+/// Otherwise repeatedly tries dropping each fault; any drop that still
+/// fails is kept, until no single removal preserves the violation. The
+/// shrink is deterministic — candidate schedules are probed in order —
+/// and quadratic in the schedule length, which the generator caps at a
+/// handful of faults.
+pub fn minimize_faults(cfg: &ChaosConfig) -> Option<MinimizedSchedule> {
+    let full = run_chaos(cfg);
+    let mut violation = match full.check_invariants() {
+        Ok(()) => return None,
+        Err(v) => v,
+    };
+    let mut faults = full.faults.clone();
+    let mut report = full;
+    let mut shrunk = true;
+    while shrunk && !faults.is_empty() {
+        shrunk = false;
+        for i in 0..faults.len() {
+            let mut candidate = faults.clone();
+            candidate.remove(i);
+            if let Err(err) = probe(cfg, &candidate) {
+                let (v, r) = *err;
+                faults = candidate;
+                violation = v;
+                // A panicking candidate produced no report; keep the last
+                // completed failing one for the leak records.
+                if let Some(r) = r {
+                    report = r;
+                }
+                shrunk = true;
+                break;
+            }
+        }
+    }
+    Some(MinimizedSchedule {
+        seed: cfg.seed,
+        faults,
+        violation,
+        report,
+    })
 }
 
 #[cfg(test)]

@@ -52,6 +52,11 @@ pub enum LossCause {
     RpcLost,
     /// The master never assigned a migration for this block at all.
     NeverScheduled,
+    /// Terminal diagnosis, not a per-read race outcome: a migration
+    /// completed but was never evicted by the end of the stream — the
+    /// reference lifecycle leaked it. Produced by the leak fold
+    /// ([`TelemetryReport::leaked`]), never by the race fold.
+    LeakedReference,
 }
 
 impl LossCause {
@@ -63,16 +68,18 @@ impl LossCause {
             LossCause::QueuedBehind => "queued_behind",
             LossCause::RpcLost => "rpc_lost",
             LossCause::NeverScheduled => "never_scheduled",
+            LossCause::LeakedReference => "leaked_reference",
         }
     }
 
     /// All causes, in the order [`LossCause`] declares them.
-    pub const ALL: [LossCause; 5] = [
+    pub const ALL: [LossCause; 6] = [
         LossCause::Evicted,
         LossCause::DiskContended,
         LossCause::QueuedBehind,
         LossCause::RpcLost,
         LossCause::NeverScheduled,
+        LossCause::LeakedReference,
     ];
 }
 
@@ -172,8 +179,25 @@ impl Timeline {
     }
 }
 
+/// A migrated block still resident at the end of the event stream: some
+/// migration round completed for it after its last eviction, so a
+/// reference is still pinning it ([`LossCause::LeakedReference`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeakRecord {
+    /// Node holding the block.
+    pub node: u32,
+    /// The leaked block.
+    pub block: u64,
+    /// Bytes still resident.
+    pub bytes: u64,
+    /// Jobs that enqueued migrations for the block since its last
+    /// eviction — the owners of the references that never drained.
+    pub jobs: Vec<u64>,
+}
+
 /// The explainer's output: every block read's verdict, every job's
-/// lead-time decomposition, and bulk counts for reporting.
+/// lead-time decomposition, end-of-stream leak records, and bulk counts
+/// for reporting.
 #[derive(Debug, Clone, Default)]
 pub struct TelemetryReport {
     /// Per-read verdicts, in read-completion order.
@@ -181,6 +205,9 @@ pub struct TelemetryReport {
     /// Per-job lead times, for jobs whose submission, scheduling, and
     /// first assignment all fell inside the recorded window.
     pub lead_times: Vec<JobLeadTime>,
+    /// Blocks whose completed migrations outnumber their evictions at
+    /// stream end, ordered by `(node, block)`. Empty for a leak-free run.
+    pub leaked: Vec<LeakRecord>,
 }
 
 impl TelemetryReport {
@@ -206,6 +233,11 @@ impl TelemetryReport {
         let mut round_owner: HashMap<(u32, u64), u64> = HashMap::new();
         let mut round_started: HashMap<(u32, u64), SimTime> = HashMap::new();
         let mut job_order: Vec<u64> = Vec::new();
+        // Leak fold state: the jobs that enqueued migrations for each
+        // (node, block) since its last eviction, and the block's size as
+        // witnessed by its latest completed migration.
+        let mut leak_jobs: HashMap<(u32, u64), Vec<u64>> = HashMap::new();
+        let mut block_bytes: HashMap<(u32, u64), u64> = HashMap::new();
 
         for rec in events {
             match &rec.event {
@@ -233,15 +265,20 @@ impl TelemetryReport {
                     let key = (*node, *block);
                     timelines.entry(key).or_default().enqueued.push(rec.at);
                     round_owner.entry(key).or_insert(*job);
+                    let owners = leak_jobs.entry(key).or_default();
+                    if !owners.contains(job) {
+                        owners.push(*job);
+                    }
                 }
                 Event::MigrationStarted { node, block, .. } => {
                     let key = (*node, *block);
                     timelines.entry(key).or_default().started.push(rec.at);
                     round_started.insert(key, rec.at);
                 }
-                Event::MigrationCompleted { node, block, .. } => {
+                Event::MigrationCompleted { node, block, bytes } => {
                     let key = (*node, *block);
                     timelines.entry(key).or_default().completed.push(rec.at);
+                    block_bytes.insert(key, *bytes);
                     if let (Some(owner), Some(started)) =
                         (round_owner.remove(&key), round_started.remove(&key))
                     {
@@ -267,11 +304,11 @@ impl TelemetryReport {
                     }
                 }
                 Event::BlockEvicted { node, block, .. } => {
-                    timelines
-                        .entry((*node, *block))
-                        .or_default()
-                        .evicted
-                        .push(rec.at);
+                    let key = (*node, *block);
+                    timelines.entry(key).or_default().evicted.push(rec.at);
+                    // The eviction drained the block's references; any
+                    // migration enqueued afterwards opens a fresh account.
+                    leak_jobs.remove(&key);
                 }
                 _ => {}
             }
@@ -339,9 +376,28 @@ impl TelemetryReport {
             });
         }
 
+        // Leak fold: a block whose completed migrations outnumber its
+        // evictions is still resident, pinned by references that never
+        // drained ([`LossCause::LeakedReference`]).
+        let mut leaked: Vec<LeakRecord> = Vec::new();
+        let mut keys: Vec<(u32, u64)> = timelines.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let tl = &timelines[&key];
+            if tl.completed.len() > tl.evicted.len() {
+                leaked.push(LeakRecord {
+                    node: key.0,
+                    block: key.1,
+                    bytes: block_bytes.get(&key).copied().unwrap_or(0),
+                    jobs: leak_jobs.get(&key).cloned().unwrap_or_default(),
+                });
+            }
+        }
+
         TelemetryReport {
             verdicts,
             lead_times,
+            leaked,
         }
     }
 
@@ -732,6 +788,46 @@ mod tests {
         assert_eq!(lt.heartbeat_delay, SimDuration::from_micros(6_000));
         // Started at 7_000, completed at 8_000.
         assert_eq!(lt.migration_service, SimDuration::from_micros(1_000));
+    }
+
+    #[test]
+    fn unevicted_completion_is_a_leaked_reference() {
+        // A full migration chain with no eviction by stream end: the leak
+        // fold must name the block, its bytes, and the owning job.
+        let mut events: Vec<EventRecord> = Vec::new();
+        for (i, ev) in migration_chain(3, 15, 0).into_iter().enumerate() {
+            events.push(rec(i as u64, (i as u64 + 1) * 1_000, ev));
+        }
+        let report = TelemetryReport::from_events(&events);
+        assert_eq!(
+            report.leaked,
+            vec![LeakRecord {
+                node: 0,
+                block: 15,
+                bytes: 64,
+                jobs: vec![3],
+            }]
+        );
+        assert_eq!(LossCause::LeakedReference.tag(), "leaked_reference");
+    }
+
+    #[test]
+    fn evicted_block_is_not_leaked() {
+        let mut events: Vec<EventRecord> = Vec::new();
+        for (i, ev) in migration_chain(3, 15, 0).into_iter().enumerate() {
+            events.push(rec(i as u64, (i as u64 + 1) * 1_000, ev));
+        }
+        events.push(rec(
+            4,
+            9_000,
+            Event::BlockEvicted {
+                node: 0,
+                block: 15,
+                bytes: 64,
+            },
+        ));
+        let report = TelemetryReport::from_events(&events);
+        assert!(report.leaked.is_empty());
     }
 
     #[test]

@@ -34,10 +34,16 @@ pub mod world;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::chaos::{run_chaos, ChaosConfig, ChaosReport};
+    pub use crate::chaos::{
+        minimize_faults, run_chaos, run_chaos_with, ChaosConfig, ChaosReport, MinimizedSchedule,
+    };
     pub use crate::config::{ClusterConfig, FsMode};
-    pub use crate::explain::{BlockVerdict, JobLeadTime, LossCause, TelemetryReport, Verdict};
-    pub use crate::metrics::{BlockRead, JobResult, PlanResult, ReadKind, RunMetrics};
+    pub use crate::explain::{
+        BlockVerdict, JobLeadTime, LeakRecord, LossCause, TelemetryReport, Verdict,
+    };
+    pub use crate::metrics::{
+        BlockRead, JobResult, LedgerEntry, PlanResult, ReadKind, ResidencyLedger, RunMetrics,
+    };
     pub use crate::world::{Fault, PlannedJob, World};
 }
 

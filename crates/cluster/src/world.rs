@@ -37,6 +37,24 @@
 //! command delivered *after* a master failover purged its state. With the
 //! default (reliable) channel none of this machinery consumes randomness or
 //! changes behaviour.
+//!
+//! ## Epochs, leases, and the residency ledger
+//!
+//! Every master→slave message carries the master's
+//! [`Epoch`](ignem_netsim::rpc::Epoch), bumped on failover; slaves reject
+//! commands stamped older than the newest epoch they have seen (a
+//! retransmission from before a failover must not resurrect purged state)
+//! and treat a *newer* epoch as a missed failover notification. When
+//! [`IgnemConfig::lease`](ignem_core::slave::IgnemConfig) is set, each
+//! job's references additionally carry a lease renewed by the job's own
+//! control traffic and by liveness replies; [`Event::LeaseCheck`] timers
+//! expire orphaned references deterministically even when the cleanup
+//! sweep has already wound down. A per-node double-entry
+//! [`ResidencyLedger`] mirrors the slaves' migrated/evicted byte counters
+//! and, under [`with_validation`](World::with_validation), is reconciled
+//! against every MemStore's occupancy after every event. All three
+//! mechanisms are inert in a fault-free run: no events, no randomness, no
+//! behaviour change.
 
 use std::collections::{HashMap, HashSet};
 
@@ -51,7 +69,7 @@ use ignem_core::slave::{IgnemSlave, SlaveAction};
 use ignem_dfs::block::{split_into_blocks, BlockId};
 use ignem_dfs::client::{plan_read, ReadSource};
 use ignem_dfs::namenode::NameNode;
-use ignem_netsim::rpc::{RpcChannel, RpcPeer};
+use ignem_netsim::rpc::{Epoch, RpcChannel, RpcPeer};
 use ignem_netsim::{Fabric, NodeId, TransferId};
 use ignem_simcore::event::Engine;
 use ignem_simcore::rng::SimRng;
@@ -65,7 +83,7 @@ use ignem_storage::disk::{Completion, Disk, IoKind, RequestId};
 use ignem_storage::memstore::{MemStore, Residency};
 
 use crate::config::{ClusterConfig, FsMode};
-use crate::metrics::{BlockRead, JobResult, PlanResult, ReadKind, RunMetrics};
+use crate::metrics::{BlockRead, JobResult, PlanResult, ReadKind, ResidencyLedger, RunMetrics};
 
 /// One workload entry: a job (or multi-stage query) with a submission time.
 #[derive(Debug, Clone)]
@@ -127,12 +145,17 @@ enum Event {
     NetTimer(u64),
     TaskLaunched(TaskId),
     TaskComputeDone(TaskId),
-    DeliverMigrates(u32, SeqNo, Vec<MigrateCommand>),
-    DeliverEvict(u32, SeqNo, JobId),
+    DeliverMigrates(u32, SeqNo, Epoch, Vec<MigrateCommand>),
+    DeliverEvict(u32, SeqNo, Epoch, JobId),
     DeliverAck(SeqNo),
     RpcTimeout(SeqNo),
     LivenessQuery(u32, Vec<JobId>),
-    LivenessReply(u32, Vec<JobId>),
+    /// `(slave, master epoch, dead jobs, alive jobs)` — the alive list
+    /// renews leases; the dead list releases references.
+    LivenessReply(u32, Epoch, Vec<JobId>, Vec<JobId>),
+    /// Lease-expiry timer for one node's slave; the generation counter
+    /// invalidates timers superseded by a renewal.
+    LeaseCheck(u32, u64),
     NodeResume(u32),
     DiskRestore(u32),
     PartitionHeal(usize),
@@ -208,6 +231,12 @@ pub struct World {
     disk_gen: Vec<u64>,
     ram_gen: Vec<u64>,
     net_gen: u64,
+    /// Per-node lease-timer generation; bumped on every reschedule so
+    /// superseded [`Event::LeaseCheck`]s are ignored.
+    lease_gen: Vec<u64>,
+    /// Per-node residency accounts, mirrored from the slaves' counters
+    /// (see module docs).
+    ledger: ResidencyLedger,
 
     tracker: JobTracker,
     slots: Slots,
@@ -347,6 +376,8 @@ impl World {
             disk_gen: vec![0; cfg.nodes],
             ram_gen: vec![0; cfg.nodes],
             net_gen: 0,
+            lease_gen: vec![0; cfg.nodes],
+            ledger: ResidencyLedger::new(cfg.nodes),
             tracker: JobTracker::new(),
             slots,
             next_job: 0,
@@ -418,8 +449,25 @@ impl World {
         self
     }
 
-    fn check_invariants(&self) {
+    /// Copies every slave's authoritative migrated/evicted byte counters
+    /// into the residency ledger. Cheap (one entry per node), so it runs
+    /// per event under validation and once more at finalization.
+    fn sync_ledger(&mut self) {
         for n in 0..self.cfg.nodes {
+            let st = self.slaves[n].stats();
+            self.ledger.record(n, st.migrated_bytes, st.evicted_bytes);
+        }
+    }
+
+    fn check_invariants(&mut self) {
+        self.sync_ledger();
+        for n in 0..self.cfg.nodes {
+            // The ledger must balance on every node, dead ones included: a
+            // slave's restart/purge debits everything it held, so a dead
+            // node's account settles at zero residency.
+            if let Err(e) = self.ledger.reconcile(n, self.mems[n].migrated_used()) {
+                panic!("ledger violated at {}: {e}", self.engine.now());
+            }
             if !self.node_alive[n] {
                 continue;
             }
@@ -478,9 +526,14 @@ impl World {
             agg.discarded += st.discarded;
             agg.wasted_reads += st.wasted_reads;
             agg.evicted += st.evicted;
+            agg.evicted_bytes += st.evicted_bytes;
             agg.purges += st.purges;
             agg.liveness_queries += st.liveness_queries;
+            agg.stale_epochs += st.stale_epochs;
+            agg.lease_expiries += st.lease_expiries;
         }
+        self.sync_ledger();
+        self.metrics.ledger = self.ledger.clone();
         self.metrics.master_stats = self.master.stats();
         self.metrics.rpc = self.rpc.stats();
         for n in 0..self.cfg.nodes {
@@ -511,12 +564,17 @@ impl World {
             Event::NetTimer(gen) => self.on_net_timer(gen),
             Event::TaskLaunched(t) => self.on_task_launched(t),
             Event::TaskComputeDone(t) => self.on_task_compute_done(t),
-            Event::DeliverMigrates(n, seq, cmds) => self.on_deliver_migrates(n, seq, cmds),
-            Event::DeliverEvict(n, seq, job) => self.on_deliver_evict(n, seq, job),
+            Event::DeliverMigrates(n, seq, epoch, cmds) => {
+                self.on_deliver_migrates(n, seq, epoch, cmds)
+            }
+            Event::DeliverEvict(n, seq, epoch, job) => self.on_deliver_evict(n, seq, epoch, job),
             Event::DeliverAck(seq) => self.master.on_ack(seq),
             Event::RpcTimeout(seq) => self.on_rpc_timeout(seq),
             Event::LivenessQuery(n, jobs) => self.on_liveness_query(n, jobs),
-            Event::LivenessReply(n, dead) => self.on_liveness_reply(n, dead),
+            Event::LivenessReply(n, epoch, dead, alive) => {
+                self.on_liveness_reply(n, epoch, dead, alive)
+            }
+            Event::LeaseCheck(n, gen) => self.on_lease_check(n, gen),
             Event::NodeResume(n) => self.on_node_resume(n),
             Event::DiskRestore(n) => self.on_disk_restore(n),
             Event::PartitionHeal(id) => self.on_partition_heal(id),
@@ -1086,16 +1144,27 @@ impl World {
     // Ignem plumbing
     // ------------------------------------------------------------------
 
-    /// Registers an acked send with the master and dispatches its first
-    /// transmission through the unreliable channel.
+    /// Registers an acked send with the master (which stamps its current
+    /// epoch on it) and dispatches the first transmission through the
+    /// unreliable channel.
     fn master_send(&mut self, to: u32, payload: RpcPayload) {
+        let epoch = self.master.epoch();
         let (seq, timeout) = self.master.register_send(NodeId(to), payload.clone());
-        self.dispatch_send(seq, to, payload, timeout);
+        self.dispatch_send(seq, to, payload, epoch, timeout);
     }
 
     /// Sends one (re)transmission attempt: schedules a delivery event for
-    /// every copy the channel lets through, plus the ack timeout.
-    fn dispatch_send(&mut self, seq: SeqNo, to: u32, payload: RpcPayload, timeout: SimDuration) {
+    /// every copy the channel lets through, plus the ack timeout. The
+    /// epoch travels with the message — a retransmission from before a
+    /// failover still carries its *original* epoch and will be rejected.
+    fn dispatch_send(
+        &mut self,
+        seq: SeqNo,
+        to: u32,
+        payload: RpcPayload,
+        epoch: Epoch,
+        timeout: SimDuration,
+    ) {
         let rpc = self.net.rpc_latency();
         let copies = self.rpc.deliveries(
             &mut self.rpc_rng,
@@ -1104,8 +1173,8 @@ impl World {
         );
         for extra in copies {
             let ev = match &payload {
-                RpcPayload::Migrates(cmds) => Event::DeliverMigrates(to, seq, cmds.clone()),
-                RpcPayload::Evict(job) => Event::DeliverEvict(to, seq, *job),
+                RpcPayload::Migrates(cmds) => Event::DeliverMigrates(to, seq, epoch, cmds.clone()),
+                RpcPayload::Evict(job) => Event::DeliverEvict(to, seq, epoch, *job),
             };
             self.engine.schedule_in(rpc + extra, ev);
         }
@@ -1133,8 +1202,9 @@ impl World {
             RetryDecision::Retry {
                 to,
                 payload,
+                epoch,
                 next_timeout,
-            } => self.dispatch_send(seq, to.0, payload, next_timeout),
+            } => self.dispatch_send(seq, to.0, payload, epoch, next_timeout),
             RetryDecision::GiveUp { .. } => {}
         }
     }
@@ -1149,39 +1219,52 @@ impl World {
         false
     }
 
-    fn on_deliver_migrates(&mut self, n: u32, seq: SeqNo, cmds: Vec<MigrateCommand>) {
+    fn on_deliver_migrates(&mut self, n: u32, seq: SeqNo, epoch: Epoch, cmds: Vec<MigrateCommand>) {
         if !self.node_alive[n as usize] {
             return; // dead node never acks; the master retries, then gives up
         }
-        if self.defer_if_paused(n, Event::DeliverMigrates(n, seq, cmds.clone())) {
+        if self.defer_if_paused(n, Event::DeliverMigrates(n, seq, epoch, cmds.clone())) {
             return;
         }
         let now = self.engine.now();
-        let actions = self.slaves[n as usize].enqueue(now, cmds, &mut self.mems[n as usize]);
+        // Stale-epoch commands are dropped *without* an ack: they come from
+        // a master incarnation that no longer exists, and the live master
+        // never re-sends them (failover cleared its outbox).
+        let Some(mut actions) =
+            self.slaves[n as usize].observe_epoch(now, epoch, &mut self.mems[n as usize])
+        else {
+            return;
+        };
+        actions.extend(self.slaves[n as usize].enqueue(now, cmds, &mut self.mems[n as usize]));
         self.process_slave_actions(n, actions);
         self.slave_ack(n, seq);
     }
 
-    fn on_deliver_evict(&mut self, n: u32, seq: SeqNo, job: JobId) {
+    fn on_deliver_evict(&mut self, n: u32, seq: SeqNo, epoch: Epoch, job: JobId) {
         if !self.node_alive[n as usize] {
             return;
         }
-        if self.defer_if_paused(n, Event::DeliverEvict(n, seq, job)) {
+        if self.defer_if_paused(n, Event::DeliverEvict(n, seq, epoch, job)) {
             return;
         }
         let now = self.engine.now();
-        let actions = self.slaves[n as usize].on_evict_job(now, job, &mut self.mems[n as usize]);
+        let Some(mut actions) =
+            self.slaves[n as usize].observe_epoch(now, epoch, &mut self.mems[n as usize])
+        else {
+            return;
+        };
+        actions.extend(self.slaves[n as usize].on_evict_job(now, job, &mut self.mems[n as usize]));
         self.process_slave_actions(n, actions);
         self.slave_ack(n, seq);
     }
 
-    /// A slave's liveness query arriving at the master: evaluate which of
-    /// the named jobs are dead and route the reply back through the channel.
+    /// A slave's liveness query arriving at the master: split the named
+    /// jobs into dead and alive and route the verdict back through the
+    /// channel. The alive list doubles as a lease renewal.
     fn on_liveness_query(&mut self, n: u32, jobs: Vec<JobId>) {
-        let dead: Vec<JobId> = jobs
-            .into_iter()
-            .filter(|j| !self.live_jobs.contains(j))
-            .collect();
+        let (alive, dead): (Vec<JobId>, Vec<JobId>) =
+            jobs.into_iter().partition(|j| self.live_jobs.contains(j));
+        let epoch = self.master.epoch();
         let rpc = self.net.rpc_latency();
         let copies = self.rpc.deliveries(
             &mut self.rpc_rng,
@@ -1189,22 +1272,65 @@ impl World {
             RpcPeer::Slave(NodeId(n)),
         );
         for extra in copies {
-            self.engine
-                .schedule_in(rpc + extra, Event::LivenessReply(n, dead.clone()));
+            self.engine.schedule_in(
+                rpc + extra,
+                Event::LivenessReply(n, epoch, dead.clone(), alive.clone()),
+            );
         }
     }
 
-    fn on_liveness_reply(&mut self, n: u32, dead: Vec<JobId>) {
+    fn on_liveness_reply(&mut self, n: u32, epoch: Epoch, dead: Vec<JobId>, alive: Vec<JobId>) {
         if !self.node_alive[n as usize] {
             return;
         }
-        if self.defer_if_paused(n, Event::LivenessReply(n, dead.clone())) {
+        if self.defer_if_paused(
+            n,
+            Event::LivenessReply(n, epoch, dead.clone(), alive.clone()),
+        ) {
             return;
         }
         let now = self.engine.now();
-        let actions =
-            self.slaves[n as usize].on_liveness_result(now, dead, &mut self.mems[n as usize]);
+        let Some(mut actions) =
+            self.slaves[n as usize].observe_epoch(now, epoch, &mut self.mems[n as usize])
+        else {
+            return;
+        };
+        actions.extend(self.slaves[n as usize].on_liveness_result(
+            now,
+            dead,
+            alive,
+            &mut self.mems[n as usize],
+        ));
         self.process_slave_actions(n, actions);
+    }
+
+    /// One node's lease timer fired: expire every overdue job lease. A
+    /// stale generation means a renewal superseded this timer; a paused
+    /// control plane defers expiry the same way it defers deliveries.
+    fn on_lease_check(&mut self, n: u32, gen: u64) {
+        if gen != self.lease_gen[n as usize] || !self.node_alive[n as usize] {
+            return;
+        }
+        if self.defer_if_paused(n, Event::LeaseCheck(n, gen)) {
+            return;
+        }
+        let now = self.engine.now();
+        let actions = self.slaves[n as usize].expire_leases(now, &mut self.mems[n as usize]);
+        self.process_slave_actions(n, actions);
+    }
+
+    /// (Re)schedules the lease timer for node `n` at its earliest expiry.
+    /// A no-op when leasing is disabled, so reliable runs schedule nothing.
+    fn resched_lease(&mut self, n: u32) {
+        if self.cfg.ignem.lease.is_none() {
+            return;
+        }
+        self.lease_gen[n as usize] += 1;
+        let gen = self.lease_gen[n as usize];
+        if let Some(at) = self.slaves[n as usize].next_lease_expiry() {
+            self.engine
+                .schedule_at(at.max(self.engine.now()), Event::LeaseCheck(n, gen));
+        }
     }
 
     /// The master's periodic reference-cleanup sweep: for every responsive
@@ -1216,15 +1342,15 @@ impl World {
     /// buffer is quiet). In a healthy run every sweep finds nothing and the
     /// sweep neither consumes randomness nor sends anything.
     fn on_cleanup_sweep(&mut self) {
+        let epoch = self.master.epoch();
         for n in 0..self.cfg.nodes as u32 {
             if !self.node_alive[n as usize] || self.paused_until[n as usize].is_some() {
                 continue;
             }
-            let dead: Vec<JobId> = self.slaves[n as usize]
+            let (alive, dead): (Vec<JobId>, Vec<JobId>) = self.slaves[n as usize]
                 .interested_jobs()
                 .into_iter()
-                .filter(|j| !self.live_jobs.contains(j))
-                .collect();
+                .partition(|j| self.live_jobs.contains(j));
             if dead.is_empty() {
                 continue;
             }
@@ -1235,8 +1361,10 @@ impl World {
                 RpcPeer::Slave(NodeId(n)),
             );
             for extra in copies {
-                self.engine
-                    .schedule_in(rpc + extra, Event::LivenessReply(n, dead.clone()));
+                self.engine.schedule_in(
+                    rpc + extra,
+                    Event::LivenessReply(n, epoch, dead.clone(), alive.clone()),
+                );
             }
         }
         // Keep sweeping while work may still create references, or any
@@ -1249,6 +1377,9 @@ impl World {
         }
     }
 
+    /// Applies a slave's requested actions and then re-arms its lease
+    /// timer. Every world↔slave interaction funnels through here, so the
+    /// timer always tracks the earliest outstanding lease.
     fn process_slave_actions(&mut self, n: u32, actions: Vec<SlaveAction>) {
         for a in actions {
             match a {
@@ -1289,6 +1420,7 @@ impl World {
                 }
             }
         }
+        self.resched_lease(n);
     }
 
     // ------------------------------------------------------------------
@@ -1586,9 +1718,11 @@ impl World {
         match self.faults[idx].1.clone() {
             Fault::MasterFail => {
                 self.master.fail();
+                let epoch = self.master.epoch();
                 for n in 0..self.cfg.nodes {
                     if self.node_alive[n] {
-                        let actions = self.slaves[n].on_master_failed(now, &mut self.mems[n]);
+                        let actions =
+                            self.slaves[n].on_master_failed(now, epoch, &mut self.mems[n]);
                         self.process_slave_actions(n as u32, actions);
                     }
                 }

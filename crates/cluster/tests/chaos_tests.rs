@@ -1,19 +1,22 @@
-//! Randomized chaos campaign: many seeded fault plans, six invariants.
+//! Randomized chaos campaign: many seeded fault plans, seven invariants.
 //!
 //! Each run executes with per-event slave-consistency validation
-//! (do-not-harm), then checks the end-state invariants (leak-freedom,
-//! memory conservation, completion of surviving plans, event-stream
-//! consistency from the flight recorder) and finally re-runs the
+//! (do-not-harm) and per-event residency-ledger reconciliation, then
+//! checks the end-state invariants (leak-freedom, memory conservation,
+//! completion of surviving plans, event-stream consistency from the
+//! flight recorder, ledger conservation) and finally re-runs the
 //! identical `(seed, fault plan)` to assert bit-identical metrics
 //! (determinism).
 
-use ignem_cluster::chaos::{run_chaos, ChaosConfig};
+use ignem_cluster::chaos::{minimize_faults, run_chaos, run_chaos_with, ChaosConfig};
 use ignem_cluster::experiment::{swim_files, swim_plan};
+use ignem_cluster::explain::TelemetryReport;
 use ignem_cluster::prelude::*;
 use ignem_netsim::rpc::RpcConfig;
+use ignem_netsim::NodeId;
 use ignem_simcore::rng::SimRng;
-use ignem_simcore::time::SimDuration;
-use ignem_simcore::units::GB;
+use ignem_simcore::time::{SimDuration, SimTime};
+use ignem_simcore::units::{GB, MIB};
 use ignem_workloads::swim::{SwimConfig, SwimTrace};
 
 /// One full chaos check: run, invariants, then a second run for the
@@ -172,6 +175,89 @@ fn chaos_event_stream_is_consistent() {
         );
         report.assert_event_stream_consistent();
     }
+}
+
+/// The seed-304 partition race, pre-fix: job 3's migrate batch for block
+/// 15 → node 0 is cut by a control-plane partition and keeps retrying
+/// with backoff; the job completes and its evict is acked *before* the
+/// migrate ever lands. With `unfinished_plans == 0` and no interest the
+/// cleanup sweep stops rescheduling, so when the retransmission finally
+/// delivers, the reference it creates for the now-dead job is never
+/// reclaimed. The epoch/lease lifecycle closes exactly this gap.
+#[test]
+fn seed_304_is_leak_free_with_leases() {
+    let cfg = ChaosConfig {
+        seed: 304,
+        ..ChaosConfig::default()
+    };
+    let report = run_chaos(&cfg);
+    report.assert_invariants();
+    // The fix must have actually exercised the lease path: the orphaned
+    // reference expired instead of lingering.
+    assert_eq!(report.metrics.slave_stats.lease_expiries, 1);
+    assert_eq!(report.metrics.leaked_job_refs, 0);
+    assert_eq!(report.metrics.final_migrated_bytes, 0);
+    // Determinism with the lease machinery engaged.
+    assert_eq!(report.fingerprint, run_chaos(&cfg).fingerprint);
+}
+
+/// Regression pin for the pre-fix leak: with leasing disabled the legacy
+/// cleanup machinery still loses the seed-304 race, and the minimizer
+/// shrinks the three-fault plan to the single partition that causes it.
+#[test]
+fn minimizer_reproduces_legacy_seed_304_leak() {
+    let legacy = ChaosConfig {
+        seed: 304,
+        lease: None,
+        ..ChaosConfig::default()
+    };
+    let broken = run_chaos(&legacy);
+    assert_eq!(broken.metrics.leaked_job_refs, 1, "pre-fix leak vanished");
+    assert_eq!(broken.metrics.final_migrated_bytes, 64 * MIB);
+
+    let min = minimize_faults(&legacy).expect("legacy seed 304 must fail");
+    assert!(
+        min.violation.contains("reference leak: 1 entries"),
+        "unexpected violation: {}",
+        min.violation
+    );
+    // 1-minimal: only the control-plane partition is needed.
+    assert_eq!(
+        min.faults,
+        vec![(
+            SimTime::from_micros(15_241_402),
+            Fault::Partition(
+                vec![NodeId(0), NodeId(2)],
+                SimDuration::from_micros(9_983_093)
+            ),
+        )]
+    );
+    // The explainer names the leaked reference in the describe() output.
+    let leaks = TelemetryReport::from_events(&min.report.events).leaked;
+    assert_eq!(leaks.len(), 1);
+    assert_eq!(leaks[0].node, 0);
+    assert_eq!(leaks[0].bytes, 64 * MIB);
+    assert_eq!(leaks[0].jobs, vec![3]);
+    let desc = min.describe();
+    assert!(desc.contains("leaked_reference"), "{desc}");
+    assert!(desc.contains("Partition"), "{desc}");
+
+    // Replaying the minimal schedule alone still reproduces the leak.
+    let replay = run_chaos_with(&legacy, min.faults.clone());
+    assert_eq!(replay.metrics.leaked_job_refs, 1);
+}
+
+/// A replayed full schedule is bit-identical to the generated run: the
+/// explicit-schedule path shares every code path with the seeded one.
+#[test]
+fn explicit_schedule_replay_is_bit_identical() {
+    let cfg = ChaosConfig {
+        seed: 11,
+        ..ChaosConfig::default()
+    };
+    let generated = run_chaos(&cfg);
+    let replayed = run_chaos_with(&cfg, generated.faults.clone());
+    assert_eq!(generated.fingerprint, replayed.fingerprint);
 }
 
 #[test]

@@ -6,6 +6,7 @@
 //! batch.
 
 use ignem_dfs::block::BlockId;
+use ignem_netsim::rpc::Epoch;
 use ignem_netsim::NodeId;
 use ignem_simcore::time::SimTime;
 
@@ -87,6 +88,11 @@ pub enum RpcPayload {
 pub struct SlaveBatch {
     /// Destination slave.
     pub to: NodeId,
+    /// The master incarnation that issued the batch. Slaves reject batches
+    /// stamped with an epoch older than the newest they have seen, so a
+    /// retransmission that outlives a master failover cannot resurrect
+    /// purged state.
+    pub epoch: Epoch,
     /// Blocks to migrate.
     pub migrates: Vec<MigrateCommand>,
     /// Jobs whose references should be released.
@@ -94,10 +100,11 @@ pub struct SlaveBatch {
 }
 
 impl SlaveBatch {
-    /// Creates an empty batch for `to`.
-    pub fn new(to: NodeId) -> Self {
+    /// Creates an empty batch for `to`, stamped with `epoch`.
+    pub fn new(to: NodeId, epoch: Epoch) -> Self {
         SlaveBatch {
             to,
+            epoch,
             migrates: Vec::new(),
             evicts: Vec::new(),
         }
@@ -115,7 +122,7 @@ mod tests {
 
     #[test]
     fn batch_emptiness() {
-        let mut b = SlaveBatch::new(NodeId(1));
+        let mut b = SlaveBatch::new(NodeId(1), Epoch::FIRST);
         assert!(b.is_empty());
         b.evicts.push(JobId(1));
         assert!(!b.is_empty());

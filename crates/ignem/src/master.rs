@@ -17,6 +17,7 @@ use std::collections::BTreeMap;
 
 use ignem_dfs::error::DfsError;
 use ignem_dfs::namenode::NameNode;
+use ignem_netsim::rpc::Epoch;
 use ignem_netsim::NodeId;
 use ignem_simcore::rng::SimRng;
 use ignem_simcore::telemetry::{Event, Telemetry};
@@ -140,11 +141,15 @@ struct JobRecord {
 /// assert_eq!(total, 4); // one command per 64 MiB block, one replica each
 /// # Ok::<(), ignem_dfs::error::DfsError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct IgnemMaster {
     config: MasterConfig,
     jobs: BTreeMap<JobId, JobRecord>,
     stats: MasterStats,
+    /// Current master incarnation, stamped onto every outgoing batch and
+    /// liveness reply. Bumped by [`fail`](Self::fail) so commands issued
+    /// before a failover are recognizably stale when they finally arrive.
+    epoch: Epoch,
     /// Next sequence number; monotonic for the master's whole lifetime,
     /// surviving [`fail`](Self::fail), so a timeout event scheduled for a
     /// pre-failure send can never alias a post-restart send.
@@ -155,10 +160,29 @@ pub struct IgnemMaster {
     telemetry: Telemetry,
 }
 
+impl Default for IgnemMaster {
+    fn default() -> Self {
+        IgnemMaster {
+            config: MasterConfig::default(),
+            jobs: BTreeMap::new(),
+            stats: MasterStats::default(),
+            epoch: Epoch::FIRST,
+            next_seq: 0,
+            outbox: BTreeMap::new(),
+            telemetry: Telemetry::default(),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct PendingSend {
     to: NodeId,
     payload: RpcPayload,
+    /// The epoch the send was registered under. Retransmissions carry the
+    /// *original* stamp: a failover clears the outbox, so a pending send
+    /// always belongs to the current incarnation, but the stamp is stored
+    /// rather than re-read so the invariant is structural.
+    epoch: Epoch,
     /// Delivery attempts made so far (1 after the initial send).
     attempt: u32,
 }
@@ -175,6 +199,8 @@ pub enum RetryDecision {
         to: NodeId,
         /// Payload to retransmit.
         payload: RpcPayload,
+        /// The epoch the original send was stamped with.
+        epoch: Epoch,
         /// Timeout to arm for this attempt (escalated, capped).
         next_timeout: SimDuration,
     },
@@ -223,6 +249,11 @@ impl IgnemMaster {
         self.jobs.len()
     }
 
+    /// The current master incarnation (stamped onto every outgoing send).
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
     /// Handles a client migrate request: resolves files to blocks, picks one
     /// random **alive** replica per block, and returns per-slave batches.
     /// Blocks with no alive replica are skipped (the file system will
@@ -258,10 +289,11 @@ impl IgnemMaster {
             let mut candidates = locations.clone();
             rng.shuffle(&mut candidates);
             let k = self.config.replicas_to_migrate.max(1).min(candidates.len());
+            let epoch = self.epoch;
             for &target in &candidates[..k] {
                 batches
                     .entry(target)
-                    .or_insert_with(|| SlaveBatch::new(target))
+                    .or_insert_with(|| SlaveBatch::new(target, epoch))
                     .migrates
                     .push(MigrateCommand {
                         job: req.job,
@@ -303,7 +335,7 @@ impl IgnemMaster {
             .slaves
             .into_iter()
             .map(|slave| {
-                let mut b = SlaveBatch::new(slave);
+                let mut b = SlaveBatch::new(slave, self.epoch);
                 b.evicts.push(job);
                 b
             })
@@ -321,6 +353,7 @@ impl IgnemMaster {
             PendingSend {
                 to,
                 payload,
+                epoch: self.epoch,
                 attempt: 1,
             },
         );
@@ -365,6 +398,7 @@ impl IgnemMaster {
         RetryDecision::Retry {
             to: pending.to,
             payload: pending.payload.clone(),
+            epoch: pending.epoch,
             next_timeout: self.config.retry.timeout_for(pending.attempt),
         }
     }
@@ -380,10 +414,12 @@ impl IgnemMaster {
     /// slaves purge reference lists and stay consistent (§III-A5). The
     /// outbox is dropped too (pre-failure timeouts then settle as stale),
     /// but `next_seq` keeps counting so restarted sends never reuse a
-    /// sequence number.
+    /// sequence number, and the epoch is bumped so in-flight copies of
+    /// pre-failure sends are recognizably stale wherever they land.
     pub fn fail(&mut self) {
         self.jobs.clear();
         self.outbox.clear();
+        self.epoch = self.epoch.next();
     }
 }
 
@@ -544,6 +580,7 @@ mod tests {
             RetryDecision::Retry {
                 to: NodeId(5),
                 payload: payload.clone(),
+                epoch: Epoch::FIRST,
                 next_timeout: SimDuration::from_secs(2),
             }
         );
@@ -552,6 +589,7 @@ mod tests {
             RetryDecision::Retry {
                 to: NodeId(5),
                 payload,
+                epoch: Epoch::FIRST,
                 next_timeout: SimDuration::from_secs(4),
             }
         );
@@ -572,6 +610,31 @@ mod tests {
         assert_eq!(m.on_timeout(seq0), RetryDecision::Settled);
         let (seq1, _) = m.register_send(NodeId(1), RpcPayload::Evict(JobId(2)));
         assert!(seq1 > seq0, "sequence numbers must never be reused");
+    }
+
+    #[test]
+    fn failure_bumps_epoch_and_batches_carry_it() {
+        let (mut nn, mut rng) = setup(4);
+        nn.create_file("/f", 64 * MIB, &mut rng).unwrap();
+        let mut m = IgnemMaster::new();
+        assert_eq!(m.epoch(), Epoch::FIRST);
+        let batches = m
+            .handle_migrate(&request(1, vec!["/f"]), &nn, &mut rng)
+            .unwrap();
+        assert!(batches.iter().all(|b| b.epoch == Epoch::FIRST));
+        m.fail();
+        assert_eq!(m.epoch(), Epoch(2));
+        let batches = m
+            .handle_migrate(&request(2, vec!["/f"]), &nn, &mut rng)
+            .unwrap();
+        assert!(batches.iter().all(|b| b.epoch == Epoch(2)));
+        // A retransmission registered before the failure would have carried
+        // the old stamp; one registered after carries the new one.
+        let (seq, _) = m.register_send(NodeId(1), RpcPayload::Evict(JobId(2)));
+        match m.on_timeout(seq) {
+            RetryDecision::Retry { epoch, .. } => assert_eq!(epoch, Epoch(2)),
+            other => panic!("expected retry, got {other:?}"),
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use ignem_dfs::block::BlockId;
+use ignem_netsim::rpc::Epoch;
 use ignem_netsim::NodeId;
 use ignem_simcore::telemetry::{Event, Telemetry};
 use ignem_simcore::time::{SimDuration, SimTime};
@@ -55,11 +56,22 @@ pub struct IgnemConfig {
     pub max_concurrent_migrations: usize,
     /// Queue-ordering policy.
     pub policy: Policy,
+    /// Reference lease duration. When set, every job holding interest on
+    /// this slave carries a lease that must be renewed (by a new command,
+    /// a reference materializing, the job reading a block here, or a
+    /// liveness reply confirming the job alive) within this duration;
+    /// un-renewed leases expire and the job's references are released, so
+    /// references orphaned by partitions or stale retransmissions are
+    /// reclaimed deterministically. `None` disables leases entirely (the
+    /// legacy lifecycle, which relies on the cluster's cleanup sweep and
+    /// is known to race the fault schedule — see the seed-304 leak).
+    pub lease: Option<SimDuration>,
 }
 
 impl Default for IgnemConfig {
     /// 16 GiB buffer (plenty per §II-C2's worst-case 12.5 GB analysis),
-    /// cleanup at 80% occupancy, smallest-job-first.
+    /// cleanup at 80% occupancy, smallest-job-first, no leases (fault-free
+    /// runs need none and stay bit-identical to the pre-lease lifecycle).
     fn default() -> Self {
         IgnemConfig {
             buffer_capacity: 16 << 30,
@@ -67,6 +79,7 @@ impl Default for IgnemConfig {
             liveness_cooldown: SimDuration::from_secs(5),
             max_concurrent_migrations: 1,
             policy: Policy::SmallestJobFirst,
+            lease: None,
         }
     }
 }
@@ -113,12 +126,24 @@ pub struct SlaveStats {
     /// Migration reads that completed with no interested job left; the
     /// block was dropped without entering memory.
     pub wasted_reads: u64,
-    /// Blocks evicted (reference list emptied).
+    /// Blocks evicted: every removal of a migrated-resident block, whether
+    /// its reference list emptied or a purge dropped it wholesale. Matches
+    /// the number of `BlockEvicted` telemetry events one-for-one.
     pub evicted: u64,
+    /// Bytes released from the migration buffer across every evict and
+    /// purge path — the debit side of the residency ledger. At all times
+    /// `migrated_bytes - evicted_bytes` equals the bytes currently
+    /// migrated-resident in this node's memory.
+    pub evicted_bytes: u64,
     /// Full purges performed (master failure / slave restart).
     pub purges: u64,
     /// Liveness queries issued.
     pub liveness_queries: u64,
+    /// Commands rejected because they carried a stale master epoch (a
+    /// retransmission from an incarnation that has since failed over).
+    pub stale_epochs: u64,
+    /// Job leases that expired un-renewed, releasing the job's references.
+    pub lease_expiries: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,6 +200,11 @@ pub struct IgnemSlave {
     /// list of blocks migrated for the job" — the eviction index. Tracks
     /// resident, queued and in-flight interest.
     job_blocks: BTreeMap<JobId, BTreeSet<BlockId>>,
+    /// Highest master epoch observed; commands stamped lower are stale.
+    epoch: Epoch,
+    /// Per-job lease expiry instants (populated only when
+    /// [`IgnemConfig::lease`] is set; keys mirror `job_blocks`).
+    lease_expiry: BTreeMap<JobId, SimTime>,
     arrivals: u64,
     liveness_pending: bool,
     last_liveness: Option<SimTime>,
@@ -203,6 +233,8 @@ impl IgnemSlave {
             current: BTreeMap::new(),
             refs: BTreeMap::new(),
             job_blocks: BTreeMap::new(),
+            epoch: Epoch::FIRST,
+            lease_expiry: BTreeMap::new(),
             arrivals: 0,
             liveness_pending: false,
             last_liveness: None,
@@ -264,6 +296,83 @@ impl IgnemSlave {
         self.refs.values().map(Vec::len).sum()
     }
 
+    /// The highest master epoch this slave has observed.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Observes the epoch stamped on an incoming master message, deciding
+    /// whether the message may be applied.
+    ///
+    /// * `epoch` **older** than the highest seen: the sender's incarnation
+    ///   failed over after issuing the message (a retransmission that
+    ///   outlived its master). The message must be dropped — applying it
+    ///   would resurrect state the failover purged. Returns `None`; the
+    ///   rejection is idempotent (counted, emitted, no state change).
+    /// * `epoch` **equal**: apply normally; returns `Some` empty actions.
+    /// * `epoch` **newer**: the slave missed the failover notification
+    ///   (e.g. it was partitioned away when the cluster broadcast it).
+    ///   Adopt the new incarnation by purging exactly as
+    ///   [`on_master_failed`](Self::on_master_failed) would, then apply
+    ///   the message; returns `Some` with the purge's cancel actions.
+    pub fn observe_epoch(
+        &mut self,
+        now: SimTime,
+        epoch: Epoch,
+        mem: &mut MemStore<BlockId>,
+    ) -> Option<Vec<SlaveAction>> {
+        match epoch.cmp(&self.epoch) {
+            std::cmp::Ordering::Less => {
+                self.stats.stale_epochs += 1;
+                let (stale, current) = (epoch.0, self.epoch.0);
+                self.telemetry.emit(|| Event::EpochRejected {
+                    node: self.node.0,
+                    stale,
+                    current,
+                });
+                None
+            }
+            std::cmp::Ordering::Equal => Some(Vec::new()),
+            std::cmp::Ordering::Greater => {
+                let actions = self.purge_for_new_master(now, mem);
+                self.epoch = epoch;
+                Some(actions)
+            }
+        }
+    }
+
+    /// The earliest instant at which a job lease expires, if any lease is
+    /// outstanding. The cluster layer arms a timer for this instant and
+    /// calls [`expire_leases`](Self::expire_leases) when it fires.
+    pub fn next_lease_expiry(&self) -> Option<SimTime> {
+        self.lease_expiry.values().min().copied()
+    }
+
+    /// Releases every job whose lease expired at or before `now`. Expired
+    /// jobs are treated exactly like jobs a liveness reply declared dead:
+    /// resident references are dropped (evicting emptied blocks), queued
+    /// and in-flight interest is discarded.
+    pub fn expire_leases(&mut self, now: SimTime, mem: &mut MemStore<BlockId>) -> Vec<SlaveAction> {
+        let expired: Vec<JobId> = self
+            .lease_expiry
+            .iter()
+            .filter(|&(_, &at)| at <= now)
+            .map(|(&job, _)| job)
+            .collect();
+        if expired.is_empty() {
+            return Vec::new();
+        }
+        for job in expired {
+            self.stats.lease_expiries += 1;
+            self.telemetry.emit(|| Event::LeaseExpired {
+                node: self.node.0,
+                job: job.0,
+            });
+            self.release_job(now, job, mem);
+        }
+        self.try_start(now, mem)
+    }
+
     /// Handles a batch of migrate commands from the master.
     ///
     /// Idempotent under redelivery: the master retransmits batches that
@@ -315,6 +424,7 @@ impl IgnemSlave {
                             self.emit_enqueued(&cmd);
                         }
                         self.stats.deduped += 1;
+                        self.touch_lease(now, cmd.job);
                         continue;
                     }
                     if let Some(q) = self.queue.get_mut(&cmd.block) {
@@ -340,6 +450,7 @@ impl IgnemSlave {
                     }
                 }
             }
+            self.touch_lease(now, cmd.job);
         }
         self.try_start(now, mem)
     }
@@ -377,6 +488,11 @@ impl IgnemSlave {
                     let list: Vec<(JobId, EvictionMode)> =
                         cur.waiters.iter().map(|w| (w.job, w.mode)).collect();
                     self.refs.insert(block, list);
+                    // The references just materialized; their lease clock
+                    // starts (or restarts) now.
+                    for w in &cur.waiters {
+                        self.touch_lease(now, w.job);
+                    }
                     self.telemetry.emit(|| Event::MigrationCompleted {
                         node: self.node.0,
                         block: block.0,
@@ -469,21 +585,38 @@ impl IgnemSlave {
             self.refs.remove(&block);
             let bytes = mem.remove(now, &block).unwrap_or(0);
             self.stats.evicted += 1;
+            self.stats.evicted_bytes += bytes;
             self.telemetry.emit(|| Event::BlockEvicted {
                 node: self.node.0,
                 block: block.0,
                 bytes,
             });
         }
+        // The read proves the job alive; renew whatever interest remains.
+        self.touch_lease(now, job);
         self.try_start(now, mem)
     }
 
     /// Master failure: purge **all** reference lists so the slave is
-    /// consistent with the new master's empty state (§III-A5). Queued work
-    /// is dropped and any in-flight migration read is cancelled — the
+    /// consistent with the new master's empty state (§III-A5), and adopt
+    /// the new incarnation's epoch so stale retransmissions from the old
+    /// one are rejected when they eventually arrive. Queued work is
+    /// dropped and any in-flight migration read is cancelled — the
     /// restarted master has no record of it, so letting it finish would
     /// waste disk bandwidth and orphan the IO.
     pub fn on_master_failed(
+        &mut self,
+        now: SimTime,
+        new_epoch: Epoch,
+        mem: &mut MemStore<BlockId>,
+    ) -> Vec<SlaveAction> {
+        self.epoch = self.epoch.max(new_epoch);
+        self.purge_for_new_master(now, mem)
+    }
+
+    /// The shared §III-A5 purge: drop every reference (evicting resident
+    /// blocks), queued entry and lease, and cancel in-flight reads.
+    fn purge_for_new_master(
         &mut self,
         now: SimTime,
         mem: &mut MemStore<BlockId>,
@@ -492,6 +625,7 @@ impl IgnemSlave {
         for (block, _) in std::mem::take(&mut self.refs) {
             let bytes = mem.remove(now, &block).unwrap_or(0);
             self.stats.evicted += 1;
+            self.stats.evicted_bytes += bytes;
             self.telemetry.emit(|| Event::BlockEvicted {
                 node: self.node.0,
                 block: block.0,
@@ -500,6 +634,7 @@ impl IgnemSlave {
         }
         self.queue.clear();
         self.job_blocks.clear();
+        self.lease_expiry.clear();
         self.liveness_pending = false;
         std::mem::take(&mut self.current)
             .into_keys()
@@ -509,20 +644,30 @@ impl IgnemSlave {
 
     /// Slave process failure + restart: all migrated data is discarded (the
     /// OS reclaims it), in-flight work is cancelled, and the slave restarts
-    /// empty, ready for new commands (§III-A5).
+    /// empty, ready for new commands (§III-A5). The observed epoch
+    /// survives: it models durable knowledge of "who is master", and
+    /// keeping it monotonic means a restarted slave still rejects
+    /// pre-failover retransmissions.
     pub fn fail(&mut self, now: SimTime, mem: &mut MemStore<BlockId>) -> Vec<SlaveAction> {
         self.stats.purges += 1;
         for (block, _) in std::mem::take(&mut self.refs) {
             let bytes = mem.remove(now, &block).unwrap_or(0);
+            self.stats.evicted += 1;
+            self.stats.evicted_bytes += bytes;
             self.telemetry.emit(|| Event::BlockEvicted {
                 node: self.node.0,
                 block: block.0,
                 bytes,
             });
         }
+        // Anything still migrated-resident (impossible while the bijection
+        // invariant holds, but purged defensively) is debited too so the
+        // ledger stays balanced.
+        self.stats.evicted_bytes += mem.migrated_used();
         mem.purge_migrated(now);
         self.queue.clear();
         self.job_blocks.clear();
+        self.lease_expiry.clear();
         self.liveness_pending = false;
         std::mem::take(&mut self.current)
             .into_keys()
@@ -531,17 +676,23 @@ impl IgnemSlave {
     }
 
     /// Result of a [`SlaveAction::QueryJobLiveness`]: `dead` lists the
-    /// queried jobs the scheduler could not confirm as running. Their
-    /// references are released.
+    /// queried jobs the scheduler could not confirm as running (their
+    /// references are released) and `alive` the ones it could (their
+    /// leases are renewed — the reply is the lease-renewal channel for
+    /// jobs that hold references without generating any other traffic).
     pub fn on_liveness_result(
         &mut self,
         now: SimTime,
         dead: Vec<JobId>,
+        alive: Vec<JobId>,
         mem: &mut MemStore<BlockId>,
     ) -> Vec<SlaveAction> {
         self.liveness_pending = false;
         for job in dead {
             self.release_job(now, job, mem);
+        }
+        for job in alive {
+            self.touch_lease(now, job);
         }
         self.try_start(now, mem)
     }
@@ -674,6 +825,45 @@ impl IgnemSlave {
                 }
             }
         }
+        // Lease bookkeeping: with leases enabled every interested job
+        // carries exactly one lease; with them disabled the map is empty.
+        if self.config.lease.is_some() {
+            for job in self.job_blocks.keys() {
+                if !self.lease_expiry.contains_key(job) {
+                    return Err(format!(
+                        "node {:?}: interested {job:?} has no lease",
+                        self.node
+                    ));
+                }
+            }
+            for job in self.lease_expiry.keys() {
+                if !self.job_blocks.contains_key(job) {
+                    return Err(format!(
+                        "node {:?}: lease for {job:?} outlives its interest",
+                        self.node
+                    ));
+                }
+            }
+        } else if !self.lease_expiry.is_empty() {
+            return Err(format!(
+                "node {:?}: lease entries present with leases disabled",
+                self.node
+            ));
+        }
+        // Ledger conservation: what came in minus what went out is what is
+        // resident right now.
+        let resident_bytes = mem.migrated_used();
+        if self
+            .stats
+            .migrated_bytes
+            .checked_sub(self.stats.evicted_bytes)
+            != Some(resident_bytes)
+        {
+            return Err(format!(
+                "node {:?}: ledger out of balance: {} migrated - {} evicted != {} resident",
+                self.node, self.stats.migrated_bytes, self.stats.evicted_bytes, resident_bytes
+            ));
+        }
         Ok(())
     }
 
@@ -681,6 +871,7 @@ impl IgnemSlave {
     /// emptied blocks), queued waiters (discarding emptied entries) and
     /// in-flight waiters.
     fn release_job(&mut self, now: SimTime, job: JobId, mem: &mut MemStore<BlockId>) {
+        self.lease_expiry.remove(&job);
         let Some(blocks) = self.job_blocks.remove(&job) else {
             return;
         };
@@ -691,6 +882,7 @@ impl IgnemSlave {
                     self.refs.remove(&block);
                     let bytes = mem.remove(now, &block).unwrap_or(0);
                     self.stats.evicted += 1;
+                    self.stats.evicted_bytes += bytes;
                     self.telemetry.emit(|| Event::BlockEvicted {
                         node: self.node.0,
                         block: block.0,
@@ -808,6 +1000,19 @@ impl IgnemSlave {
             set.remove(&block);
             if set.is_empty() {
                 self.job_blocks.remove(&job);
+                // The job's last interest is gone; its lease goes with it.
+                self.lease_expiry.remove(&job);
+            }
+        }
+    }
+
+    /// Renews `job`'s lease if leases are enabled and the job still holds
+    /// interest on this slave; a no-op otherwise (a lease may never outlive
+    /// the interest it protects).
+    fn touch_lease(&mut self, now: SimTime, job: JobId) {
+        if let Some(lease) = self.config.lease {
+            if self.job_blocks.contains_key(&job) {
+                self.lease_expiry.insert(job, now + lease);
             }
         }
     }
@@ -1033,7 +1238,7 @@ mod tests {
         assert_eq!(s.stats().liveness_queries, 1);
         // Scheduler says job 1 is dead: its block is evicted and the next
         // migration starts.
-        let a3 = s.on_liveness_result(t(4), vec![JobId(1)], &mut mem);
+        let a3 = s.on_liveness_result(t(4), vec![JobId(1)], vec![JobId(2)], &mut mem);
         assert!(!mem.contains(&BlockId(10)));
         assert!(matches!(a3[0], SlaveAction::StartRead { .. }));
     }
@@ -1044,7 +1249,8 @@ mod tests {
         s.enqueue(t(0), vec![cmd(1, 10, B64, 0), cmd(1, 11, B64, 0)], &mut mem);
         s.on_read_done(t(1), BlockId(10), &mut mem);
         // Block 11's migration is now in flight; 10 is resident.
-        let actions = s.on_master_failed(t(2), &mut mem);
+        let actions = s.on_master_failed(t(2), Epoch(2), &mut mem);
+        assert_eq!(s.epoch(), Epoch(2));
         assert!(!mem.contains(&BlockId(10)), "resident blocks purged");
         assert_eq!(s.queue_len(), 0);
         // The in-flight read is cancelled, not orphaned.
@@ -1183,5 +1389,263 @@ mod tests {
     fn completion_without_flight_panics() {
         let (mut s, mut mem) = slave();
         s.on_read_done(t(0), BlockId(1), &mut mem);
+    }
+
+    fn leased_slave(lease_s: u64) -> (IgnemSlave, MemStore<BlockId>) {
+        (
+            IgnemSlave::new(
+                NodeId(0),
+                IgnemConfig {
+                    lease: Some(SimDuration::from_secs(lease_s)),
+                    ..IgnemConfig::default()
+                },
+            ),
+            MemStore::new(128 * GIB),
+        )
+    }
+
+    #[test]
+    fn stale_epoch_is_rejected_idempotently() {
+        let (mut s, mut mem) = slave();
+        assert_eq!(s.epoch(), Epoch::FIRST);
+        s.on_master_failed(t(1), Epoch(3), &mut mem);
+        // A retransmission stamped with the dead incarnation's epoch.
+        assert_eq!(s.observe_epoch(t(2), Epoch(1), &mut mem), None);
+        assert_eq!(s.observe_epoch(t(2), Epoch(2), &mut mem), None);
+        assert_eq!(s.stats().stale_epochs, 2);
+        // The current epoch and a newer one are both accepted.
+        assert_eq!(s.observe_epoch(t(2), Epoch(3), &mut mem), Some(vec![]));
+        assert!(s.observe_epoch(t(2), Epoch(4), &mut mem).is_some());
+        assert_eq!(s.epoch(), Epoch(4));
+    }
+
+    #[test]
+    fn newer_epoch_purges_like_a_missed_failover() {
+        let (mut s, mut mem) = slave();
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0), cmd(1, 11, B64, 0)], &mut mem);
+        s.on_read_done(t(1), BlockId(10), &mut mem);
+        // The slave never heard about the failover; the first message from
+        // the new incarnation triggers the §III-A5 purge.
+        let actions = s.observe_epoch(t(2), Epoch(2), &mut mem).unwrap();
+        assert_eq!(
+            actions,
+            vec![SlaveAction::CancelRead { block: BlockId(11) }]
+        );
+        assert!(!mem.contains(&BlockId(10)));
+        assert_eq!(s.total_references(), 0);
+        assert_eq!(s.epoch(), Epoch(2));
+        assert_eq!(s.stats().purges, 1);
+    }
+
+    #[test]
+    fn slave_restart_keeps_observed_epoch() {
+        let (mut s, mut mem) = slave();
+        s.on_master_failed(t(1), Epoch(5), &mut mem);
+        s.fail(t(2), &mut mem);
+        assert_eq!(s.epoch(), Epoch(5));
+        assert_eq!(s.observe_epoch(t(3), Epoch(4), &mut mem), None);
+    }
+
+    #[test]
+    fn unrenewed_lease_expires_and_releases_references() {
+        let (mut s, mut mem) = leased_slave(10);
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0)], &mut mem);
+        s.on_read_done(t(1), BlockId(10), &mut mem);
+        // Lease restarted at materialization (t=1) -> expires at t=11.
+        assert_eq!(s.next_lease_expiry(), Some(t(11)));
+        assert!(s.expire_leases(t(10), &mut mem).is_empty());
+        assert!(mem.contains(&BlockId(10)), "lease still live at t=10");
+        s.expire_leases(t(11), &mut mem);
+        assert!(!mem.contains(&BlockId(10)), "expired lease evicts");
+        assert_eq!(s.total_references(), 0);
+        assert_eq!(s.stats().lease_expiries, 1);
+        assert_eq!(s.next_lease_expiry(), None);
+        s.check_consistency(&mem).unwrap();
+    }
+
+    #[test]
+    fn reads_and_liveness_replies_renew_leases() {
+        let (mut s, mut mem) = leased_slave(10);
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0)], &mut mem);
+        s.on_read_done(t(1), BlockId(10), &mut mem);
+        // The job reads the block at t=9: lease renewed to t=19.
+        s.on_block_read(t(9), BlockId(10), JobId(1), &mut mem);
+        assert_eq!(s.next_lease_expiry(), Some(t(19)));
+        assert!(s.expire_leases(t(12), &mut mem).is_empty());
+        assert!(mem.contains(&BlockId(10)));
+        // A liveness reply listing the job alive renews again.
+        s.on_liveness_result(t(18), vec![], vec![JobId(1)], &mut mem);
+        assert_eq!(s.next_lease_expiry(), Some(t(28)));
+        // An explicit evict retires the lease with the references.
+        s.on_evict_job(t(20), JobId(1), &mut mem);
+        assert_eq!(s.next_lease_expiry(), None);
+        s.check_consistency(&mem).unwrap();
+    }
+
+    #[test]
+    fn lease_expiry_strips_queued_and_inflight_interest() {
+        let (mut s, mut mem) = leased_slave(5);
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0), cmd(1, 11, B64, 0)], &mut mem);
+        // Block 10 in flight, block 11 queued; nothing renews the lease.
+        s.expire_leases(t(5), &mut mem);
+        assert_eq!(s.queue_len(), 0, "queued interest discarded");
+        assert_eq!(s.stats().lease_expiries, 1);
+        // The in-flight read completes with no waiters: wasted, not leaked.
+        s.on_read_done(t(6), BlockId(10), &mut mem);
+        assert_eq!(s.stats().wasted_reads, 1);
+        assert_eq!(s.total_references(), 0);
+        s.check_consistency(&mem).unwrap();
+    }
+
+    #[test]
+    fn leases_disabled_keeps_map_empty() {
+        let (mut s, mut mem) = slave();
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0)], &mut mem);
+        s.on_read_done(t(1), BlockId(10), &mut mem);
+        assert_eq!(s.next_lease_expiry(), None);
+        assert!(s.expire_leases(t(100), &mut mem).is_empty());
+        assert!(mem.contains(&BlockId(10)), "no lease, no expiry");
+        s.check_consistency(&mem).unwrap();
+    }
+
+    #[test]
+    fn purge_during_inflight_migration_balances_ledger() {
+        // Satellite regression: a purge while a migration is in flight must
+        // leave counters and the byte ledger consistent — the resident
+        // block is debited, the in-flight one is cancelled (never credited).
+        let (mut s, mut mem) = slave();
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0), cmd(1, 11, B64, 0)], &mut mem);
+        s.on_read_done(t(1), BlockId(10), &mut mem);
+        assert_eq!(s.stats().migrated_bytes, B64);
+        let actions = s.on_master_failed(t(2), Epoch(2), &mut mem);
+        assert_eq!(
+            actions,
+            vec![SlaveAction::CancelRead { block: BlockId(11) }]
+        );
+        let st = s.stats();
+        assert_eq!(st.purges, 1);
+        assert_eq!(st.evicted, 1, "purge counts the eviction");
+        assert_eq!(st.evicted_bytes, B64);
+        assert_eq!(st.migrated_bytes - st.evicted_bytes, mem.migrated_used());
+        s.check_consistency(&mem).unwrap();
+        // Same property across a slave restart with a resident block.
+        s.enqueue(t(3), vec![cmd(2, 20, B64, 3)], &mut mem);
+        s.on_read_done(t(4), BlockId(20), &mut mem);
+        s.fail(t(5), &mut mem);
+        let st = s.stats();
+        assert_eq!(st.evicted, 2);
+        assert_eq!(st.migrated_bytes, st.evicted_bytes);
+        assert_eq!(mem.migrated_used(), 0);
+        s.check_consistency(&mem).unwrap();
+    }
+
+    /// Property test (in-tree rng): across random command/read/evict/fault
+    /// schedules, no `(job, block)` reference survives both the job's
+    /// completion (explicit evict) and its lease expiry, and the slave's
+    /// bookkeeping stays internally consistent after every step.
+    #[test]
+    fn property_no_reference_survives_completion_and_lease_expiry() {
+        use ignem_simcore::rng::SimRng;
+
+        for seed in 0..64u64 {
+            let mut rng = SimRng::new(0x1EA5_E000 ^ seed);
+            let lease = SimDuration::from_secs(8);
+            let (mut s, mut mem) = leased_slave(8);
+            let mut now = SimTime::ZERO;
+            let mut inflight: Vec<BlockId> = Vec::new();
+            let mut evicted_jobs: BTreeSet<JobId> = BTreeSet::new();
+            for step in 0..200u64 {
+                now += SimDuration::from_millis(1 + rng.index(1999) as u64);
+                let job = JobId(rng.index(6) as u64);
+                let block = BlockId(rng.index(12) as u64);
+                match rng.index(10) {
+                    0..=3 => {
+                        let mut c = cmd(job.0, block.0, B64 * (1 + job.0), step % 7);
+                        if rng.uniform() < 0.5 {
+                            c.mode = EvictionMode::Implicit;
+                        }
+                        // A command resurrects the job from this harness's
+                        // point of view (a re-submission).
+                        evicted_jobs.remove(&job);
+                        for a in s.enqueue(now, vec![c], &mut mem) {
+                            if let SlaveAction::StartRead { block, .. } = a {
+                                inflight.push(block);
+                            }
+                        }
+                    }
+                    4..=5 => {
+                        if !inflight.is_empty() {
+                            let b = inflight.remove(rng.index(inflight.len()));
+                            for a in s.on_read_done(now, b, &mut mem) {
+                                if let SlaveAction::StartRead { block, .. } = a {
+                                    inflight.push(block);
+                                }
+                            }
+                        }
+                    }
+                    6 => {
+                        s.on_block_read(now, block, job, &mut mem);
+                    }
+                    7 => {
+                        evicted_jobs.insert(job);
+                        s.on_evict_job(now, job, &mut mem);
+                    }
+                    8 => {
+                        for a in s.expire_leases(now, &mut mem) {
+                            if let SlaveAction::StartRead { block, .. } = a {
+                                inflight.push(block);
+                            }
+                        }
+                    }
+                    _ => {
+                        let dead = if rng.uniform() < 0.5 {
+                            vec![job]
+                        } else {
+                            vec![]
+                        };
+                        if dead.contains(&job) {
+                            evicted_jobs.insert(job);
+                        }
+                        for a in s.on_liveness_result(now, dead, vec![], &mut mem) {
+                            if let SlaveAction::StartRead { block, .. } = a {
+                                inflight.push(block);
+                            }
+                        }
+                    }
+                }
+                s.check_consistency(&mem)
+                    .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
+                // An evicted job's references may linger only until its
+                // lease runs out, never past it.
+                for job in &evicted_jobs {
+                    if let Some(list) = s
+                        .refs
+                        .iter()
+                        .find(|(_, l)| l.iter().any(|&(j, _)| j == *job))
+                    {
+                        let expiry = s.lease_expiry.get(job).copied();
+                        assert!(
+                            expiry.is_some(),
+                            "seed {seed} step {step}: completed {job:?} holds ref on \
+                             {:?} with no lease",
+                            list.0
+                        );
+                    }
+                }
+            }
+            // Drain: complete in-flight reads, then let every lease lapse.
+            for b in inflight.drain(..) {
+                s.on_read_done(now, b, &mut mem);
+            }
+            let deadline = now + lease + SimDuration::from_secs(1);
+            s.expire_leases(deadline, &mut mem);
+            assert_eq!(
+                s.total_references(),
+                0,
+                "seed {seed}: references survived job completion + lease expiry"
+            );
+            assert_eq!(mem.migrated_used(), 0, "seed {seed}: resident bytes leaked");
+            s.check_consistency(&mem).unwrap();
+        }
     }
 }

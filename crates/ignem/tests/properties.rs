@@ -8,6 +8,7 @@ use ignem_core::command::{EvictionMode, JobId, MigrateCommand};
 use ignem_core::policy::Policy;
 use ignem_core::slave::{IgnemConfig, IgnemSlave, SlaveAction};
 use ignem_dfs::block::BlockId;
+use ignem_netsim::rpc::Epoch;
 use ignem_netsim::NodeId;
 use ignem_simcore::rng::SimRng;
 use ignem_simcore::time::SimTime;
@@ -120,7 +121,10 @@ fn run_steps(seed: u64, steps: Vec<Step>, policy: Policy, implicit: bool) {
             Step::ReadBlock { job, block } => {
                 slave.on_block_read(now, BlockId(block), JobId(job), &mut mem)
             }
-            Step::MasterFail => slave.on_master_failed(now, &mut mem),
+            Step::MasterFail => {
+                let next = slave.epoch().next();
+                slave.on_master_failed(now, next, &mut mem)
+            }
         };
         handle(actions, &mut in_flight, &mut cancelled);
 
@@ -233,7 +237,7 @@ fn master_failure_orphans_no_inflight_io() {
     let started = start_one_migration(&mut slave, &mut mem);
     assert!(slave.is_migrating());
 
-    let actions = slave.on_master_failed(SimTime::from_secs(1), &mut mem);
+    let actions = slave.on_master_failed(SimTime::from_secs(1), Epoch(2), &mut mem);
     assert!(
         actions
             .iter()

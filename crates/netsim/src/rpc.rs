@@ -30,6 +30,34 @@ use ignem_simcore::time::SimDuration;
 
 use crate::NodeId;
 
+/// A master incarnation number stamped onto every control-plane message.
+///
+/// The master bumps its epoch on every purge/failover; slaves remember the
+/// highest epoch they have seen and reject commands stamped with an older
+/// one (the sender's authority was revoked by the failover). This is the
+/// wire-level half of the lease/epoch reference lifecycle: retransmissions
+/// of a pre-failover send can survive arbitrarily long in the channel, so
+/// freshness must travel *inside* the message, not be inferred from timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The first live epoch; no real message is ever stamped lower.
+    pub const FIRST: Epoch = Epoch(1);
+
+    /// The epoch after this one (a failover bump).
+    #[must_use]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "epoch_{}", self.0)
+    }
+}
+
 /// One end of a control-plane RPC: the Ignem master (inside the NameNode)
 /// or a slave daemon on a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

@@ -453,6 +453,42 @@ mod tests {
     }
 
     #[test]
+    fn capacity_change_between_add_and_advance_rerates_flow() {
+        // DiskDegrade regression: a capacity change landing between `add`
+        // and the next `advance` must re-rate the flow immediately —
+        // `next_event` is recomputed from the new per-flow rate, and the
+        // completion lands at the stretched time, not the stale one.
+        let mut r = FlowResource::new(100.0 * MB, 0.0);
+        r.add(SimTime::ZERO, FlowId(1), 100.0 * MB, SimDuration::ZERO);
+        assert_eq!(r.next_event(), Some(t(1.0)));
+        r.set_capacity(25.0 * MB);
+        assert_eq!(
+            r.next_event(),
+            Some(t(4.0)),
+            "next_event must be recomputed from the degraded rate"
+        );
+        assert!(r.advance(t(3.9)).is_empty(), "must not finish at old rate");
+        assert_eq!(r.advance(t(4.0)), vec![FlowId(1)]);
+    }
+
+    #[test]
+    fn mid_request_capacity_change_splits_completion_time() {
+        // Degrade after half the bytes moved: 50 MB at 100 MB/s (0.5 s),
+        // then 50 MB at 25 MB/s (2 s) -> completes at 2.5 s.
+        let mut r = FlowResource::new(100.0 * MB, 0.0);
+        r.add(SimTime::ZERO, FlowId(1), 100.0 * MB, SimDuration::ZERO);
+        assert!(r.advance(t(0.5)).is_empty());
+        r.set_capacity(25.0 * MB);
+        assert_eq!(r.next_event(), Some(t(2.5)));
+        assert_eq!(r.advance(t(2.5)), vec![FlowId(1)]);
+        // And the heal path: a restored disk speeds the next flow back up.
+        r.add(t(3.0), FlowId(2), 50.0 * MB, SimDuration::ZERO);
+        r.set_capacity(100.0 * MB);
+        assert_eq!(r.next_event(), Some(t(3.5)));
+        assert_eq!(r.advance(t(3.5)), vec![FlowId(2)]);
+    }
+
+    #[test]
     fn completion_times_are_exact_enough() {
         // A RAM-speed flow (4 GB/s) of one 64 MB block: 16 ms.
         let mut r = FlowResource::new(4e9, 0.0);

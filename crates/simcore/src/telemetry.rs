@@ -302,6 +302,24 @@ pub enum Event {
         /// Unreachable slave.
         node: u32,
     },
+    /// A slave's lease on a job's references expired un-renewed; the job's
+    /// interest on that node was released (eviction/discard events follow).
+    LeaseExpired {
+        /// Node whose slave held the lease.
+        node: u32,
+        /// The job whose references were released.
+        job: u64,
+    },
+    /// A slave rejected a master command stamped with a stale epoch (a
+    /// retransmission from a master incarnation that has since failed over).
+    EpochRejected {
+        /// Rejecting node.
+        node: u32,
+        /// The stale epoch carried by the command.
+        stale: u64,
+        /// The epoch the slave currently recognizes.
+        current: u64,
+    },
     /// A fault was injected.
     FaultInjected {
         /// Debug rendering of the fault.
@@ -343,6 +361,8 @@ impl Event {
             Event::RpcRetried { .. } => "rpc_retried",
             Event::RpcAcked { .. } => "rpc_acked",
             Event::RpcGaveUp { .. } => "rpc_gave_up",
+            Event::LeaseExpired { .. } => "lease_expired",
+            Event::EpochRejected { .. } => "epoch_rejected",
             Event::FaultInjected { .. } => "fault_injected",
             Event::FaultHealed { .. } => "fault_healed",
         }
@@ -367,7 +387,9 @@ impl Event {
             | Event::MigrationWasted { .. }
             | Event::MigrationDiscarded { .. }
             | Event::MigrationCancelled { .. }
-            | Event::BlockEvicted { .. } => "migration",
+            | Event::BlockEvicted { .. }
+            | Event::LeaseExpired { .. }
+            | Event::EpochRejected { .. } => "migration",
             Event::RpcSent { .. }
             | Event::RpcDropped { .. }
             | Event::RpcDuplicated { .. }
@@ -456,6 +478,14 @@ impl Event {
             }
             Event::RpcAcked { seq } => format!("seq {seq} acked"),
             Event::RpcGaveUp { seq, node } => format!("gave up on seq {seq} to node{node}"),
+            Event::LeaseExpired { node, job } => {
+                format!("node{node} expires lease of job {job}")
+            }
+            Event::EpochRejected {
+                node,
+                stale,
+                current,
+            } => format!("node{node} rejects stale epoch {stale} (current {current})"),
             Event::FaultInjected { desc } => desc.clone(),
             Event::FaultHealed { desc } => format!("healed: {desc}"),
         }
@@ -562,6 +592,19 @@ impl Event {
             Event::RpcGaveUp { seq, node } => {
                 push_u64(out, "rpc_seq", *seq);
                 push_u64(out, "node", *node as u64);
+            }
+            Event::LeaseExpired { node, job } => {
+                push_u64(out, "node", *node as u64);
+                push_u64(out, "job", *job);
+            }
+            Event::EpochRejected {
+                node,
+                stale,
+                current,
+            } => {
+                push_u64(out, "node", *node as u64);
+                push_u64(out, "stale", *stale);
+                push_u64(out, "current", *current);
             }
             Event::FaultInjected { desc } | Event::FaultHealed { desc } => {
                 push_str(out, "desc", desc);
@@ -1053,6 +1096,12 @@ mod tests {
             },
             Event::RpcAcked { seq: 0 },
             Event::RpcGaveUp { seq: 0, node: 0 },
+            Event::LeaseExpired { node: 0, job: 0 },
+            Event::EpochRejected {
+                node: 0,
+                stale: 0,
+                current: 1,
+            },
             Event::FaultInjected {
                 desc: String::new(),
             },
