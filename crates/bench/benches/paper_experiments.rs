@@ -10,7 +10,8 @@
 //! free of external crates: the repository must compile fully offline.
 
 use std::hint::black_box;
-use std::time::Instant;
+
+use ignem_bench::wall_clock;
 
 use ignem_cluster::config::{ClusterConfig, FsMode};
 use ignem_cluster::experiment::{run_hive, run_read_micro, run_sort, run_swim, run_wordcount};
@@ -27,7 +28,7 @@ const ITERS: u32 = 5;
 
 fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     black_box(f()); // warm-up
-    let start = Instant::now();
+    let start = wall_clock();
     for _ in 0..ITERS {
         black_box(f());
     }

@@ -5,7 +5,8 @@
 //! free of external crates: the repository must compile fully offline.
 
 use std::hint::black_box;
-use std::time::Instant;
+
+use ignem_bench::wall_clock;
 
 use ignem_core::command::{EvictionMode, JobId, MigrateCommand, MigrateRequest};
 use ignem_core::master::IgnemMaster;
@@ -24,7 +25,7 @@ const ITERS: u32 = 20;
 
 fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     black_box(f()); // warm-up
-    let start = Instant::now();
+    let start = wall_clock();
     for _ in 0..ITERS {
         black_box(f());
     }

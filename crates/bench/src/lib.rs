@@ -11,5 +11,7 @@
 
 pub mod csv;
 pub mod report;
+pub mod timing;
 
 pub use report::{Report, Section, REPORT_SEED};
+pub use timing::wall_clock;

@@ -1,0 +1,19 @@
+//! The bench harness's one sanctioned wall-clock site.
+//!
+//! Everything simulated runs on [`ignem_simcore::time::SimTime`]; real time
+//! exists only to measure how fast the simulator itself executes. Lint rule
+//! D01 bans wall-clock reads everywhere else, so every bench routes its
+//! timing through [`wall_clock`] and this module carries the single allow.
+
+use std::time::Instant;
+
+/// Reads the host monotonic clock for bench timing.
+///
+/// This is the only place outside tests where real time may be observed;
+/// benches call it before and use [`Instant::elapsed`] after the measured
+/// loop. Simulation code must never call this — same-seed replay has to be
+/// independent of how fast the host happens to run.
+pub fn wall_clock() -> Instant {
+    // lint: allow(D01, reason = "single sanctioned wall-clock read for the bench harness")
+    Instant::now()
+}

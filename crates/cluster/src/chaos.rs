@@ -44,7 +44,9 @@
 //! report.assert_invariants();
 //! ```
 
-use std::collections::HashMap;
+// BTreeMap keeps the invariant-check sweeps (which iterate these maps) in
+// key order, satisfying lint rule D02 without per-site sorting.
+use std::collections::BTreeMap;
 
 use ignem_compute::job::{JobInput, JobSpec, SubmitOptions};
 use ignem_netsim::rpc::RpcConfig;
@@ -246,9 +248,9 @@ impl ChaosReport {
         // earlier start for the same (node, block); wasted and cancelled
         // reads consume a start the same way. Eviction can only release
         // bytes that a completed migration brought into memory.
-        let mut outstanding: HashMap<(u32, u64), u64> = HashMap::new();
-        let mut completed_bytes: HashMap<u32, u64> = HashMap::new();
-        let mut evicted_bytes: HashMap<u32, u64> = HashMap::new();
+        let mut outstanding: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+        let mut completed_bytes: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut evicted_bytes: BTreeMap<u32, u64> = BTreeMap::new();
         let mut last_seq: Option<u64> = None;
         for rec in &self.events {
             if let Some(prev) = last_seq {

@@ -27,7 +27,10 @@
 //! schedulable), heartbeat delay (schedulable → first task assignment),
 //! and the migration service time spent on the job's own blocks.
 
-use std::collections::HashMap;
+// BTreeMap throughout: the report folds iterate these maps, and lint rule
+// D02 demands a deterministic visit order so two replays render identical
+// reports.
+use std::collections::BTreeMap;
 
 use ignem_simcore::telemetry::{Event, EventRecord, ReadClass};
 use ignem_simcore::time::{SimDuration, SimTime};
@@ -221,23 +224,23 @@ impl TelemetryReport {
         // Pass 1: index migration timelines, assignments, job lifecycle
         // times, and attribute completed migration rounds to the job that
         // first asked for them.
-        let mut timelines: HashMap<(u32, u64), Timeline> = HashMap::new();
-        let mut assigned: HashMap<(u64, u64), Vec<(u32, SimTime)>> = HashMap::new();
-        let mut submitted: HashMap<u64, SimTime> = HashMap::new();
-        let mut scheduled: HashMap<u64, SimTime> = HashMap::new();
-        let mut first_assign: HashMap<u64, SimTime> = HashMap::new();
-        let mut migration_service: HashMap<u64, SimDuration> = HashMap::new();
+        let mut timelines: BTreeMap<(u32, u64), Timeline> = BTreeMap::new();
+        let mut assigned: BTreeMap<(u64, u64), Vec<(u32, SimTime)>> = BTreeMap::new();
+        let mut submitted: BTreeMap<u64, SimTime> = BTreeMap::new();
+        let mut scheduled: BTreeMap<u64, SimTime> = BTreeMap::new();
+        let mut first_assign: BTreeMap<u64, SimTime> = BTreeMap::new();
+        let mut migration_service: BTreeMap<u64, SimDuration> = BTreeMap::new();
         // Current migration round per (node, block): the first enqueued
         // waiter owns the round; `started` opens it, completion/waste/
         // cancellation closes it.
-        let mut round_owner: HashMap<(u32, u64), u64> = HashMap::new();
-        let mut round_started: HashMap<(u32, u64), SimTime> = HashMap::new();
+        let mut round_owner: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+        let mut round_started: BTreeMap<(u32, u64), SimTime> = BTreeMap::new();
         let mut job_order: Vec<u64> = Vec::new();
         // Leak fold state: the jobs that enqueued migrations for each
         // (node, block) since its last eviction, and the block's size as
         // witnessed by its latest completed migration.
-        let mut leak_jobs: HashMap<(u32, u64), Vec<u64>> = HashMap::new();
-        let mut block_bytes: HashMap<(u32, u64), u64> = HashMap::new();
+        let mut leak_jobs: BTreeMap<(u32, u64), Vec<u64>> = BTreeMap::new();
+        let mut block_bytes: BTreeMap<(u32, u64), u64> = BTreeMap::new();
 
         for rec in events {
             match &rec.event {
@@ -380,10 +383,7 @@ impl TelemetryReport {
         // evictions is still resident, pinned by references that never
         // drained ([`LossCause::LeakedReference`]).
         let mut leaked: Vec<LeakRecord> = Vec::new();
-        let mut keys: Vec<(u32, u64)> = timelines.keys().copied().collect();
-        keys.sort_unstable();
-        for key in keys {
-            let tl = &timelines[&key];
+        for (&key, tl) in &timelines {
             if tl.completed.len() > tl.evicted.len() {
                 leaked.push(LeakRecord {
                     node: key.0,
@@ -463,8 +463,8 @@ impl TelemetryReport {
 /// the verdict; the caller keeps the max-progress verdict across every
 /// node the master assigned.
 fn explain_disk_read(
-    timelines: &HashMap<(u32, u64), Timeline>,
-    assigned: &HashMap<(u64, u64), Vec<(u32, SimTime)>>,
+    timelines: &BTreeMap<(u32, u64), Timeline>,
+    assigned: &BTreeMap<(u64, u64), Vec<(u32, SimTime)>>,
     job: u64,
     block: u64,
     read_start: SimTime,

@@ -30,6 +30,7 @@ pub mod config;
 pub mod experiment;
 pub mod explain;
 pub mod metrics;
+pub mod sanitizer;
 pub mod world;
 
 /// Commonly used items.
@@ -44,6 +45,7 @@ pub mod prelude {
     pub use crate::metrics::{
         BlockRead, JobResult, LedgerEntry, PlanResult, ReadKind, ResidencyLedger, RunMetrics,
     };
+    pub use crate::sanitizer::{bisect_divergence, double_run, Divergence, DoubleRun};
     pub use crate::world::{Fault, PlannedJob, World};
 }
 

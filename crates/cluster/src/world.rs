@@ -56,7 +56,11 @@
 //! mechanisms are inert in a fault-free run: no events, no randomness, no
 //! behaviour change.
 
-use std::collections::{HashMap, HashSet};
+// Deterministic-iteration policy (lint rule D02): every map or set this
+// module iterates is a BTree container, so two runs of the same seed visit
+// entries — and therefore draw randomness and schedule events — in one
+// order. Hash containers are only acceptable for pure point lookups.
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use ignem_compute::job::{JobInput, JobSpec};
 use ignem_compute::slots::Slots;
@@ -75,7 +79,8 @@ use ignem_simcore::event::Engine;
 use ignem_simcore::rng::SimRng;
 use ignem_simcore::stats::TimeWeighted;
 use ignem_simcore::telemetry::{
-    Event as TelemetryEvent, EventSink, ReadClass, Telemetry, TraceAdapter,
+    Event as TelemetryEvent, EventRecord, EventSink, FlightRecorder, ReadClass, Telemetry,
+    TraceAdapter,
 };
 use ignem_simcore::time::{SimDuration, SimTime};
 use ignem_simcore::trace::TraceSink;
@@ -245,14 +250,17 @@ pub struct World {
     next_req: u64,
     next_xfer: u64,
 
-    disk_owner: HashMap<(u32, RequestId), DiskOwner>,
-    ram_owner: HashMap<(u32, RequestId), DiskOwner>,
-    net_owner: HashMap<TransferId, NetOwner>,
+    /// Owner maps are BTreeMaps: cancellation sweeps iterate them, and the
+    /// iteration order decides the order IO cancellations (and their
+    /// randomness draws) happen in.
+    disk_owner: BTreeMap<(u32, RequestId), DiskOwner>,
+    ram_owner: BTreeMap<(u32, RequestId), DiskOwner>,
+    net_owner: BTreeMap<TransferId, NetOwner>,
     migration_req: HashMap<(u32, BlockId), RequestId>,
 
     plans: Vec<PlannedJob>,
     plan_state: Vec<PlanState>,
-    job_to_plan: HashMap<JobId, (usize, usize)>,
+    job_to_plan: BTreeMap<JobId, (usize, usize)>,
     task_launched_at: HashMap<TaskId, SimTime>,
     job_submit_time: HashMap<JobId, SimTime>,
     job_spec: HashMap<JobId, JobSpec>,
@@ -383,13 +391,13 @@ impl World {
             next_job: 0,
             next_req: 0,
             next_xfer: 0,
-            disk_owner: HashMap::new(),
-            ram_owner: HashMap::new(),
-            net_owner: HashMap::new(),
+            disk_owner: BTreeMap::new(),
+            ram_owner: BTreeMap::new(),
+            net_owner: BTreeMap::new(),
             migration_req: HashMap::new(),
             plans,
             plan_state,
-            job_to_plan: HashMap::new(),
+            job_to_plan: BTreeMap::new(),
             task_launched_at: HashMap::new(),
             job_submit_time: HashMap::new(),
             job_spec: HashMap::new(),
@@ -499,6 +507,22 @@ impl World {
             );
         }
         self.finalize()
+    }
+
+    /// Sanitizer mode: runs to completion with a fresh
+    /// [`FlightRecorder`] of `capacity` events attached, returning the
+    /// metrics, the recorded event stream and the number of records the
+    /// ring had to evict. The determinism sanitizer
+    /// ([`crate::sanitizer`]) runs two identically-built worlds through
+    /// this and bisects any divergence between the two streams.
+    ///
+    /// # Panics
+    ///
+    /// As [`World::run`].
+    pub fn run_recorded(self, capacity: usize) -> (RunMetrics, Vec<EventRecord>, u64) {
+        let recorder = FlightRecorder::new(capacity);
+        let metrics = self.with_telemetry(Box::new(recorder.clone())).run();
+        (metrics, recorder.events(), recorder.dropped())
     }
 
     fn finalize(mut self) -> RunMetrics {
@@ -793,42 +817,39 @@ impl World {
     /// attempt).
     fn cancel_task_io(&mut self, task: TaskId) {
         let now = self.engine.now();
-        // Owner maps are HashMaps; sort every collected key set so two runs
-        // with the same seed cancel (and thus draw randomness) in the same
-        // order.
-        let mut disk_keys: Vec<(u32, RequestId)> = self
+        // Owner maps are BTreeMaps, so the collected key sets come out in
+        // key order and two runs with the same seed cancel (and thus draw
+        // randomness) in the same order.
+        let disk_keys: Vec<(u32, RequestId)> = self
             .disk_owner
             .iter()
             .filter(|(_, o)| matches!(o, DiskOwner::MapRead { task: t, .. } if *t == task))
             .map(|(k, _)| *k)
             .collect();
-        disk_keys.sort_unstable();
         for key in disk_keys {
             self.disk_owner.remove(&key);
             let done = self.disks[key.0 as usize].cancel(now, key.1);
             self.process_disk(key.0, done);
             self.resched_disk(key.0);
         }
-        let mut ram_keys: Vec<(u32, RequestId)> = self
+        let ram_keys: Vec<(u32, RequestId)> = self
             .ram_owner
             .iter()
             .filter(|(_, o)| matches!(o, DiskOwner::MapRead { task: t, .. } if *t == task))
             .map(|(k, _)| *k)
             .collect();
-        ram_keys.sort_unstable();
         for key in ram_keys {
             self.ram_owner.remove(&key);
             let done = self.rams[key.0 as usize].cancel(now, key.1);
             self.process_ram(key.0, done);
             self.resched_ram(key.0);
         }
-        let mut xfers: Vec<TransferId> = self
+        let xfers: Vec<TransferId> = self
             .net_owner
             .iter()
             .filter(|(_, o)| matches!(o, NetOwner::MapRead { task: t, .. } if *t == task))
             .map(|(k, _)| *k)
             .collect();
-        xfers.sort_unstable();
         for id in xfers {
             self.net_owner.remove(&id);
             let done = self.net.cancel(now, id);
@@ -1807,14 +1828,13 @@ impl World {
         // Requeue tasks that were running on the node and drop their slots.
         let requeued = self.tracker.fail_node(node);
         self.slots.clear_node(node);
-        let requeued: HashSet<TaskId> = requeued.into_iter().collect();
+        let requeued: BTreeSet<TaskId> = requeued.into_iter().collect();
         // Cancel in-flight IO owned by requeued tasks or served by the dead
-        // node, re-issuing reads for still-running remote readers.
+        // node, re-issuing reads for still-running remote readers. The
+        // owner maps are BTreeMaps, so two identical runs cancel and
+        // re-issue in one order.
         let mut reissue: Vec<(TaskId, Option<BlockId>, u64)> = Vec::new();
-        // Sorted so two identical runs cancel and re-issue in one order
-        // (HashMap iteration order varies per process).
-        let mut disk_keys: Vec<(u32, RequestId)> = self.disk_owner.keys().copied().collect();
-        disk_keys.sort_unstable();
+        let disk_keys: Vec<(u32, RequestId)> = self.disk_owner.keys().copied().collect();
         for key in disk_keys {
             let owner = self.disk_owner[&key];
             if let DiskOwner::Rereplicate { block, target } = owner {
@@ -1852,8 +1872,7 @@ impl World {
                 }
             }
         }
-        let mut ram_keys: Vec<(u32, RequestId)> = self.ram_owner.keys().copied().collect();
-        ram_keys.sort_unstable();
+        let ram_keys: Vec<(u32, RequestId)> = self.ram_owner.keys().copied().collect();
         for key in ram_keys {
             if key.0 != node.0 {
                 continue;
@@ -1863,8 +1882,7 @@ impl World {
             self.process_ram(key.0, done);
             self.resched_ram(key.0);
         }
-        let mut xfers: Vec<TransferId> = self.net_owner.keys().copied().collect();
-        xfers.sort_unstable();
+        let xfers: Vec<TransferId> = self.net_owner.keys().copied().collect();
         for id in xfers {
             let owner = self.net_owner[&id];
             match owner {
@@ -1916,13 +1934,14 @@ impl World {
             return;
         }
         let now = self.engine.now();
-        let mut jobs: Vec<JobId> = self
+        // job_to_plan is a BTreeMap, so the kill sweep visits jobs in id
+        // order on every run.
+        let jobs: Vec<JobId> = self
             .job_to_plan
             .iter()
             .filter(|(_, &(plan, _))| plan == p)
             .map(|(&j, _)| j)
             .collect();
-        jobs.sort_unstable();
         for job in jobs {
             self.tracker.kill_job(job);
             self.live_jobs.remove(&job);

@@ -379,7 +379,13 @@ impl IgnemMaster {
             return RetryDecision::Settled;
         };
         if pending.attempt >= self.config.retry.max_attempts {
-            let pending = self.outbox.remove(&seq).expect("checked above");
+            let Some(pending) = self.outbox.remove(&seq) else {
+                // Unreachable: the get_mut above proved the entry exists and
+                // nothing ran in between. Treat as settled rather than
+                // panicking on a fault path (lint rule P01).
+                debug_assert!(false, "outbox entry vanished between probe and remove");
+                return RetryDecision::Settled;
+            };
             self.stats.gave_up += 1;
             self.telemetry.emit(|| Event::RpcGaveUp {
                 seq: seq.0,

@@ -459,19 +459,21 @@ impl IgnemSlave {
     /// [`SlaveAction::StartRead`]. Inserts the block (if any job still
     /// wants it) and starts the next migration.
     ///
-    /// # Panics
-    ///
-    /// Panics if no migration for `block` is in flight.
+    /// A completion for a block with no in-flight migration (a stray or
+    /// duplicate callback) is ignored rather than panicking: read
+    /// completions ride the fault-prone IO path, so the slave must absorb
+    /// surprises there (lint rule P01).
     pub fn on_read_done(
         &mut self,
         now: SimTime,
         block: BlockId,
         mem: &mut MemStore<BlockId>,
     ) -> Vec<SlaveAction> {
-        let cur = self
-            .current
-            .remove(&block)
-            .expect("no migration in flight for block");
+        let Some(cur) = self.current.remove(&block) else {
+            // Stray or duplicate completion (e.g. a read racing a
+            // CancelRead): absorb it, per the contract above.
+            return Vec::new();
+        };
         if cur.waiters.is_empty() {
             // Everyone lost interest while the read was in flight.
             self.stats.wasted_reads += 1;
@@ -938,7 +940,13 @@ impl IgnemSlave {
                 .saturating_sub(mem.migrated_used())
                 .saturating_sub(inflight_bytes);
             if bytes <= budget_left && bytes <= mem.available().saturating_sub(inflight_bytes) {
-                let q = self.queue.remove(&block).expect("queued block vanished");
+                let Some(q) = self.queue.remove(&block) else {
+                    // `block` came from snapshotting `self.queue` just above
+                    // and nothing removes entries in between; skip rather
+                    // than panic if that ever changes (lint rule P01).
+                    debug_assert!(false, "queued block vanished during start sweep");
+                    continue;
+                };
                 self.current.insert(
                     block,
                     CurrentMigration {
@@ -1385,10 +1393,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no migration in flight")]
-    fn completion_without_flight_panics() {
+    fn completion_without_flight_is_absorbed() {
         let (mut s, mut mem) = slave();
-        s.on_read_done(t(0), BlockId(1), &mut mem);
+        let out = s.on_read_done(t(0), BlockId(1), &mut mem);
+        assert!(out.is_empty());
+        assert_eq!(s.stats().migrated, 0);
     }
 
     fn leased_slave(lease_s: u64) -> (IgnemSlave, MemStore<BlockId>) {

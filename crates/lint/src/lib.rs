@@ -1,0 +1,175 @@
+//! # ignem-lint — the workspace's determinism lint pass
+//!
+//! Bit-identical same-seed replay is the repository's core invariant, and
+//! it dies by a thousand small cuts: a wall-clock read here, a `HashMap`
+//! iteration there, an `unwrap()` that turns a survivable fault into a
+//! panic. `ignem-lint` enforces the code patterns determinism depends on
+//! with a from-scratch lexer and rule engine — no `syn`, no external
+//! dependencies, in keeping with the workspace's offline-build policy.
+//!
+//! ## Rules
+//!
+//! | Rule | Scope | What it bans |
+//! |------|-------|--------------|
+//! | D01  | sim crates + bench | `Instant::now` / `SystemTime` wall-clock reads |
+//! | D02  | sim crates | iteration over `HashMap` / `HashSet` |
+//! | D03  | sim crates (minus `simcore::rng`) | `std::env`, `std::process`, ambient randomness |
+//! | P01  | RPC/fault/migration files | `unwrap()` / `expect()` outside tests |
+//! | F01  | sim crates | `partial_cmp(..).unwrap()` float ordering |
+//! | A00  | everywhere | malformed `// lint: allow(...)` directives |
+//!
+//! A violation is suppressed only by `// lint: allow(<rule>, reason =
+//! "...")` with a non-empty reason, placed on the violating line or the
+//! line directly above. Test code (`#[cfg(test)]` / `#[test]` items) is
+//! exempt from every rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{scope_for, Violation, P01_FILES, SIM_CRATES};
+
+/// The full result of linting a tree.
+#[derive(Debug)]
+pub struct LintReport {
+    /// All violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the machine-readable JSON report.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"files_scanned\":");
+        s.push_str(&self.files_scanned.to_string());
+        s.push_str(",\"violation_count\":");
+        s.push_str(&self.violations.len().to_string());
+        s.push_str(",\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"rule\":\"");
+            s.push_str(v.rule);
+            s.push_str("\",\"file\":\"");
+            json_escape_into(&v.file, &mut s);
+            s.push_str("\",\"line\":");
+            s.push_str(&v.line.to_string());
+            s.push_str(",\"message\":\"");
+            json_escape_into(&v.message, &mut s);
+            s.push_str("\"}");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn json_escape_into(src: &str, out: &mut String) {
+    for c in src.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Lints a single source string as if it lived at `rel` (workspace-relative
+/// path with `/` separators). This is the unit the fixture tests drive.
+pub fn lint_source(rel: &str, source: &str) -> Vec<Violation> {
+    rules::check_file(rel, &lexer::lex(source))
+}
+
+/// The workspace root, derived from this crate's manifest dir at compile
+/// time (no runtime environment reads needed).
+pub fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Collects the `.rs` files to lint under `root`, as (relative path,
+/// absolute path) pairs in sorted order.
+///
+/// Scanned: `crates/*/src/**` and `crates/*/benches/**`. Skipped:
+/// integration `tests/` trees, fixture directories, `src/bin` binaries
+/// (bins legitimately own `std::env`/`std::process`), and build output.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        for sub in ["src", "benches"] {
+            let tree = dir.join(sub);
+            if tree.is_dir() {
+                walk(&tree, root, &mut out)?;
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if path.is_dir() {
+            if matches!(name.as_str(), "bin" | "tests" | "fixtures" | "target") {
+                continue;
+            }
+            walk(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace under `root`.
+pub fn run_lint(root: &Path) -> io::Result<LintReport> {
+    let files = workspace_files(root)?;
+    let mut violations = Vec::new();
+    for (rel, path) in &files {
+        let source = fs::read_to_string(path)?;
+        violations.extend(lint_source(rel, &source));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(LintReport {
+        violations,
+        files_scanned: files.len(),
+    })
+}

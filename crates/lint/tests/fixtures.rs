@@ -1,0 +1,116 @@
+//! Fixture-driven tests: one violating and one clean fixture per rule,
+//! plus a malformed allow. Fixtures live under `tests/fixtures/` (which
+//! the workspace scan skips) and are linted under synthetic in-scope
+//! paths, so the expectations here pin both the matchers and the scoping.
+
+use std::fs;
+use std::path::Path;
+
+use ignem_lint::lint_source;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lints a fixture as if it lived at `rel`, returning (rule, line) pairs.
+fn hits(name: &str, rel: &str) -> Vec<(String, u32)> {
+    lint_source(rel, &fixture(name))
+        .into_iter()
+        .map(|v| (v.rule.to_string(), v.line))
+        .collect()
+}
+
+#[test]
+fn d01_violations_are_found() {
+    assert_eq!(
+        hits("d01_violate.rs", "crates/simcore/src/fake.rs"),
+        vec![("D01".into(), 3), ("D01".into(), 6), ("D01".into(), 7)]
+    );
+}
+
+#[test]
+fn d01_clean_with_allow_passes() {
+    assert_eq!(hits("d01_clean.rs", "crates/simcore/src/fake.rs"), vec![]);
+}
+
+#[test]
+fn d02_violations_are_found() {
+    assert_eq!(
+        hits("d02_violate.rs", "crates/cluster/src/fake.rs"),
+        vec![("D02".into(), 10), ("D02".into(), 14)]
+    );
+}
+
+#[test]
+fn d02_clean_with_point_lookups_and_allow_passes() {
+    assert_eq!(hits("d02_clean.rs", "crates/cluster/src/fake.rs"), vec![]);
+}
+
+#[test]
+fn d03_violations_are_found() {
+    assert_eq!(
+        hits("d03_violate.rs", "crates/dfs/src/fake.rs"),
+        vec![("D03".into(), 3), ("D03".into(), 6)]
+    );
+}
+
+#[test]
+fn d03_clean_passes_and_rng_module_is_exempt() {
+    assert_eq!(hits("d03_clean.rs", "crates/dfs/src/fake.rs"), vec![]);
+    // The same violating source is fine inside the sanctioned RNG module
+    // and inside a non-sim crate.
+    assert_eq!(hits("d03_violate.rs", "crates/simcore/src/rng.rs"), vec![]);
+    assert_eq!(hits("d03_violate.rs", "crates/lint/src/fake.rs"), vec![]);
+}
+
+#[test]
+fn p01_violations_are_found_only_on_fault_paths() {
+    assert_eq!(
+        hits("p01_violate.rs", "crates/netsim/src/rpc.rs"),
+        vec![("P01".into(), 3), ("P01".into(), 6)]
+    );
+    // The same unwraps outside the named fault-path files are not P01.
+    assert_eq!(hits("p01_violate.rs", "crates/netsim/src/fake.rs"), vec![]);
+}
+
+#[test]
+fn p01_clean_with_recovery_allow_and_test_code_passes() {
+    assert_eq!(hits("p01_clean.rs", "crates/ignem/src/slave.rs"), vec![]);
+}
+
+#[test]
+fn f01_violations_are_found() {
+    assert_eq!(
+        hits("f01_violate.rs", "crates/workloads/src/fake.rs"),
+        vec![("F01".into(), 3), ("F01".into(), 6)]
+    );
+}
+
+#[test]
+fn f01_clean_total_cmp_and_ord_boilerplate_pass() {
+    assert_eq!(hits("f01_clean.rs", "crates/workloads/src/fake.rs"), vec![]);
+}
+
+#[test]
+fn empty_reason_reports_a00_and_does_not_suppress() {
+    assert_eq!(
+        hits("a00_bad_allow.rs", "crates/simcore/src/fake.rs"),
+        vec![("A00".into(), 4), ("D01".into(), 5)]
+    );
+}
+
+#[test]
+fn json_report_round_trips_the_violations() {
+    let report = ignem_lint::LintReport {
+        violations: lint_source("crates/simcore/src/fake.rs", &fixture("d01_violate.rs")),
+        files_scanned: 1,
+    };
+    let json = report.to_json();
+    assert!(json.contains("\"violation_count\":3"));
+    assert!(json.contains("\"rule\":\"D01\""));
+    assert!(json.contains("\"file\":\"crates/simcore/src/fake.rs\""));
+    assert!(json.contains("\"line\":3"));
+}

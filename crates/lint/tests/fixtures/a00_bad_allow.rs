@@ -1,0 +1,7 @@
+// A00 fixture: an allow with an empty reason both fails to parse and
+// fails to suppress the violation underneath it.
+fn measure() -> u128 {
+    // lint: allow(D01, reason = "")
+    let start = std::time::Instant::now();
+    start.elapsed().as_micros()
+}

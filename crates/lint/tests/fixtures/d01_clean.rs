@@ -1,0 +1,8 @@
+// D01 fixture: simulated time only, plus one justified wall-clock read.
+fn now(engine: &Engine) -> SimTime {
+    engine.now()
+}
+fn sanctioned() {
+    // lint: allow(D01, reason = "bench harness timer, outside the simulation")
+    let _start = std::time::Instant::now();
+}

@@ -1,0 +1,8 @@
+// D01 fixture: wall-clock reads in simulation code.
+fn measure() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_micros()
+}
+fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

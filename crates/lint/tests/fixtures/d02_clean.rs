@@ -1,0 +1,18 @@
+// D02 fixture: ordered containers may iterate; hash containers may not —
+// unless justified — but point lookups on them are fine.
+use std::collections::{BTreeMap, HashMap};
+
+fn sum() -> u64 {
+    let mut ordered: BTreeMap<u32, u64> = BTreeMap::new();
+    ordered.insert(1, 2);
+    let lut: HashMap<u32, u64> = HashMap::new();
+    let mut acc = lut.get(&1).copied().unwrap_or(0);
+    for (_k, v) in &ordered {
+        acc += *v;
+    }
+    // lint: allow(D02, reason = "order-insensitive sum, result is commutative")
+    for v in lut.values() {
+        acc += *v;
+    }
+    acc
+}

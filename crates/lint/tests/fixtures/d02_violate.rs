@@ -1,0 +1,18 @@
+// D02 fixture: iterating hash containers in simulation code.
+use std::collections::{HashMap, HashSet};
+
+struct State {
+    owners: HashMap<u32, u64>,
+}
+
+fn sum(state: &State) -> u64 {
+    let mut acc = 0;
+    for (_k, v) in state.owners.iter() {
+        acc += *v;
+    }
+    let seen: HashSet<u32> = HashSet::new();
+    for x in &seen {
+        acc += u64::from(*x);
+    }
+    acc
+}

@@ -1,0 +1,4 @@
+// D03 fixture: all randomness flows from the seeded simulation RNG.
+fn draw(rng: &mut SimRng) -> u64 {
+    rng.next_u64()
+}

@@ -1,0 +1,7 @@
+// D03 fixture: ambient environment and process control in simulation code.
+fn seed_from_env() -> String {
+    std::env::var("IGNEM_SEED").unwrap_or_default()
+}
+fn bail() {
+    std::process::exit(1);
+}

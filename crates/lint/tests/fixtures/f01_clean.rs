@@ -1,0 +1,9 @@
+// F01 fixture: total order over floats, and Ord boilerplate is not a hit.
+fn pick(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+}
+impl PartialOrd for Wrapper {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}

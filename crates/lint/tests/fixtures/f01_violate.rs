@@ -1,0 +1,7 @@
+// F01 fixture: float ordering that panics on NaN.
+fn pick(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+fn best(ys: &[f64]) -> Option<&f64> {
+    ys.iter().max_by(|a, b| a.partial_cmp(b).expect("finite"))
+}

@@ -1,0 +1,15 @@
+// P01 fixture: recover instead of panicking, or justify the panic.
+fn deliver(x: Option<u32>) -> u32 {
+    let Some(v) = x else { return 0 };
+    v
+}
+fn ack(y: Option<u32>) -> u32 {
+    // lint: allow(P01, reason = "presence checked by the caller's probe")
+    y.expect("ack missing")
+}
+#[cfg(test)]
+mod tests {
+    fn tests_may_panic(z: Option<u32>) -> u32 {
+        z.unwrap()
+    }
+}

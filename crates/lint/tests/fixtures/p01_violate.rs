@@ -1,0 +1,7 @@
+// P01 fixture: panics on an RPC/fault path.
+fn deliver(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+fn ack(y: Option<u32>) -> u32 {
+    y.expect("ack missing")
+}

@@ -1,0 +1,25 @@
+//! Tier-1 self-check: the workspace at HEAD must be lint-clean. This is
+//! the test that makes the determinism rules load-bearing — a PR that
+//! introduces a wall-clock read or a hash-map sweep into a sim crate
+//! fails `cargo test` locally, not just the CI lint step.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = ignem_lint::default_root();
+    let report = ignem_lint::run_lint(&root).expect("scan workspace");
+    assert!(
+        report.files_scanned > 40,
+        "suspiciously few files scanned ({}); was the scan rooted correctly?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| format!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message))
+        .collect();
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -21,7 +21,10 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+// The cancelled set is a BTreeSet rather than a HashSet: it is only ever
+// probed by membership today, but keeping it ordered means any future
+// drain/debug sweep stays deterministic by construction (lint rule D02).
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -69,7 +72,7 @@ pub struct Engine<E> {
     now: SimTime,
     seq: u64,
     heap: BinaryHeap<Reverse<Entry<E>>>,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     rng: SimRng,
     processed: u64,
 }
@@ -91,7 +94,7 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             rng: SimRng::new(seed),
             processed: 0,
         }

@@ -167,8 +167,9 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            // total_cmp gives NaN a fixed place in the order instead of
+            // panicking mid-sort (lint rule F01).
+            self.values.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }

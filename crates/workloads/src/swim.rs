@@ -116,7 +116,7 @@ impl SwimTrace {
             let (max_idx, _) = raw
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .expect("n_large > 0");
             raw[max_idx] = hi;
             let budget = (config.total_input.saturating_sub(body_total) as f64).max(hi);

@@ -1,0 +1,51 @@
+//! `ignem-lint` binary: lint the workspace, print diagnostics, write the
+//! JSON report, exit nonzero on violations.
+//!
+//! Usage: `cargo run --bin ignem-lint [-- <json-report-path>]`. The report
+//! defaults to `target/ignem-lint-report.json` under the workspace root.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match ignem_lint::default_root().canonicalize() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ignem-lint: cannot resolve workspace root: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match ignem_lint::run_lint(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ignem-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &report.violations {
+        eprintln!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+    }
+    let json_path: PathBuf = std::env::args()
+        .nth(1)
+        .map(Into::into)
+        .unwrap_or_else(|| root.join("target").join("ignem-lint-report.json"));
+    if let Some(parent) = json_path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    if let Err(e) = fs::write(&json_path, report.to_json()) {
+        eprintln!("ignem-lint: cannot write {}: {e}", json_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "ignem-lint: {} files scanned, {} violation(s); report at {}",
+        report.files_scanned,
+        report.violations.len(),
+        json_path.display()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
