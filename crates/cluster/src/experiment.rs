@@ -18,6 +18,7 @@ use ignem_workloads::tpcds::HiveQuery;
 
 use crate::config::{ClusterConfig, FsMode};
 use crate::metrics::RunMetrics;
+use crate::sweep;
 use crate::world::{PlannedJob, World};
 
 /// The three-configuration comparison the paper's tables report.
@@ -32,23 +33,25 @@ pub struct Comparison {
 }
 
 impl Comparison {
-    /// Runs the same plan under all three configurations.
+    /// Runs the same plan under all three configurations. The three worlds
+    /// are independent, so they run on the [`sweep::parallel_map`] pool
+    /// ([`sweep::default_jobs`] threads); results come back in
+    /// configuration order regardless of which finishes first.
     pub fn run(
         cfg: &ClusterConfig,
         files: &[(String, u64)],
-        plan_for: impl Fn(bool) -> Vec<PlannedJob>,
+        plan_for: impl Fn(bool) -> Vec<PlannedJob> + Sync,
     ) -> Comparison {
+        let modes = vec![FsMode::Hdfs, FsMode::Ignem, FsMode::HdfsInputsInRam];
+        let mut runs = sweep::parallel_map(modes, sweep::default_jobs(), |mode| {
+            let migrate = matches!(mode, FsMode::Ignem);
+            World::new(cfg.clone(), mode, files, plan_for(migrate), vec![]).run()
+        })
+        .into_iter();
         Comparison {
-            hdfs: World::new(cfg.clone(), FsMode::Hdfs, files, plan_for(false), vec![]).run(),
-            ignem: World::new(cfg.clone(), FsMode::Ignem, files, plan_for(true), vec![]).run(),
-            ram: World::new(
-                cfg.clone(),
-                FsMode::HdfsInputsInRam,
-                files,
-                plan_for(false),
-                vec![],
-            )
-            .run(),
+            hdfs: runs.next().expect("hdfs run"),
+            ignem: runs.next().expect("ignem run"),
+            ram: runs.next().expect("ram run"),
         }
     }
 }

@@ -31,6 +31,7 @@ pub mod experiment;
 pub mod explain;
 pub mod metrics;
 pub mod sanitizer;
+pub mod sweep;
 pub mod world;
 
 /// Commonly used items.
@@ -46,6 +47,7 @@ pub mod prelude {
         BlockRead, JobResult, LedgerEntry, PlanResult, ReadKind, ResidencyLedger, RunMetrics,
     };
     pub use crate::sanitizer::{bisect_divergence, double_run, Divergence, DoubleRun};
+    pub use crate::sweep::{default_jobs, parallel_map, sweep};
     pub use crate::world::{Fault, PlannedJob, World};
 }
 

@@ -191,6 +191,10 @@ pub struct RunMetrics {
     pub speculated: u64,
     /// Time the last job finished.
     pub makespan: SimTime,
+    /// Engine events processed over the whole run. Deterministic for a
+    /// given seed; the bench harness divides it by wall time to report
+    /// events/sec.
+    pub events_processed: u64,
 }
 
 impl RunMetrics {

@@ -1,0 +1,297 @@
+//! Parallel deterministic sweep runner.
+//!
+//! Fans independent pieces of work (chaos seeds, bench worlds) out to a
+//! scoped-thread worker pool and hands results back **in input order**,
+//! so everything derived from a sweep — printed progress, the exit code,
+//! the minimized-schedule artifact — is byte-identical to a serial run.
+//! Determinism comes from two properties:
+//!
+//! 1. each work item runs against its own isolated [`World`]-building
+//!    closure (workers share nothing but the claim counter), and
+//! 2. results are *consumed* strictly in input order on the calling
+//!    thread, regardless of the order workers finish in.
+//!
+//! Worker scheduling (which thread runs which seed, and when) is the only
+//! nondeterministic part, and it is unobservable: it can change wall-clock
+//! timing but never the consumed sequence. `--jobs 1` takes a lock-free
+//! inline path that is trivially identical to the old serial loop; the
+//! threaded path is identical by the order-restoring merge.
+//!
+//! Everything here is std-only: [`std::thread::scope`] workers, one
+//! mutex-guarded ring of result slots, and a condvar for both
+//! backpressure (workers stay at most `2 × jobs` items ahead of the
+//! consumer, bounding memory and wasted work after an early stop) and
+//! result hand-off.
+//!
+//! [`World`]: crate::world::World
+
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Default worker count for sweeps: the machine's available parallelism,
+/// falling back to 1 when it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Shared sweep state: a ring of result slots plus the claim/consume
+/// cursors. Slot `i % window` may only be reused once result `i` has been
+/// consumed, which the claim condition (`claimed < consumed + window`)
+/// guarantees.
+struct State<T> {
+    slots: Vec<Option<T>>,
+    claimed: usize,
+    consumed: usize,
+    stop: bool,
+}
+
+fn lock<'a, T>(m: &'a Mutex<State<T>>) -> MutexGuard<'a, State<T>> {
+    // A worker panic (propagated by the scope after join) is the real
+    // report; poisoning must not deadlock the teardown path.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Sets `stop` and wakes everyone when dropped while armed — used so a
+/// panicking worker (or consumer) releases the other side instead of
+/// deadlocking; `std::thread::scope` then joins and re-raises the panic.
+struct StopGuard<'a, T> {
+    state: &'a Mutex<State<T>>,
+    cv: &'a Condvar,
+    armed: bool,
+}
+
+impl<T> Drop for StopGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            lock(self.state).stop = true;
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Runs `run(seed)` for every seed in `start..start + count` on a pool of
+/// `jobs` scoped worker threads and feeds each result to `consume` in
+/// ascending seed order on the calling thread.
+///
+/// `consume` returning [`ControlFlow::Break`] stops the sweep early:
+/// workers quit at the next claim, in-flight seeds finish but are
+/// discarded, and the break value is returned. A completed sweep returns
+/// `None`.
+///
+/// With `jobs <= 1` this degenerates to the plain serial loop (no
+/// threads, no locks); with any `jobs` value the `consume` call sequence
+/// is identical, which is what makes parallel sweeps byte-equivalent to
+/// serial ones.
+pub fn sweep<T, B>(
+    start: u64,
+    count: u64,
+    jobs: usize,
+    run: impl Fn(u64) -> T + Sync,
+    mut consume: impl FnMut(u64, T) -> ControlFlow<B>,
+) -> Option<B>
+where
+    T: Send,
+{
+    if jobs <= 1 || count <= 1 {
+        for seed in start..start.saturating_add(count) {
+            if let ControlFlow::Break(b) = consume(seed, run(seed)) {
+                return Some(b);
+            }
+        }
+        return None;
+    }
+
+    let total = usize::try_from(count).unwrap_or(usize::MAX);
+    let window = jobs.saturating_mul(2).min(total).max(1);
+    let state = Mutex::new(State {
+        slots: (0..window).map(|_| None).collect(),
+        claimed: 0,
+        consumed: 0,
+        stop: false,
+    });
+    let cv = Condvar::new();
+    let mut out = None;
+
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(total) {
+            s.spawn(|| {
+                let mut guard = StopGuard {
+                    state: &state,
+                    cv: &cv,
+                    armed: true,
+                };
+                loop {
+                    let idx = {
+                        let mut st = lock(&state);
+                        loop {
+                            if st.stop || st.claimed == total {
+                                guard.armed = false;
+                                return;
+                            }
+                            if st.claimed < st.consumed + window {
+                                break;
+                            }
+                            st = cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                        }
+                        let i = st.claimed;
+                        st.claimed += 1;
+                        i
+                    };
+                    let value = run(start + idx as u64);
+                    let mut st = lock(&state);
+                    st.slots[idx % window] = Some(value);
+                    cv.notify_all();
+                }
+            });
+        }
+
+        let guard = StopGuard {
+            state: &state,
+            cv: &cv,
+            armed: true,
+        };
+        'consume: for i in 0..total {
+            let value = {
+                let mut st = lock(&state);
+                loop {
+                    if let Some(v) = st.slots[i % window].take() {
+                        st.consumed = i + 1;
+                        cv.notify_all();
+                        break v;
+                    }
+                    if st.stop {
+                        // A worker died before filling this slot; bail out
+                        // and let the scope join re-raise its panic.
+                        break 'consume;
+                    }
+                    st = cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            if let ControlFlow::Break(b) = consume(start + i as u64, value) {
+                out = Some(b);
+                break;
+            }
+        }
+        // Normal teardown doubles as the early-stop signal; leaving the
+        // guard armed is exactly the broadcast we want.
+        drop(guard);
+    });
+    out
+}
+
+/// Maps `f` over `items` on `jobs` scoped worker threads, returning the
+/// results in input order. The order-restoring merge makes the output
+/// independent of worker scheduling, so parallel bench runs stay
+/// bit-reproducible. `jobs <= 1` (or a single item) maps inline.
+pub fn parallel_map<I, T>(items: Vec<I>, jobs: usize, f: impl Fn(I) -> T + Sync) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let work: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let item = work[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let value = f(item);
+                *results[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every slot is filled once the scope joins")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Collects the exact consume sequence a sweep produces.
+    fn consumed_sequence(jobs: usize, start: u64, count: u64) -> (Vec<(u64, u64)>, Option<u64>) {
+        let mut seen = Vec::new();
+        let broke = sweep(
+            start,
+            count,
+            jobs,
+            |seed| seed * 10 + 1,
+            |seed, v| {
+                seen.push((seed, v));
+                ControlFlow::<u64>::Continue(())
+            },
+        );
+        (seen, broke)
+    }
+
+    #[test]
+    fn serial_and_parallel_consume_identically() {
+        let serial = consumed_sequence(1, 7, 64);
+        for jobs in [2, 3, 8] {
+            assert_eq!(consumed_sequence(jobs, 7, 64), serial, "jobs={jobs}");
+        }
+        assert_eq!(serial.0.len(), 64);
+        assert_eq!(serial.0[0], (7, 71));
+        assert!(serial.1.is_none());
+    }
+
+    #[test]
+    fn early_break_returns_value_and_stops_in_order() {
+        for jobs in [1, 4] {
+            let mut seen = Vec::new();
+            let broke = sweep(
+                0,
+                100,
+                jobs,
+                |seed| seed,
+                |seed, v| {
+                    seen.push(v);
+                    if seed == 5 {
+                        ControlFlow::Break(format!("stop at {seed}"))
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                },
+            );
+            assert_eq!(broke.as_deref(), Some("stop at 5"), "jobs={jobs}");
+            assert_eq!(seen, vec![0, 1, 2, 3, 4, 5], "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_sweeps_work() {
+        assert_eq!(consumed_sequence(4, 3, 0), (vec![], None));
+        assert_eq!(consumed_sequence(4, 3, 1), (vec![(3, 31)], None));
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..50).collect();
+        let serial = parallel_map(items.clone(), 1, |x| x * x);
+        for jobs in [2, 5] {
+            assert_eq!(parallel_map(items.clone(), jobs, |x| x * x), serial);
+        }
+        assert_eq!(serial[7], 49);
+    }
+}

@@ -57,10 +57,12 @@
 //! behaviour change.
 
 // Deterministic-iteration policy (lint rule D02): every map or set this
-// module iterates is a BTree container, so two runs of the same seed visit
-// entries — and therefore draw randomness and schedule events — in one
-// order. Hash containers are only acceptable for pure point lookups.
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+// module iterates is an ordered container — a dense `IdMap`/`IdSet`
+// (ascending-key iteration by construction) or a BTree container — so two
+// runs of the same seed visit entries, and therefore draw randomness and
+// schedule events, in one order. Hash containers are only acceptable for
+// pure point lookups.
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use ignem_compute::job::{JobInput, JobSpec};
 use ignem_compute::slots::Slots;
@@ -76,6 +78,7 @@ use ignem_dfs::namenode::NameNode;
 use ignem_netsim::rpc::{Epoch, RpcChannel, RpcPeer};
 use ignem_netsim::{Fabric, NodeId, TransferId};
 use ignem_simcore::event::Engine;
+use ignem_simcore::idmap::IdMap;
 use ignem_simcore::rng::SimRng;
 use ignem_simcore::stats::TimeWeighted;
 use ignem_simcore::telemetry::{
@@ -242,6 +245,9 @@ pub struct World {
     /// Per-node residency accounts, mirrored from the slaves' counters
     /// (see module docs).
     ledger: ResidencyLedger,
+    /// Per-node `(slave, mem)` version stamps at the last clean audit;
+    /// `u64::MAX` sentinels force the first per-event validation pass.
+    validated: Vec<(u64, u64)>,
 
     tracker: JobTracker,
     slots: Slots,
@@ -250,17 +256,19 @@ pub struct World {
     next_req: u64,
     next_xfer: u64,
 
-    /// Owner maps are BTreeMaps: cancellation sweeps iterate them, and the
-    /// iteration order decides the order IO cancellations (and their
-    /// randomness draws) happen in.
-    disk_owner: BTreeMap<(u32, RequestId), DiskOwner>,
-    ram_owner: BTreeMap<(u32, RequestId), DiskOwner>,
-    net_owner: BTreeMap<TransferId, NetOwner>,
+    /// Owner maps are per-node dense [`IdMap`]s: cancellation sweeps iterate
+    /// them node 0..N, then ascending [`RequestId`] within a node — the same
+    /// lexicographic `(node, request)` order the old `BTreeMap<(u32,
+    /// RequestId), _>` gave — and that order decides the order IO
+    /// cancellations (and their randomness draws) happen in.
+    disk_owner: Vec<IdMap<RequestId, DiskOwner>>,
+    ram_owner: Vec<IdMap<RequestId, DiskOwner>>,
+    net_owner: IdMap<TransferId, NetOwner>,
     migration_req: HashMap<(u32, BlockId), RequestId>,
 
     plans: Vec<PlannedJob>,
     plan_state: Vec<PlanState>,
-    job_to_plan: BTreeMap<JobId, (usize, usize)>,
+    job_to_plan: IdMap<JobId, (usize, usize)>,
     task_launched_at: HashMap<TaskId, SimTime>,
     job_submit_time: HashMap<JobId, SimTime>,
     job_spec: HashMap<JobId, JobSpec>,
@@ -386,18 +394,19 @@ impl World {
             net_gen: 0,
             lease_gen: vec![0; cfg.nodes],
             ledger: ResidencyLedger::new(cfg.nodes),
+            validated: vec![(u64::MAX, u64::MAX); cfg.nodes],
             tracker: JobTracker::new(),
             slots,
             next_job: 0,
             next_req: 0,
             next_xfer: 0,
-            disk_owner: BTreeMap::new(),
-            ram_owner: BTreeMap::new(),
-            net_owner: BTreeMap::new(),
+            disk_owner: (0..cfg.nodes).map(|_| IdMap::new()).collect(),
+            ram_owner: (0..cfg.nodes).map(|_| IdMap::new()).collect(),
+            net_owner: IdMap::new(),
             migration_req: HashMap::new(),
             plans,
             plan_state,
-            job_to_plan: BTreeMap::new(),
+            job_to_plan: IdMap::new(),
             task_launched_at: HashMap::new(),
             job_submit_time: HashMap::new(),
             job_spec: HashMap::new(),
@@ -468,23 +477,36 @@ impl World {
     }
 
     fn check_invariants(&mut self) {
-        self.sync_ledger();
         for n in 0..self.cfg.nodes {
+            // Memoized per node: the checks below are pure functions of
+            // (slave state, MemStore state), both of which carry monotone
+            // mutation counters. An unchanged stamp means the previous
+            // clean verdict still holds, so per-event validation only
+            // re-audits the nodes the event actually touched. (Node death
+            // always bumps the slave version via `IgnemSlave::fail`, and
+            // `node_alive` never flips back, so liveness transitions are
+            // covered by the stamp.)
+            let stamp = (self.slaves[n].version(), self.mems[n].version());
+            if self.validated[n] == stamp {
+                continue;
+            }
+            let st = self.slaves[n].stats();
+            self.ledger.record(n, st.migrated_bytes, st.evicted_bytes);
             // The ledger must balance on every node, dead ones included: a
             // slave's restart/purge debits everything it held, so a dead
             // node's account settles at zero residency.
             if let Err(e) = self.ledger.reconcile(n, self.mems[n].migrated_used()) {
                 panic!("ledger violated at {}: {e}", self.engine.now());
             }
-            if !self.node_alive[n] {
-                continue;
+            if self.node_alive[n] {
+                if let Err(e) = self.slaves[n].check_consistency(&self.mems[n]) {
+                    panic!(
+                        "slave invariant violated on node{n} at {}: {e}",
+                        self.engine.now()
+                    );
+                }
             }
-            if let Err(e) = self.slaves[n].check_consistency(&self.mems[n]) {
-                panic!(
-                    "slave invariant violated on node{n} at {}: {e}",
-                    self.engine.now()
-                );
-            }
+            self.validated[n] = stamp;
         }
     }
 
@@ -526,6 +548,7 @@ impl World {
     }
 
     fn finalize(mut self) -> RunMetrics {
+        self.metrics.events_processed = self.engine.processed();
         let end = self
             .metrics
             .jobs
@@ -817,17 +840,22 @@ impl World {
     /// attempt).
     fn cancel_task_io(&mut self, task: TaskId) {
         let now = self.engine.now();
-        // Owner maps are BTreeMaps, so the collected key sets come out in
-        // key order and two runs with the same seed cancel (and thus draw
-        // randomness) in the same order.
+        // Owner maps iterate in key order (node 0..N, then ascending
+        // request id), so two runs with the same seed cancel (and thus
+        // draw randomness) in the same order.
         let disk_keys: Vec<(u32, RequestId)> = self
             .disk_owner
             .iter()
-            .filter(|(_, o)| matches!(o, DiskOwner::MapRead { task: t, .. } if *t == task))
-            .map(|(k, _)| *k)
+            .enumerate()
+            .flat_map(|(n, owners)| {
+                owners
+                    .iter()
+                    .filter(|(_, o)| matches!(o, DiskOwner::MapRead { task: t, .. } if *t == task))
+                    .map(move |(req, _)| (n as u32, req))
+            })
             .collect();
         for key in disk_keys {
-            self.disk_owner.remove(&key);
+            self.disk_owner[key.0 as usize].remove(&key.1);
             let done = self.disks[key.0 as usize].cancel(now, key.1);
             self.process_disk(key.0, done);
             self.resched_disk(key.0);
@@ -835,11 +863,16 @@ impl World {
         let ram_keys: Vec<(u32, RequestId)> = self
             .ram_owner
             .iter()
-            .filter(|(_, o)| matches!(o, DiskOwner::MapRead { task: t, .. } if *t == task))
-            .map(|(k, _)| *k)
+            .enumerate()
+            .flat_map(|(n, owners)| {
+                owners
+                    .iter()
+                    .filter(|(_, o)| matches!(o, DiskOwner::MapRead { task: t, .. } if *t == task))
+                    .map(move |(req, _)| (n as u32, req))
+            })
             .collect();
         for key in ram_keys {
-            self.ram_owner.remove(&key);
+            self.ram_owner[key.0 as usize].remove(&key.1);
             let done = self.rams[key.0 as usize].cancel(now, key.1);
             self.process_ram(key.0, done);
             self.resched_ram(key.0);
@@ -848,7 +881,7 @@ impl World {
             .net_owner
             .iter()
             .filter(|(_, o)| matches!(o, NetOwner::MapRead { task: t, .. } if *t == task))
-            .map(|(k, _)| *k)
+            .map(|(k, _)| k)
             .collect();
         for id in xfers {
             self.net_owner.remove(&id);
@@ -876,12 +909,7 @@ impl World {
                 &self.tracker,
                 node,
                 |nd, b| alive[nd.0 as usize] && mems[nd.0 as usize].contains(&b),
-                |nd, b| {
-                    namenode
-                        .locations(b)
-                        .map(|l| l.contains(&nd))
-                        .unwrap_or(false)
-                },
+                |nd, b| namenode.has_alive_replica(b, nd),
             )
             .or_else(|| choose_reduce_task(&self.tracker));
             let Some(task) = pick else { break };
@@ -1412,7 +1440,7 @@ impl World {
                 }
                 SlaveAction::CancelRead { block } => {
                     if let Some(req) = self.migration_req.remove(&(n, block)) {
-                        self.disk_owner.remove(&(n, req));
+                        self.disk_owner[n as usize].remove(&req);
                         self.telemetry.emit(|| TelemetryEvent::MigrationCancelled {
                             node: n,
                             block: block.0,
@@ -1457,7 +1485,7 @@ impl World {
     fn submit_disk(&mut self, n: u32, kind: IoKind, bytes: u64, owner: DiskOwner) -> RequestId {
         let now = self.engine.now();
         let id = self.alloc_req();
-        self.disk_owner.insert((n, id), owner);
+        self.disk_owner[n as usize].insert(id, owner);
         let done = self.disks[n as usize].submit(now, id, kind, bytes.max(1));
         self.process_disk(n, done);
         self.resched_disk(n);
@@ -1467,7 +1495,7 @@ impl World {
     fn submit_ram(&mut self, n: u32, bytes: u64, owner: DiskOwner) -> RequestId {
         let now = self.engine.now();
         let id = self.alloc_req();
-        self.ram_owner.insert((n, id), owner);
+        self.ram_owner[n as usize].insert(id, owner);
         let done = self.rams[n as usize].submit(now, id, IoKind::Read, bytes.max(1));
         self.process_ram(n, done);
         self.resched_ram(n);
@@ -1530,7 +1558,7 @@ impl World {
 
     fn process_disk(&mut self, n: u32, done: Vec<Completion>) {
         for c in done {
-            let Some(owner) = self.disk_owner.remove(&(n, c.id)) else {
+            let Some(owner) = self.disk_owner[n as usize].remove(&c.id) else {
                 continue; // cancelled
             };
             match owner {
@@ -1610,7 +1638,7 @@ impl World {
 
     fn process_ram(&mut self, n: u32, done: Vec<Completion>) {
         for c in done {
-            let Some(owner) = self.ram_owner.remove(&(n, c.id)) else {
+            let Some(owner) = self.ram_owner[n as usize].remove(&c.id) else {
                 continue;
             };
             if let DiskOwner::MapRead {
@@ -1831,16 +1859,21 @@ impl World {
         let requeued: BTreeSet<TaskId> = requeued.into_iter().collect();
         // Cancel in-flight IO owned by requeued tasks or served by the dead
         // node, re-issuing reads for still-running remote readers. The
-        // owner maps are BTreeMaps, so two identical runs cancel and
-        // re-issue in one order.
+        // owner maps iterate in `(node, request id)` order, so two
+        // identical runs cancel and re-issue in one order.
         let mut reissue: Vec<(TaskId, Option<BlockId>, u64)> = Vec::new();
-        let disk_keys: Vec<(u32, RequestId)> = self.disk_owner.keys().copied().collect();
+        let disk_keys: Vec<(u32, RequestId)> = self
+            .disk_owner
+            .iter()
+            .enumerate()
+            .flat_map(|(dn, owners)| owners.keys().map(move |req| (dn as u32, req)))
+            .collect();
         for key in disk_keys {
-            let owner = self.disk_owner[&key];
+            let owner = self.disk_owner[key.0 as usize][&key.1];
             if let DiskOwner::Rereplicate { block, target } = owner {
                 // A re-replication touched by the failure restarts later.
                 if key.0 == node.0 || target == node.0 {
-                    self.disk_owner.remove(&key);
+                    self.disk_owner[key.0 as usize].remove(&key.1);
                     let done = self.disks[key.0 as usize].cancel(now, key.1);
                     self.process_disk(key.0, done);
                     self.resched_disk(key.0);
@@ -1859,7 +1892,7 @@ impl World {
                 let dead_reader = requeued.contains(&task);
                 let dead_server = serving == node.0 || key.0 == node.0;
                 if dead_reader || dead_server {
-                    self.disk_owner.remove(&key);
+                    self.disk_owner[key.0 as usize].remove(&key.1);
                     let done = self.disks[key.0 as usize].cancel(now, key.1);
                     self.process_disk(key.0, done);
                     self.resched_disk(key.0);
@@ -1872,17 +1905,14 @@ impl World {
                 }
             }
         }
-        let ram_keys: Vec<(u32, RequestId)> = self.ram_owner.keys().copied().collect();
-        for key in ram_keys {
-            if key.0 != node.0 {
-                continue;
-            }
-            self.ram_owner.remove(&key);
-            let done = self.rams[key.0 as usize].cancel(now, key.1);
-            self.process_ram(key.0, done);
-            self.resched_ram(key.0);
+        let ram_keys: Vec<RequestId> = self.ram_owner[n].keys().collect();
+        for req in ram_keys {
+            self.ram_owner[n].remove(&req);
+            let done = self.rams[n].cancel(now, req);
+            self.process_ram(node.0, done);
+            self.resched_ram(node.0);
         }
-        let xfers: Vec<TransferId> = self.net_owner.keys().copied().collect();
+        let xfers: Vec<TransferId> = self.net_owner.keys().collect();
         for id in xfers {
             let owner = self.net_owner[&id];
             match owner {
@@ -1934,13 +1964,13 @@ impl World {
             return;
         }
         let now = self.engine.now();
-        // job_to_plan is a BTreeMap, so the kill sweep visits jobs in id
-        // order on every run.
+        // job_to_plan iterates in job-id order, so the kill sweep visits
+        // jobs in the same order on every run.
         let jobs: Vec<JobId> = self
             .job_to_plan
             .iter()
-            .filter(|(_, &(plan, _))| plan == p)
-            .map(|(&j, _)| j)
+            .filter(|&(_, &(plan, _))| plan == p)
+            .map(|(j, _)| j)
             .collect();
         for job in jobs {
             self.tracker.kill_job(job);

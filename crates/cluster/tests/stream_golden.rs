@@ -1,0 +1,107 @@
+//! Golden event-stream hashes: pin the exact telemetry streams of the
+//! fault-free default world and chaos seed 304 across refactors.
+//!
+//! The sanitizer's double-run check proves a *single build* of the
+//! simulator is internally deterministic; these constants additionally
+//! prove that a refactor (like the BTreeMap → IdMap container overhaul)
+//! did not change behavior at all: the FNV-1a hash chain over the
+//! canonical event JSON must come out bit-identical to the stream the
+//! BTreeMap-based simulator produced. If a PR changes these values it
+//! changed simulated behavior, not just performance — that may be
+//! intentional (new event types, schedule changes), but it must be a
+//! conscious decision: rerun `print_stream_hashes` (`cargo test -p
+//! ignem-cluster --test stream_golden -- --ignored --nocapture`) and
+//! update the constants in the same commit that explains why.
+
+use ignem_cluster::chaos::{generate_faults, workload, ChaosConfig};
+use ignem_cluster::prelude::*;
+use ignem_cluster::sanitizer::hash_chain;
+use ignem_compute::job::{JobInput, JobSpec, SubmitOptions};
+use ignem_simcore::rng::SimRng;
+use ignem_simcore::time::SimDuration;
+use ignem_simcore::units::{MB, MIB};
+
+const RECORDER_CAP: usize = 1 << 20;
+
+/// The same fault-free default world the sanitizer double-runs.
+fn default_world() -> World {
+    let files: Vec<(String, u64)> = (0..4)
+        .map(|i| (format!("/in/part-{i}"), 512 * MB / 4))
+        .collect();
+    let mut spec = JobSpec::new(
+        "sanitizer-job",
+        JobInput::DfsFiles(files.iter().map(|(p, _)| p.clone()).collect()),
+    );
+    spec.submit = SubmitOptions::with_migration();
+    let plan = vec![PlannedJob::single(
+        "sanitizer",
+        SimDuration::from_secs(1),
+        spec,
+    )];
+    World::new(
+        ClusterConfig::default(),
+        FsMode::Ignem,
+        &files,
+        plan,
+        vec![],
+    )
+}
+
+/// Mirrors `run_chaos_with`'s world construction for seed 304.
+fn chaos_world_304() -> World {
+    let cfg = ChaosConfig {
+        seed: 304,
+        ..ChaosConfig::default()
+    };
+    let mut fault_rng = SimRng::new(cfg.seed ^ 0xC4A0_5EED);
+    let faults = generate_faults(
+        &mut fault_rng,
+        cfg.nodes,
+        ClusterConfig::default().dfs.replication,
+        cfg.jobs,
+        cfg.faults,
+    );
+    let mut cluster = ClusterConfig {
+        nodes: cfg.nodes,
+        seed: cfg.seed,
+        rpc: cfg.rpc,
+        ..ClusterConfig::default()
+    };
+    cluster.ignem.buffer_capacity = 512 * MIB;
+    cluster.ignem.lease = cfg.lease;
+    let (files, plans) = workload(cfg.jobs);
+    World::new(cluster, FsMode::Ignem, &files, plans, faults)
+}
+
+/// Records a world and reduces its stream to `(events, final chain hash)`.
+fn stream_tail(build: fn() -> World) -> (usize, u64) {
+    let (_metrics, events, dropped) = build().run_recorded(RECORDER_CAP);
+    assert_eq!(dropped, 0, "recorder must hold the whole stream");
+    let chain = hash_chain(&events);
+    (events.len(), *chain.last().expect("non-empty stream"))
+}
+
+/// Captured from the BTreeMap-based simulator before the IdMap container
+/// overhaul (PR 5); the overhaul must reproduce them bit-for-bit.
+const DEFAULT_WORLD_GOLDEN: (usize, u64) = (111, 0x464c_1a7d_d766_ced1);
+const CHAOS_304_GOLDEN: (usize, u64) = (320, 0x2249_a012_16cb_e555);
+
+#[test]
+fn default_world_stream_is_pinned() {
+    assert_eq!(stream_tail(default_world), DEFAULT_WORLD_GOLDEN);
+}
+
+#[test]
+fn chaos_seed_304_stream_is_pinned() {
+    assert_eq!(stream_tail(chaos_world_304), CHAOS_304_GOLDEN);
+}
+
+/// Prints the current values for updating the constants above.
+#[test]
+#[ignore = "manual helper: prints the golden values"]
+fn print_stream_hashes() {
+    let d = stream_tail(default_world);
+    let c = stream_tail(chaos_world_304);
+    println!("DEFAULT_WORLD_GOLDEN: ({}, {:#018x})", d.0, d.1);
+    println!("CHAOS_304_GOLDEN: ({}, {:#018x})", c.0, c.1);
+}

@@ -1,5 +1,6 @@
 //! Block identifiers and sizing.
 
+use ignem_simcore::idmap::DenseId;
 use ignem_simcore::units::MIB;
 
 /// The default HDFS block size used throughout the paper's evaluation
@@ -13,6 +14,16 @@ pub struct BlockId(pub u64);
 impl std::fmt::Display for BlockId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "blk_{}", self.0)
+    }
+}
+
+impl DenseId for BlockId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(index: usize) -> Self {
+        BlockId(index as u64)
     }
 }
 

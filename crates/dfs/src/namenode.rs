@@ -302,6 +302,16 @@ impl NameNode {
             .collect())
     }
 
+    /// Whether `node` holds an **alive** replica of `block`: the
+    /// allocation-free form of [`locations`](Self::locations) +
+    /// `contains` the scheduler's locality check runs per candidate task.
+    /// Unknown blocks are simply not replicated anywhere.
+    pub fn has_alive_replica(&self, block: BlockId, node: NodeId) -> bool {
+        self.blocks
+            .get(&block)
+            .is_some_and(|m| m.replicas.contains(&node) && self.is_alive(node))
+    }
+
     /// Registers a new replica of `block` on `node` (the re-replication
     /// path after a datanode failure). Idempotent for existing replicas.
     ///

@@ -8,6 +8,7 @@
 use ignem_dfs::block::BlockId;
 use ignem_netsim::rpc::Epoch;
 use ignem_netsim::NodeId;
+use ignem_simcore::idmap::DenseId;
 use ignem_simcore::time::SimTime;
 
 /// Identifies a job across the compute and migration planes.
@@ -17,6 +18,16 @@ pub struct JobId(pub u64);
 impl std::fmt::Display for JobId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "job_{}", self.0)
+    }
+}
+
+impl DenseId for JobId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(index: usize) -> Self {
+        JobId(index as u64)
     }
 }
 
@@ -69,6 +80,16 @@ pub struct MigrateCommand {
 /// confused with a fresh send.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SeqNo(pub u64);
+
+impl DenseId for SeqNo {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(index: usize) -> Self {
+        SeqNo(index as u64)
+    }
+}
 
 /// The payload of one acknowledged master → slave control message. The
 /// channel carrying it is unreliable, so the payload must be cheap to

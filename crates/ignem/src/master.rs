@@ -13,12 +13,11 @@
 //! and slaves purge their reference lists to stay consistent with the new
 //! master's empty state (§III-A5).
 
-use std::collections::BTreeMap;
-
 use ignem_dfs::error::DfsError;
 use ignem_dfs::namenode::NameNode;
 use ignem_netsim::rpc::Epoch;
 use ignem_netsim::NodeId;
+use ignem_simcore::idmap::IdMap;
 use ignem_simcore::rng::SimRng;
 use ignem_simcore::telemetry::{Event, Telemetry};
 use ignem_simcore::time::SimDuration;
@@ -144,7 +143,7 @@ struct JobRecord {
 #[derive(Debug, Clone)]
 pub struct IgnemMaster {
     config: MasterConfig,
-    jobs: BTreeMap<JobId, JobRecord>,
+    jobs: IdMap<JobId, JobRecord>,
     stats: MasterStats,
     /// Current master incarnation, stamped onto every outgoing batch and
     /// liveness reply. Bumped by [`fail`](Self::fail) so commands issued
@@ -155,7 +154,7 @@ pub struct IgnemMaster {
     /// pre-failure send can never alias a post-restart send.
     next_seq: u64,
     /// Sends awaiting acknowledgement.
-    outbox: BTreeMap<SeqNo, PendingSend>,
+    outbox: IdMap<SeqNo, PendingSend>,
     /// Typed event emission (disabled by default).
     telemetry: Telemetry,
 }
@@ -164,11 +163,11 @@ impl Default for IgnemMaster {
     fn default() -> Self {
         IgnemMaster {
             config: MasterConfig::default(),
-            jobs: BTreeMap::new(),
+            jobs: IdMap::new(),
             stats: MasterStats::default(),
             epoch: Epoch::FIRST,
             next_seq: 0,
-            outbox: BTreeMap::new(),
+            outbox: IdMap::new(),
             telemetry: Telemetry::default(),
         }
     }
@@ -277,7 +276,7 @@ impl IgnemMaster {
         }
         let job_input_bytes: u64 = blocks.iter().map(|b| b.bytes).sum();
 
-        let mut batches: BTreeMap<NodeId, SlaveBatch> = BTreeMap::new();
+        let mut batches: IdMap<NodeId, SlaveBatch> = IdMap::new();
         for info in blocks {
             if info.bytes == 0 {
                 continue;
@@ -292,8 +291,7 @@ impl IgnemMaster {
             let epoch = self.epoch;
             for &target in &candidates[..k] {
                 batches
-                    .entry(target)
-                    .or_insert_with(|| SlaveBatch::new(target, epoch))
+                    .entry_or_insert_with(target, || SlaveBatch::new(target, epoch))
                     .migrates
                     .push(MigrateCommand {
                         job: req.job,
@@ -313,8 +311,8 @@ impl IgnemMaster {
             }
         }
 
-        let record = self.jobs.entry(req.job).or_default();
-        for &slave in batches.keys() {
+        let record = self.jobs.entry_or_default(req.job);
+        for slave in batches.keys() {
             if !record.slaves.contains(&slave) {
                 record.slaves.push(slave);
             }

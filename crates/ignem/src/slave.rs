@@ -25,11 +25,10 @@
 //! back in. The per-node memory ([`MemStore`]) is owned by the cluster and
 //! passed in, since pinned (vmtouch) blocks share it.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use ignem_dfs::block::BlockId;
 use ignem_netsim::rpc::Epoch;
 use ignem_netsim::NodeId;
+use ignem_simcore::idmap::{IdMap, IdSet};
 use ignem_simcore::telemetry::{Event, Telemetry};
 use ignem_simcore::time::{SimDuration, SimTime};
 use ignem_storage::memstore::{MemStore, Residency};
@@ -192,21 +191,25 @@ struct CurrentMigration {
 pub struct IgnemSlave {
     node: NodeId,
     config: IgnemConfig,
-    queue: BTreeMap<BlockId, QueuedBlock>,
-    current: BTreeMap<BlockId, CurrentMigration>,
+    queue: IdMap<BlockId, QueuedBlock>,
+    current: IdMap<BlockId, CurrentMigration>,
     /// Reference lists of **resident migrated** blocks.
-    refs: BTreeMap<BlockId, Vec<(JobId, EvictionMode)>>,
+    refs: IdMap<BlockId, Vec<(JobId, EvictionMode)>>,
     /// Paper §III-B2: "Each slave has a hash-map that maps a job's ID to the
     /// list of blocks migrated for the job" — the eviction index. Tracks
     /// resident, queued and in-flight interest.
-    job_blocks: BTreeMap<JobId, BTreeSet<BlockId>>,
+    job_blocks: IdMap<JobId, IdSet<BlockId>>,
     /// Highest master epoch observed; commands stamped lower are stale.
     epoch: Epoch,
     /// Per-job lease expiry instants (populated only when
     /// [`IgnemConfig::lease`] is set; keys mirror `job_blocks`).
-    lease_expiry: BTreeMap<JobId, SimTime>,
+    lease_expiry: IdMap<JobId, SimTime>,
     arrivals: u64,
     liveness_pending: bool,
+    /// Bumped by every mutating entry point; paired with
+    /// [`MemStore::version`], it lets a per-event validator skip slaves
+    /// whose state provably did not change since the last audit.
+    version: u64,
     last_liveness: Option<SimTime>,
     stats: SlaveStats,
     /// Typed event emission (disabled by default).
@@ -229,14 +232,15 @@ impl IgnemSlave {
         IgnemSlave {
             node,
             config,
-            queue: BTreeMap::new(),
-            current: BTreeMap::new(),
-            refs: BTreeMap::new(),
-            job_blocks: BTreeMap::new(),
+            queue: IdMap::new(),
+            current: IdMap::new(),
+            refs: IdMap::new(),
+            job_blocks: IdMap::new(),
             epoch: Epoch::FIRST,
-            lease_expiry: BTreeMap::new(),
+            lease_expiry: IdMap::new(),
             arrivals: 0,
             liveness_pending: false,
+            version: 0,
             last_liveness: None,
             stats: SlaveStats::default(),
             telemetry: Telemetry::default(),
@@ -287,7 +291,7 @@ impl IgnemSlave {
 
     /// Jobs currently holding any reference (resident, queued or in flight).
     pub fn interested_jobs(&self) -> Vec<JobId> {
-        self.job_blocks.keys().copied().collect()
+        self.job_blocks.keys().collect()
     }
 
     /// Total `(job, block)` reference entries on resident migrated blocks
@@ -299,6 +303,14 @@ impl IgnemSlave {
     /// The highest master epoch this slave has observed.
     pub fn epoch(&self) -> Epoch {
         self.epoch
+    }
+
+    /// Monotone mutation counter: advances on every state-changing entry
+    /// point. Two equal readings (combined with the paired MemStore's
+    /// [`version`](MemStore::version)) guarantee the slave was not mutated
+    /// in between, so an invariant checker may reuse its last verdict.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Observes the epoch stamped on an incoming master message, deciding
@@ -321,6 +333,7 @@ impl IgnemSlave {
         epoch: Epoch,
         mem: &mut MemStore<BlockId>,
     ) -> Option<Vec<SlaveAction>> {
+        self.version += 1;
         match epoch.cmp(&self.epoch) {
             std::cmp::Ordering::Less => {
                 self.stats.stale_epochs += 1;
@@ -353,11 +366,12 @@ impl IgnemSlave {
     /// resident references are dropped (evicting emptied blocks), queued
     /// and in-flight interest is discarded.
     pub fn expire_leases(&mut self, now: SimTime, mem: &mut MemStore<BlockId>) -> Vec<SlaveAction> {
+        self.version += 1;
         let expired: Vec<JobId> = self
             .lease_expiry
             .iter()
             .filter(|&(_, &at)| at <= now)
-            .map(|(&job, _)| job)
+            .map(|(job, _)| job)
             .collect();
         if expired.is_empty() {
             return Vec::new();
@@ -386,6 +400,7 @@ impl IgnemSlave {
         commands: Vec<MigrateCommand>,
         mem: &mut MemStore<BlockId>,
     ) -> Vec<SlaveAction> {
+        self.version += 1;
         for cmd in commands {
             self.stats.commands += 1;
             let waiter = Waiter {
@@ -408,7 +423,7 @@ impl IgnemSlave {
                     // append is idempotent per (job, block) — a duplicate
                     // must not grow the reference list, or a single
                     // eviction would no longer release the block.
-                    let list = self.refs.entry(cmd.block).or_default();
+                    let list = self.refs.entry_or_default(cmd.block);
                     if !list.iter().any(|&(j, _)| j == cmd.job) {
                         list.push((cmd.job, cmd.mode));
                         self.index_interest(cmd.job, cmd.block);
@@ -469,6 +484,7 @@ impl IgnemSlave {
         block: BlockId,
         mem: &mut MemStore<BlockId>,
     ) -> Vec<SlaveAction> {
+        self.version += 1;
         let Some(cur) = self.current.remove(&block) else {
             // Stray or duplicate completion (e.g. a read racing a
             // CancelRead): absorb it, per the contract above.
@@ -527,6 +543,7 @@ impl IgnemSlave {
         job: JobId,
         mem: &mut MemStore<BlockId>,
     ) -> Vec<SlaveAction> {
+        self.version += 1;
         self.release_job(now, job, mem);
         self.try_start(now, mem)
     }
@@ -542,6 +559,7 @@ impl IgnemSlave {
         job: JobId,
         mem: &mut MemStore<BlockId>,
     ) -> Vec<SlaveAction> {
+        self.version += 1;
         // Missed reads: drop queued interest.
         let mut removed_interest = false;
         let mut drop_queue_entry = false;
@@ -612,6 +630,7 @@ impl IgnemSlave {
         new_epoch: Epoch,
         mem: &mut MemStore<BlockId>,
     ) -> Vec<SlaveAction> {
+        self.version += 1;
         self.epoch = self.epoch.max(new_epoch);
         self.purge_for_new_master(now, mem)
     }
@@ -651,6 +670,7 @@ impl IgnemSlave {
     /// keeping it monotonic means a restarted slave still rejects
     /// pre-failover retransmissions.
     pub fn fail(&mut self, now: SimTime, mem: &mut MemStore<BlockId>) -> Vec<SlaveAction> {
+        self.version += 1;
         self.stats.purges += 1;
         for (block, _) in std::mem::take(&mut self.refs) {
             let bytes = mem.remove(now, &block).unwrap_or(0);
@@ -689,6 +709,7 @@ impl IgnemSlave {
         alive: Vec<JobId>,
         mem: &mut MemStore<BlockId>,
     ) -> Vec<SlaveAction> {
+        self.version += 1;
         self.liveness_pending = false;
         for job in dead {
             self.release_job(now, job, mem);
@@ -740,13 +761,13 @@ impl IgnemSlave {
             }
         }
         for block in self.refs.keys() {
-            if mem.residency(block) != Some(Residency::Migrated) {
+            if mem.residency(&block) != Some(Residency::Migrated) {
                 return Err(format!(
                     "node {:?}: reference list for {block:?} but block not migrated-resident",
                     self.node
                 ));
             }
-            if self.queue.contains_key(block) || self.current.contains_key(block) {
+            if self.queue.contains_key(&block) || self.current.contains_key(&block) {
                 return Err(format!(
                     "node {:?}: block {block:?} both resident and queued/in-flight",
                     self.node
@@ -754,7 +775,7 @@ impl IgnemSlave {
             }
         }
         for block in self.queue.keys() {
-            if self.current.contains_key(block) {
+            if self.current.contains_key(&block) {
                 return Err(format!(
                     "node {:?}: block {block:?} both queued and in flight",
                     self.node
@@ -772,19 +793,19 @@ impl IgnemSlave {
             ));
         }
         // Interest index consistency, both directions.
-        for (&job, blocks) in &self.job_blocks {
-            for block in blocks {
+        for (job, blocks) in self.job_blocks.iter() {
+            for block in blocks.iter() {
                 let in_refs = self
                     .refs
-                    .get(block)
+                    .get(&block)
                     .is_some_and(|l| l.iter().any(|&(j, _)| j == job));
                 let in_queue = self
                     .queue
-                    .get(block)
+                    .get(&block)
                     .is_some_and(|q| q.waiters.iter().any(|w| w.job == job));
                 let in_cur = self
                     .current
-                    .get(block)
+                    .get(&block)
                     .is_some_and(|c| c.waiters.iter().any(|w| w.job == job));
                 if !(in_refs || in_queue || in_cur) {
                     return Err(format!(
@@ -797,9 +818,9 @@ impl IgnemSlave {
         let indexed = |job: JobId, block: &BlockId| {
             self.job_blocks.get(&job).is_some_and(|s| s.contains(block))
         };
-        for (block, list) in &self.refs {
+        for (block, list) in self.refs.iter() {
             for &(job, _) in list {
-                if !indexed(job, block) {
+                if !indexed(job, &block) {
                     return Err(format!(
                         "node {:?}: ref ({job:?}, {block:?}) missing from interest index",
                         self.node
@@ -807,9 +828,9 @@ impl IgnemSlave {
                 }
             }
         }
-        for (block, q) in &self.queue {
+        for (block, q) in self.queue.iter() {
             for w in &q.waiters {
-                if !indexed(w.job, block) {
+                if !indexed(w.job, &block) {
                     return Err(format!(
                         "node {:?}: queued waiter ({:?}, {block:?}) missing from interest index",
                         self.node, w.job
@@ -817,9 +838,9 @@ impl IgnemSlave {
                 }
             }
         }
-        for (block, c) in &self.current {
+        for (block, c) in self.current.iter() {
             for w in &c.waiters {
-                if !indexed(w.job, block) {
+                if !indexed(w.job, &block) {
                     return Err(format!(
                         "node {:?}: in-flight waiter ({:?}, {block:?}) missing from interest index",
                         self.node, w.job
@@ -831,7 +852,7 @@ impl IgnemSlave {
         // carries exactly one lease; with them disabled the map is empty.
         if self.config.lease.is_some() {
             for job in self.job_blocks.keys() {
-                if !self.lease_expiry.contains_key(job) {
+                if !self.lease_expiry.contains_key(&job) {
                     return Err(format!(
                         "node {:?}: interested {job:?} has no lease",
                         self.node
@@ -839,7 +860,7 @@ impl IgnemSlave {
                 }
             }
             for job in self.lease_expiry.keys() {
-                if !self.job_blocks.contains_key(job) {
+                if !self.job_blocks.contains_key(&job) {
                     return Err(format!(
                         "node {:?}: lease for {job:?} outlives its interest",
                         self.node
@@ -923,7 +944,7 @@ impl IgnemSlave {
         let mut entries: Vec<(BlockId, QueueKey, u64)> = self
             .queue
             .iter()
-            .map(|(&b, q)| (b, q.key(), q.bytes))
+            .map(|(b, q)| (b, q.key(), q.bytes))
             .collect();
         entries.sort_by(|a, b| self.config.policy.cmp(&a.1, &b.1));
 
@@ -1000,7 +1021,7 @@ impl IgnemSlave {
     }
 
     fn index_interest(&mut self, job: JobId, block: BlockId) {
-        self.job_blocks.entry(job).or_default().insert(block);
+        self.job_blocks.entry_or_default(job).insert(block);
     }
 
     fn unindex_interest(&mut self, job: JobId, block: BlockId) {
@@ -1028,6 +1049,8 @@ impl IgnemSlave {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::BTreeSet;
+
     use super::*;
     use ignem_simcore::units::{GIB, MIB};
 

@@ -268,6 +268,11 @@ fn rule_d01(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
 /// Pass A collects names declared or initialised as hash containers (let
 /// bindings, struct fields, fn params); pass B flags iteration over those
 /// names, either via an iterating method call or a `for … in` loop.
+///
+/// Ordered containers are exempt by construction: only names bound to
+/// `HashMap`/`HashSet` enter pass A, so `BTreeMap`/`BTreeSet` — and the
+/// dense `ignem_simcore::idmap::{IdMap, IdSet}`, which iterate in
+/// ascending key order — may be iterated freely.
 fn rule_d02(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
     let mut names: Vec<String> = Vec::new();
     for i in 0..toks.len() {
@@ -320,8 +325,8 @@ fn rule_d02(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
                 file: rel.to_string(),
                 line: toks[i].line,
                 message: format!(
-                    "iteration `.{method}()` over hash container `{id}`; use BTreeMap/BTreeSet \
-                     or sort first"
+                    "iteration `.{method}()` over hash container `{id}`; use an ordered \
+                     container (IdMap/IdSet/BTreeMap/BTreeSet) or sort first"
                 ),
             });
         }
@@ -349,8 +354,8 @@ fn rule_d02(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
                     file: rel.to_string(),
                     line: toks[i].line,
                     message: format!(
-                        "`for … in` over hash container `{last}`; use BTreeMap/BTreeSet or \
-                         sort first"
+                        "`for … in` over hash container `{last}`; use an ordered container \
+                         (IdMap/IdSet/BTreeMap/BTreeSet) or sort first"
                     ),
                 });
             }

@@ -1,13 +1,21 @@
-// D02 fixture: ordered containers may iterate; hash containers may not —
-// unless justified — but point lookups on them are fine.
+// D02 fixture: ordered containers (BTreeMap/BTreeSet and the dense
+// IdMap/IdSet, which iterate in ascending key order by construction) may
+// iterate; hash containers may not — unless justified — but point lookups
+// on them are fine.
+use ignem_simcore::idmap::IdMap;
 use std::collections::{BTreeMap, HashMap};
 
 fn sum() -> u64 {
     let mut ordered: BTreeMap<u32, u64> = BTreeMap::new();
     ordered.insert(1, 2);
+    let mut dense: IdMap<u32, u64> = IdMap::new();
+    dense.insert(3, 4);
     let lut: HashMap<u32, u64> = HashMap::new();
     let mut acc = lut.get(&1).copied().unwrap_or(0);
     for (_k, v) in &ordered {
+        acc += *v;
+    }
+    for (_k, v) in dense.iter() {
         acc += *v;
     }
     // lint: allow(D02, reason = "order-insensitive sum, result is commutative")

@@ -16,14 +16,23 @@
 
 pub mod rpc;
 
-use std::collections::BTreeMap;
-
 use ignem_simcore::flow::{FlowId, FlowResource};
+use ignem_simcore::idmap::{DenseId, IdMap};
 use ignem_simcore::time::{SimDuration, SimTime};
 
 /// Identifies a server in the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
+
+impl DenseId for NodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
 
 impl std::fmt::Display for NodeId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -32,9 +41,20 @@ impl std::fmt::Display for NodeId {
 }
 
 /// Identifies a network transfer. Caller-assigned; unique among in-flight
-/// transfers.
+/// transfers, and (like [`FlowId`]) concurrently live ids should stay
+/// numerically close — a monotone counter is ideal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TransferId(pub u64);
+
+impl DenseId for TransferId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(index: usize) -> Self {
+        TransferId(index as u64)
+    }
+}
 
 /// A finished network transfer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,7 +125,7 @@ impl Default for NetConfig {
 pub struct Fabric {
     config: NetConfig,
     downlinks: Vec<FlowResource>,
-    inflight: BTreeMap<TransferId, Inflight>,
+    inflight: IdMap<TransferId, Inflight>,
 }
 
 impl Fabric {
@@ -125,7 +145,7 @@ impl Fabric {
             downlinks: (0..nodes)
                 .map(|_| FlowResource::new(config.nic_bandwidth, 0.0))
                 .collect(),
-            inflight: BTreeMap::new(),
+            inflight: IdMap::new(),
         }
     }
 

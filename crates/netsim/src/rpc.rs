@@ -231,14 +231,14 @@ impl RpcChannel {
     }
 
     /// Decides the fate of one message from `from` to `to`: the returned
-    /// vector holds the **extra** delay of each copy to deliver on top of
+    /// set holds the **extra** delay of each copy to deliver on top of
     /// the caller's base RPC latency. Empty means the message was lost
     /// (dropped or partitioned); two entries mean it was duplicated.
     ///
     /// With the default (reliable) configuration and no partitions this
     /// returns a single zero-delay copy without consuming any randomness,
     /// so a fault-free run is bit-identical to one without the channel.
-    pub fn deliveries(&mut self, rng: &mut SimRng, from: RpcPeer, to: RpcPeer) -> Vec<SimDuration> {
+    pub fn deliveries(&mut self, rng: &mut SimRng, from: RpcPeer, to: RpcPeer) -> Deliveries {
         self.stats.sent += 1;
         self.telemetry.emit(|| Event::RpcSent {
             from: from.telemetry_peer(),
@@ -250,7 +250,7 @@ impl RpcChannel {
                 from: from.telemetry_peer(),
                 to: to.telemetry_peer(),
             });
-            return Vec::new();
+            return Deliveries::default();
         }
         let drop_p = self
             .edge_drop
@@ -259,7 +259,7 @@ impl RpcChannel {
             .unwrap_or(self.config.drop_p);
         if drop_p <= 0.0 && self.config.dup_p <= 0.0 && self.config.jitter.is_zero() {
             self.stats.delivered += 1;
-            return vec![SimDuration::ZERO];
+            return Deliveries::one(SimDuration::ZERO);
         }
         if rng.uniform() < drop_p {
             self.stats.dropped += 1;
@@ -267,7 +267,7 @@ impl RpcChannel {
                 from: from.telemetry_peer(),
                 to: to.telemetry_peer(),
             });
-            return Vec::new();
+            return Deliveries::default();
         }
         let copies = if self.config.dup_p > 0.0 && rng.uniform() < self.config.dup_p {
             self.stats.duplicated += 1;
@@ -280,16 +280,63 @@ impl RpcChannel {
             1
         };
         let jitter = self.config.jitter.as_secs_f64();
-        (0..copies)
-            .map(|_| {
-                self.stats.delivered += 1;
-                if jitter > 0.0 {
-                    SimDuration::from_secs_f64(rng.uniform() * jitter)
-                } else {
-                    SimDuration::ZERO
-                }
-            })
-            .collect()
+        let mut out = Deliveries::default();
+        for _ in 0..copies {
+            self.stats.delivered += 1;
+            out.push(if jitter > 0.0 {
+                SimDuration::from_secs_f64(rng.uniform() * jitter)
+            } else {
+                SimDuration::ZERO
+            });
+        }
+        out
+    }
+}
+
+/// Outcome of [`RpcChannel::deliveries`]: zero (lost), one, or two
+/// (duplicated) extra delivery delays, stored inline so the reliable
+/// per-message fast path never touches the heap.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Deliveries {
+    buf: [SimDuration; 2],
+    len: u8,
+}
+
+impl Deliveries {
+    fn one(d: SimDuration) -> Deliveries {
+        Deliveries {
+            buf: [d, SimDuration::ZERO],
+            len: 1,
+        }
+    }
+
+    fn push(&mut self, d: SimDuration) {
+        self.buf[self.len as usize] = d;
+        self.len += 1;
+    }
+
+    /// Number of copies to deliver (0 = message lost).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the message was lost entirely.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The delays as a slice, in generation order.
+    pub fn as_slice(&self) -> &[SimDuration] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl IntoIterator for Deliveries {
+    type Item = SimDuration;
+    type IntoIter = std::iter::Take<std::array::IntoIter<SimDuration, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.into_iter().take(self.len as usize)
     }
 }
 
@@ -308,8 +355,8 @@ mod tests {
         let before = rng.clone();
         for _ in 0..100 {
             assert_eq!(
-                ch.deliveries(&mut rng, RpcPeer::Master, n(3)),
-                vec![SimDuration::ZERO]
+                ch.deliveries(&mut rng, RpcPeer::Master, n(3)).as_slice(),
+                [SimDuration::ZERO]
             );
         }
         assert_eq!(rng, before, "reliable path must not consume randomness");

@@ -19,19 +19,53 @@
 //! assert_eq!(seen, vec![7]);
 //! assert_eq!(engine.now().as_secs_f64(), 1.0);
 //! ```
+//!
+//! ## Cancellation bookkeeping
+//!
+//! Cancellation is lazy: the heap entry stays where it is and is dropped
+//! when it surfaces. The bookkeeping lives in a generation-stamped slot
+//! slab rather than a set of cancelled sequence numbers: every scheduled
+//! event borrows a slot (its [`EventId`] packs slot index + generation)
+//! that parks the payload — heap entries carry only the `(time, seq)` key
+//! and the slot index, so sift copies stay small however large `E` is —
+//! and popping — fired or cancelled — returns the slot to a free list and
+//! bumps its generation. That makes every operation O(1) amortized,
+//! bounds the slab by the maximum number of *concurrently pending*
+//! events (it self-compacts via slot reuse instead of growing like the
+//! old unbounded `cancelled: BTreeSet` did), and makes cancelling an
+//! already-fired or never-scheduled id a structural no-op: its
+//! generation no longer matches. Slot indices are handed out
+//! deterministically (LIFO free list driven by the event order), so the
+//! scheme adds no iteration-order hazards — the heap is still ordered
+//! purely by `(time, insertion seq)`.
 
 use std::cmp::Reverse;
-// The cancelled set is a BTreeSet rather than a HashSet: it is only ever
-// probed by membership today, but keeping it ordered means any future
-// drain/debug sweep stays deterministic by construction (lint rule D02).
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
 /// A handle to a scheduled event, usable for cancellation.
+///
+/// Packs the event's slab slot and the slot's generation at scheduling
+/// time; a stale handle (the event already fired or was cancelled) simply
+/// no longer matches and cancels nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId((u64::from(gen) << 32) | u64::from(slot))
+    }
+
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// Heap key: events fire in time order; ties break by insertion order, which
 /// gives the deterministic FIFO semantics the protocols rely on.
@@ -41,26 +75,24 @@ struct Key {
     seq: u64,
 }
 
-struct Entry<E> {
+/// A heap entry is just the ordering key plus the slab slot holding the
+/// payload: a small fixed-size value, so the `O(log n)` sift copies on
+/// every push/pop move ~24 bytes instead of the (potentially large) event
+/// payload itself.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct Entry {
     key: Key,
-    payload: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
-    }
+/// One slab slot: which incarnation lives here, whether it has been
+/// cancelled while still in the heap, and the parked payload (taken on
+/// fire, dropped eagerly on cancel).
+struct Slot<E> {
+    gen: u32,
+    pending: bool,
+    cancelled: bool,
+    payload: Option<E>,
 }
 
 /// The discrete-event simulation engine.
@@ -71,8 +103,12 @@ impl<E> Ord for Entry<E> {
 pub struct Engine<E> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    cancelled: BTreeSet<u64>,
+    heap: BinaryHeap<Reverse<Entry>>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    /// Cancelled entries still sitting in the heap; `is_idle` subtracts
+    /// them and lazy removal decrements as they surface.
+    cancelled_live: usize,
     rng: SimRng,
     processed: u64,
 }
@@ -94,7 +130,9 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             seq: 0,
             heap: BinaryHeap::new(),
-            cancelled: BTreeSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            cancelled_live: 0,
             rng: SimRng::new(seed),
             processed: 0,
         }
@@ -110,14 +148,48 @@ impl<E> Engine<E> {
         self.processed
     }
 
-    /// Whether any events remain.
+    /// Whether any live (uncancelled) events remain.
     pub fn is_idle(&self) -> bool {
-        self.heap.len() == self.cancelled.len()
+        self.heap.len() == self.cancelled_live
     }
 
     /// The engine's root RNG.
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.rng
+    }
+
+    /// Parks `payload` in a slot for a new event, reusing freed slots.
+    fn alloc_slot(&mut self, payload: E) -> u32 {
+        match self.free.pop() {
+            Some(s) => {
+                let slot = &mut self.slots[s as usize];
+                slot.pending = true;
+                slot.cancelled = false;
+                slot.payload = Some(payload);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("more than u32::MAX pending events");
+                self.slots.push(Slot {
+                    gen: 0,
+                    pending: true,
+                    cancelled: false,
+                    payload: Some(payload),
+                });
+                s
+            }
+        }
+    }
+
+    /// Retires a slot as its heap entry surfaces: bump the generation (so
+    /// stale [`EventId`]s miss) and recycle the index.
+    fn free_slot(&mut self, s: u32) {
+        let slot = &mut self.slots[s as usize];
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.pending = false;
+        slot.cancelled = false;
+        slot.payload = None;
+        self.free.push(s);
     }
 
     /// Schedules `payload` at absolute time `at`.
@@ -133,11 +205,12 @@ impl<E> Engine<E> {
         );
         let seq = self.seq;
         self.seq += 1;
+        let s = self.alloc_slot(payload);
         self.heap.push(Reverse(Entry {
             key: Key { at, seq },
-            payload,
+            slot: s,
         }));
-        EventId(seq)
+        EventId::new(s, self.slots[s as usize].gen)
     }
 
     /// Schedules `payload` after `delay`.
@@ -151,10 +224,22 @@ impl<E> Engine<E> {
         self.schedule_at(self.now, payload)
     }
 
-    /// Cancels a scheduled event. Cancelling an already-fired or
-    /// already-cancelled event is a no-op.
+    /// Cancels a scheduled event. Cancelling an already-fired,
+    /// already-cancelled or never-scheduled event is a true no-op: the
+    /// handle's generation no longer matches any pending slot, so nothing
+    /// is recorded and no state leaks.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        let s = id.slot() as usize;
+        match self.slots.get_mut(s) {
+            Some(slot) if slot.gen == id.gen() && slot.pending && !slot.cancelled => {
+                slot.cancelled = true;
+                // Drop the payload now rather than when the dead heap
+                // entry eventually surfaces.
+                slot.payload = None;
+                self.cancelled_live += 1;
+            }
+            _ => {}
+        }
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
@@ -162,24 +247,42 @@ impl<E> Engine<E> {
     /// Returns `None` when no (uncancelled) events remain.
     pub fn pop(&mut self) -> Option<E> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.key.seq) {
+            if self.slots[entry.slot as usize].cancelled {
+                self.cancelled_live -= 1;
+                self.free_slot(entry.slot);
                 continue;
             }
+            let payload = self.slots[entry.slot as usize]
+                .payload
+                .take()
+                .expect("pending slot without payload");
+            self.free_slot(entry.slot);
             debug_assert!(entry.key.at >= self.now, "time went backwards");
             self.now = entry.key.at;
             self.processed += 1;
-            return Some(entry.payload);
+            return Some(payload);
         }
         None
     }
 
     /// Peeks at the timestamp of the next event without firing it.
+    ///
+    /// Takes `&mut self` on purpose: peeking *lazily removes* cancelled
+    /// entries it finds at the front of the heap (returning their slots
+    /// to the free list), exactly as [`Engine::pop`] would. This keeps
+    /// the answer honest — the time returned is always that of an event
+    /// that will actually fire — and means a cancel-heavy simulation
+    /// compacts during its idle checks instead of carrying dead heap
+    /// entries to the end. Observable engine state (clock, processed
+    /// count, live events, future pop sequence) is unchanged; the
+    /// behavior is pinned by `peek_drains_cancelled_prefix`.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.key.seq) {
-                let seq = entry.key.seq;
+            if self.slots[entry.slot as usize].cancelled {
+                let s = entry.slot;
                 self.heap.pop();
-                self.cancelled.remove(&seq);
+                self.cancelled_live -= 1;
+                self.free_slot(s);
                 continue;
             }
             return Some(entry.key.at);
@@ -280,6 +383,57 @@ mod tests {
         assert_eq!(e.pop(), None);
     }
 
+    /// Regression: cancelling a fired (or repeatedly cancelling the same)
+    /// event used to park its seq in the cancelled set forever, skewing
+    /// `is_idle` and leaking memory. Now it is a structural no-op.
+    #[test]
+    fn cancel_after_fire_does_not_skew_idle_accounting() {
+        let mut e: Engine<u32> = Engine::new(0);
+        let a = e.schedule_at(SimTime::from_micros(1), 1);
+        assert_eq!(e.pop(), Some(1));
+        e.cancel(a);
+        assert!(e.is_idle(), "stale cancel must not count as pending work");
+        assert_eq!(e.cancelled_live, 0);
+
+        // Double-cancel of a live event counts once; firing clears it.
+        let b = e.schedule_at(SimTime::from_micros(2), 2);
+        e.cancel(b);
+        e.cancel(b);
+        assert_eq!(e.cancelled_live, 1);
+        assert!(e.is_idle());
+        assert_eq!(e.pop(), None);
+        assert_eq!(e.cancelled_live, 0);
+
+        // A stale handle whose slot was re-used must not cancel the new
+        // tenant: generations differ.
+        let c = e.schedule_at(SimTime::from_micros(3), 3);
+        assert_eq!(e.pop(), Some(3));
+        let d = e.schedule_at(SimTime::from_micros(4), 4); // reuses c's slot
+        e.cancel(c);
+        assert!(!e.is_idle(), "stale cancel must not kill the new event");
+        assert_eq!(e.pop(), Some(4));
+        let _ = d;
+    }
+
+    /// The slab must stay bounded by peak concurrency, not total events:
+    /// that is the self-compaction the lazy-cancellation rework promises.
+    #[test]
+    fn slot_slab_stays_bounded_under_churn() {
+        let mut e: Engine<u64> = Engine::new(0);
+        for i in 0..10_000u64 {
+            let id = e.schedule_at(SimTime::from_micros(i + 1), i);
+            if i % 2 == 0 {
+                e.cancel(id);
+            }
+            e.pop();
+        }
+        assert!(
+            e.slots.len() <= 4,
+            "slab grew to {} slots under serial churn",
+            e.slots.len()
+        );
+    }
+
     #[test]
     fn clock_advances_to_event_time() {
         let mut e: Engine<()> = Engine::new(0);
@@ -325,6 +479,33 @@ mod tests {
         e.schedule_at(SimTime::from_micros(2), 2);
         e.cancel(a);
         assert_eq!(e.peek_time(), Some(SimTime::from_micros(2)));
+    }
+
+    /// Pins `peek_time`'s hidden mutation: cancelled entries at the heap
+    /// front are *removed* during the peek (their slots recycled), while
+    /// everything observable — clock, processed count, the events pop
+    /// later returns — is untouched.
+    #[test]
+    fn peek_drains_cancelled_prefix() {
+        let mut e: Engine<u32> = Engine::new(0);
+        let a = e.schedule_at(SimTime::from_micros(1), 1);
+        let b = e.schedule_at(SimTime::from_micros(2), 2);
+        e.schedule_at(SimTime::from_micros(3), 3);
+        e.cancel(a);
+        e.cancel(b);
+        assert_eq!(e.heap.len(), 3);
+        assert_eq!(e.cancelled_live, 2);
+
+        assert_eq!(e.peek_time(), Some(SimTime::from_micros(3)));
+        // The two cancelled entries are gone from the heap…
+        assert_eq!(e.heap.len(), 1);
+        assert_eq!(e.cancelled_live, 0);
+        // …but nothing observable changed.
+        assert_eq!(e.now(), SimTime::ZERO);
+        assert_eq!(e.processed(), 0);
+        assert!(!e.is_idle());
+        assert_eq!(e.pop(), Some(3));
+        assert_eq!(e.pop(), None);
     }
 
     #[test]

@@ -16,14 +16,26 @@
 //! occurs. It never schedules events itself, which keeps it independently
 //! testable and lets the cluster simulation map changes onto engine timers.
 
-use std::collections::BTreeMap;
-
+use crate::idmap::{DenseId, IdMap};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies one flow (transfer) on a resource. Caller-assigned; must be
-/// unique among concurrently active flows on the same resource.
+/// unique among concurrently active flows on the same resource, and ids of
+/// concurrently active flows must stay numerically close (the flow table is
+/// a dense sliding-window [`IdMap`] whose memory is proportional to the live
+/// id span — monotone counters are ideal).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub u64);
+
+impl DenseId for FlowId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(index: usize) -> Self {
+        FlowId(index as u64)
+    }
+}
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Phase {
@@ -58,7 +70,7 @@ struct Flow {
 pub struct FlowResource {
     capacity: f64,    // bytes/sec at concurrency 1
     degradation: f64, // d in C / (1 + d (n-1))
-    flows: BTreeMap<FlowId, Flow>,
+    flows: IdMap<FlowId, Flow>,
     clock: SimTime,
     // Lifetime accounting (drives utilisation figures).
     bytes_completed: f64,
@@ -86,7 +98,7 @@ impl FlowResource {
         FlowResource {
             capacity,
             degradation,
-            flows: BTreeMap::new(),
+            flows: IdMap::new(),
             clock: SimTime::ZERO,
             bytes_completed: 0.0,
             busy: SimDuration::ZERO,
@@ -285,7 +297,7 @@ impl FlowResource {
                         if flow.remaining <= slack.max(1e-9) {
                             self.bytes_completed += flow.remaining;
                             flow.remaining = 0.0;
-                            finished.push(*id);
+                            finished.push(id);
                         }
                     }
                     Phase::Seeking { until } => {

@@ -37,6 +37,7 @@
 pub mod dist;
 pub mod event;
 pub mod flow;
+pub mod idmap;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
@@ -49,6 +50,7 @@ pub mod prelude {
     pub use crate::dist::{Constant, Distribution, Exponential, LogNormal, Pareto, Uniform};
     pub use crate::event::{Engine, EventId};
     pub use crate::flow::{FlowId, FlowResource};
+    pub use crate::idmap::{DenseId, IdMap, IdSet};
     pub use crate::rng::SimRng;
     pub use crate::stats::{Histogram, OnlineStats, Samples, TimeWeighted};
     pub use crate::time::{SimDuration, SimTime};

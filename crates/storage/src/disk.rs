@@ -13,18 +13,29 @@
 //! Like every substrate, `Disk` is engine-agnostic: callers drive it with
 //! [`Disk::advance`] / [`Disk::next_event`].
 
-use std::collections::BTreeMap;
-
 use ignem_simcore::flow::{FlowId, FlowResource};
+use ignem_simcore::idmap::{DenseId, IdMap};
 use ignem_simcore::time::{SimDuration, SimTime};
 
 use crate::device::DeviceProfile;
 
 /// Identifies an IO request on one disk. Caller-assigned; must be unique
 /// among in-flight requests on the same disk and below `1 << 62` (higher
-/// values are reserved for internal flush requests).
+/// values are reserved for internal flush requests). Ids of concurrently
+/// in-flight requests should be numerically close (a monotone counter is
+/// ideal): request lookup uses a dense sliding-window [`IdMap`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestId(pub u64);
+
+impl DenseId for RequestId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    fn from_index(index: usize) -> Self {
+        RequestId(index as u64)
+    }
+}
 
 /// Why an IO request was issued. Lets metrics distinguish foreground reads
 /// from Ignem migration reads and background flushes.
@@ -62,6 +73,8 @@ impl Completion {
 
 #[derive(Debug, Clone, Copy)]
 struct Inflight {
+    /// The caller-visible id (or the reserved flush id for internal flushes).
+    id: RequestId,
     kind: IoKind,
     started: SimTime,
     bytes: u64,
@@ -90,7 +103,16 @@ const FLUSH_CHUNK: u64 = 256 * 1024 * 1024;
 pub struct Disk {
     profile: DeviceProfile,
     resource: FlowResource,
-    inflight: BTreeMap<RequestId, Inflight>,
+    /// In-flight requests keyed by their *internal* flow id. The disk
+    /// renumbers every request (including flushes) through `next_flow`, so
+    /// the underlying dense flow table only ever sees a tight monotone id
+    /// window even though flush request ids live up at `1 << 62`.
+    inflight: IdMap<FlowId, Inflight>,
+    /// Foreground (caller-visible) request id -> internal flow id, for
+    /// cancellation and duplicate detection. Flushes are internal and never
+    /// appear here.
+    foreground: IdMap<RequestId, FlowId>,
+    next_flow: u64,
     dirty: u64,
     flush_active: Option<(RequestId, u64)>,
     next_flush_id: u64,
@@ -105,7 +127,9 @@ impl Disk {
         Disk {
             profile,
             resource: FlowResource::new(profile.bandwidth, profile.degradation),
-            inflight: BTreeMap::new(),
+            inflight: IdMap::new(),
+            foreground: IdMap::new(),
+            next_flow: 0,
             dirty: 0,
             flush_active: None,
             next_flush_id: FLUSH_ID_BASE,
@@ -183,7 +207,7 @@ impl Disk {
         assert!(id.0 < FLUSH_ID_BASE, "request id in reserved flush range");
         assert!(kind != IoKind::Flush, "flush requests are internal");
         assert!(
-            !self.inflight.contains_key(&id),
+            !self.foreground.contains_key(&id),
             "duplicate request id {id:?}"
         );
         // Migration reads page in via mmap/mlock and run slower than
@@ -193,19 +217,28 @@ impl Disk {
         } else {
             bytes as f64
         };
-        let flows = self
-            .resource
-            .add(now, FlowId(id.0), volume, self.profile.seek);
+        let flow = self.alloc_flow();
+        let flows = self.resource.add(now, flow, volume, self.profile.seek);
         let done = self.collect(flows);
         self.inflight.insert(
-            id,
+            flow,
             Inflight {
+                id,
                 kind,
                 started: now,
                 bytes,
             },
         );
+        self.foreground.insert(id, flow);
         done
+    }
+
+    /// Hands out the next internal flow id. Requests are renumbered so the
+    /// dense flow table and request map stay on a tight monotone window.
+    fn alloc_flow(&mut self) -> FlowId {
+        let f = FlowId(self.next_flow);
+        self.next_flow += 1;
+        f
     }
 
     /// Buffers `bytes` of writes (returns instantly — page-cache absorb) and
@@ -224,9 +257,17 @@ impl Disk {
     /// Cancels an in-flight request (no completion will be reported for it).
     /// Unknown ids are ignored. Returns completions produced while advancing.
     pub fn cancel(&mut self, now: SimTime, id: RequestId) -> Vec<Completion> {
-        let flows = self.resource.cancel(now, FlowId(id.0));
+        let flows = match self.foreground.get(&id).copied() {
+            Some(flow) => self.resource.cancel(now, flow),
+            // Unknown id: still advance to `now`, matching cancel semantics.
+            None => self.resource.advance(now),
+        };
         let done = self.collect(flows);
-        self.inflight.remove(&id);
+        // If the request completed during the advance, `collect` already
+        // dropped it; otherwise retire it now without a completion.
+        if let Some(flow) = self.foreground.remove(&id) {
+            self.inflight.remove(&flow);
+        }
         done
     }
 
@@ -254,13 +295,15 @@ impl Disk {
         let id = RequestId(self.next_flush_id);
         self.next_flush_id += 1;
         self.flush_active = Some((id, chunk));
+        let flow = self.alloc_flow();
         let flows = self
             .resource
-            .add(now, FlowId(id.0), chunk as f64, self.profile.seek);
+            .add(now, flow, chunk as f64, self.profile.seek);
         let done = self.collect(flows);
         self.inflight.insert(
-            id,
+            flow,
             Inflight {
+                id,
                 kind: IoKind::Flush,
                 started: now,
                 bytes: chunk,
@@ -274,10 +317,9 @@ impl Disk {
     fn collect(&mut self, flows: Vec<FlowId>) -> Vec<Completion> {
         let mut out = Vec::new();
         for fid in flows {
-            let id = RequestId(fid.0);
             let info = self
                 .inflight
-                .remove(&id)
+                .remove(&fid)
                 .expect("completion for unknown request");
             let finished = self.resource.clock();
             match info.kind {
@@ -289,9 +331,10 @@ impl Disk {
                     out.extend(more);
                 }
                 IoKind::Read | IoKind::Migration => {
+                    self.foreground.remove(&info.id);
                     self.bytes_read += info.bytes;
                     out.push(Completion {
-                        id,
+                        id: info.id,
                         kind: info.kind,
                         started: info.started,
                         finished,

@@ -69,6 +69,9 @@ pub struct MemStore<K: Ord + Copy> {
     cache_seq: BTreeMap<K, u64>,
     next_seq: u64,
     occupancy: TimeWeighted,
+    /// Bumped by every mutating call; lets per-event validators skip
+    /// stores that provably did not change since their last audit.
+    version: u64,
 }
 
 impl<K: Ord + Copy> MemStore<K> {
@@ -82,7 +85,17 @@ impl<K: Ord + Copy> MemStore<K> {
             cache_seq: BTreeMap::new(),
             next_seq: 0,
             occupancy: TimeWeighted::new(0.0, true),
+            version: 0,
         }
+    }
+
+    /// Monotone mutation counter: advances on every state-changing call
+    /// ([`insert`](Self::insert), [`remove`](Self::remove),
+    /// [`insert_cached`](Self::insert_cached), [`touch`](Self::touch)). Two
+    /// equal readings guarantee the store was not mutated in between, so
+    /// an invariant checker may reuse its previous verdict.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Total capacity in bytes.
@@ -158,6 +171,7 @@ impl<K: Ord + Copy> MemStore<K> {
         residency: Residency,
     ) -> Result<(), CapacityError> {
         assert!(!self.blocks.contains_key(&key), "block already resident");
+        self.version += 1;
         if bytes > self.available() {
             return Err(CapacityError {
                 requested: bytes,
@@ -175,6 +189,7 @@ impl<K: Ord + Copy> MemStore<K> {
 
     /// Removes (evicts) a block, returning its size if it was resident.
     pub fn remove(&mut self, now: SimTime, key: &K) -> Option<u64> {
+        self.version += 1;
         let (bytes, residency) = self.blocks.remove(key)?;
         self.used -= bytes;
         self.cache_seq.remove(key);
@@ -191,6 +206,7 @@ impl<K: Ord + Copy> MemStore<K> {
     /// block is already resident, its recency is refreshed instead. Returns
     /// whether the block is resident afterwards.
     pub fn insert_cached(&mut self, now: SimTime, key: K, bytes: u64) -> bool {
+        self.version += 1;
         if self.blocks.contains_key(&key) {
             self.touch(&key);
             return true;
@@ -211,6 +227,7 @@ impl<K: Ord + Copy> MemStore<K> {
 
     /// Refreshes the LRU recency of a cached block (no-op otherwise).
     pub fn touch(&mut self, key: &K) {
+        self.version += 1;
         if let Some(seq) = self.cache_seq.get_mut(key) {
             *seq = self.next_seq;
             self.next_seq += 1;

@@ -2,7 +2,9 @@
 //! invariant violation, and emit a minimized fault schedule for it.
 //!
 //! ```text
-//! chaos-sweep [SEEDS] [--start N] [--out PATH]
+//! chaos-sweep [SEEDS] [--start N] [--out PATH] [--jobs N]
+//! chaos-sweep --bench-out PATH [--bench-seeds N] [--jobs N]
+//!             [--bench-baseline PATH]
 //! ```
 //!
 //! Runs seeds `start..start + SEEDS` (default 256 from 0) through the
@@ -13,45 +15,81 @@
 //! to a 1-minimal schedule, written to `--out` (default
 //! `chaos-minimized.txt`) for CI artifact upload, and the process exits
 //! nonzero.
+//!
+//! Seeds fan out over `--jobs` worker threads (default: available
+//! parallelism) through [`ignem_cluster::sweep`], which merges results in
+//! seed order — stdout, stderr, the exit code and the minimized-schedule
+//! artifact are byte-identical to `--jobs 1`.
+//!
+//! `--bench-out` switches to bench mode: instead of sweeping for
+//! violations it times representative scenarios (single fault-free world,
+//! single chaos world, serial and parallel verification sweeps), writes
+//! events/sec, total events and wall time per scenario as JSON to PATH,
+//! and prints a short summary. `--bench-baseline OLD.json` embeds a
+//! previously committed report under `"baseline"` and records the
+//! speedups against it, so one file carries both sides of a before/after
+//! comparison (see DESIGN.md §9 for how to read it).
 
+use std::ops::ControlFlow;
 use std::process::ExitCode;
 
+use ignem_bench::wall_clock;
 use ignem_cluster::chaos::{minimize_faults, run_chaos, ChaosConfig};
+use ignem_cluster::config::{ClusterConfig, FsMode};
+use ignem_cluster::sweep::{default_jobs, sweep};
+use ignem_cluster::world::{PlannedJob, World};
+use ignem_compute::job::{JobInput, JobSpec, SubmitOptions};
+use ignem_simcore::time::SimDuration;
+use ignem_simcore::units::MB;
 
 fn main() -> ExitCode {
     let mut seeds: u64 = 256;
     let mut start: u64 = 0;
     let mut out = String::from("chaos-minimized.txt");
+    let mut jobs: Option<usize> = None;
+    let mut bench_out: Option<String> = None;
+    let mut bench_seeds: u64 = 256;
+    let mut bench_baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--start" => start = parse(args.next(), "--start"),
             "--out" => out = args.next().unwrap_or_else(|| usage("--out needs a path")),
-            "--help" | "-h" => usage("chaos-sweep [SEEDS] [--start N] [--out PATH]"),
+            "--jobs" => jobs = Some(parse(args.next(), "--jobs").max(1) as usize),
+            "--bench-out" => {
+                bench_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--bench-out needs a path")),
+                )
+            }
+            "--bench-seeds" => bench_seeds = parse(args.next(), "--bench-seeds"),
+            "--bench-baseline" => {
+                bench_baseline = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--bench-baseline needs a path")),
+                )
+            }
+            "--help" | "-h" => usage(
+                "chaos-sweep [SEEDS] [--start N] [--out PATH] [--jobs N]\n\
+                 chaos-sweep --bench-out PATH [--bench-seeds N] [--jobs N] [--bench-baseline PATH]",
+            ),
             other => seeds = parse(Some(other.to_string()), "SEEDS"),
         }
     }
+    let jobs = jobs.unwrap_or_else(default_jobs);
+
+    if let Some(path) = bench_out {
+        return bench(&path, bench_seeds, jobs, bench_baseline.as_deref());
+    }
 
     let mut worst_leak = 0u64;
-    for seed in start..start + seeds {
-        let cfg = ChaosConfig {
-            seed,
-            ..ChaosConfig::default()
-        };
-        let first = run_chaos(&cfg);
-        let verdict = first.check_invariants().and_then(|()| {
-            let second = run_chaos(&cfg);
-            if first.fingerprint == second.fingerprint {
-                Ok(())
-            } else {
-                Err(format!(
-                    "nondeterministic run (fingerprints {:#x} vs {:#x})",
-                    first.fingerprint, second.fingerprint
-                ))
-            }
-        });
-        if let Err(violation) = verdict {
+    let failed = sweep(start, seeds, jobs, seed_outcome, |seed, outcome| {
+        if let Err(violation) = outcome.verdict {
             eprintln!("seed {seed}: FAIL — {violation}");
+            let cfg = ChaosConfig {
+                seed,
+                ..ChaosConfig::default()
+            };
             let description = match minimize_faults(&cfg) {
                 Some(min) => min.describe(),
                 // Determinism violations survive fault shrinking only by
@@ -62,14 +100,352 @@ fn main() -> ExitCode {
             if let Err(e) = std::fs::write(&out, &description) {
                 eprintln!("could not write {out}: {e}");
             }
-            return ExitCode::FAILURE;
+            return ControlFlow::Break(());
         }
-        worst_leak = worst_leak.max(first.metrics.leaked_job_refs);
+        worst_leak = worst_leak.max(outcome.leak);
         if (seed - start + 1).is_multiple_of(64) {
             println!("…{} seeds clean", seed - start + 1);
         }
+        ControlFlow::Continue(())
+    });
+    if failed.is_some() {
+        return ExitCode::FAILURE;
     }
     println!("{seeds} seeds clean (max leaked refs: {worst_leak})");
+    ExitCode::SUCCESS
+}
+
+/// Everything the sweep needs back from one verified seed.
+struct SeedOutcome {
+    leak: u64,
+    /// Engine events processed across both verification runs.
+    events: u64,
+    verdict: Result<(), String>,
+}
+
+/// The per-seed verification: one validated chaos run, the invariant
+/// suite, and a second run to confirm a bit-identical fingerprint.
+fn seed_outcome(seed: u64) -> SeedOutcome {
+    let cfg = ChaosConfig {
+        seed,
+        ..ChaosConfig::default()
+    };
+    let first = run_chaos(&cfg);
+    let leak = first.metrics.leaked_job_refs;
+    let mut events = first.metrics.events_processed;
+    let verdict = match first.check_invariants() {
+        Err(e) => Err(e),
+        Ok(()) => {
+            let second = run_chaos(&cfg);
+            events += second.metrics.events_processed;
+            if first.fingerprint == second.fingerprint {
+                Ok(())
+            } else {
+                Err(format!(
+                    "nondeterministic run (fingerprints {:#x} vs {:#x})",
+                    first.fingerprint, second.fingerprint
+                ))
+            }
+        }
+    };
+    SeedOutcome {
+        leak,
+        events,
+        verdict,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bench mode
+// ---------------------------------------------------------------------
+
+/// One timed bench scenario, serialized into `BENCH_sweep.json`.
+struct Scenario {
+    name: &'static str,
+    seeds: Option<u64>,
+    jobs: Option<usize>,
+    runs: u64,
+    events: u64,
+    wall_secs: f64,
+}
+
+impl Scenario {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self, calib_mb_per_sec: f64) -> String {
+        let mut s = format!("    {{\"name\": \"{}\"", self.name);
+        if let Some(n) = self.seeds {
+            s.push_str(&format!(", \"seeds\": {n}"));
+        }
+        if let Some(j) = self.jobs {
+            s.push_str(&format!(", \"jobs\": {j}"));
+        }
+        s.push_str(&format!(
+            ", \"runs\": {}, \"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \
+             \"events_per_mb_hashed\": {:.3}}}",
+            self.runs,
+            self.events,
+            self.wall_secs,
+            self.events_per_sec(),
+            if calib_mb_per_sec > 0.0 {
+                self.events_per_sec() / calib_mb_per_sec
+            } else {
+                0.0
+            }
+        ));
+        s
+    }
+}
+
+/// The fault-free default world the sanitizer also double-runs: one
+/// migrating job over four DFS files on the default cluster.
+fn default_world() -> World {
+    let files: Vec<(String, u64)> = (0..4)
+        .map(|i| (format!("/in/part-{i}"), 512 * MB / 4))
+        .collect();
+    let mut spec = JobSpec::new(
+        "bench-default",
+        JobInput::DfsFiles(files.iter().map(|(p, _)| p.clone()).collect()),
+    );
+    spec.submit = SubmitOptions::with_migration();
+    let plan = vec![PlannedJob::single(
+        "bench-default",
+        SimDuration::from_secs(1),
+        spec,
+    )];
+    World::new(
+        ClusterConfig::default(),
+        FsMode::Ignem,
+        &files,
+        plan,
+        vec![],
+    )
+}
+
+/// Host CPU calibration: FNV-1a over a fixed pseudorandom buffer. Dividing
+/// events/sec by this MB/s rate gives `events_per_mb_hashed`, a roughly
+/// machine-independent throughput figure CI can compare across runners.
+fn calibrate() -> (u64, f64) {
+    const BUF: usize = 8 << 20;
+    const PASSES: usize = 16;
+    let mut buf = vec![0u8; BUF];
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for b in buf.iter_mut() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *b = x as u8;
+    }
+    let t = wall_clock();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for _ in 0..PASSES {
+        for &b in &buf {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(h);
+    ((BUF * PASSES) as u64, secs)
+}
+
+/// Times `body` (which returns events processed) over `runs` repetitions.
+fn time_scenario(name: &'static str, runs: u64, body: impl Fn() -> u64) -> Scenario {
+    let t = wall_clock();
+    let mut events = 0u64;
+    for _ in 0..runs {
+        events += body();
+    }
+    Scenario {
+        name,
+        seeds: None,
+        jobs: None,
+        runs,
+        events,
+        wall_secs: t.elapsed().as_secs_f64(),
+    }
+}
+
+/// How many times each sweep scenario repeats its full seed range: single
+/// sweeps finish in fractions of a second, so timing one pass would be
+/// mostly noise.
+const SWEEP_REPS: u64 = 8;
+
+/// Runs the full per-seed verification over `seeds` seeds with `jobs`
+/// workers, `SWEEP_REPS` times over, timing it as one scenario.
+fn time_sweep(name: &'static str, seeds: u64, jobs: usize) -> Scenario {
+    let t = wall_clock();
+    let mut events = 0u64;
+    let mut violations = 0u64;
+    for _ in 0..SWEEP_REPS {
+        sweep(0, seeds, jobs, seed_outcome, |_seed, outcome| {
+            events += outcome.events;
+            if outcome.verdict.is_err() {
+                violations += 1;
+            }
+            ControlFlow::<()>::Continue(())
+        });
+    }
+    if violations > 0 {
+        eprintln!("{name}: {violations} seed violation(s) during bench");
+    }
+    Scenario {
+        name,
+        seeds: Some(seeds),
+        jobs: Some(jobs),
+        runs: 2 * seeds * SWEEP_REPS, // each seed runs twice (determinism check)
+        events,
+        wall_secs: t.elapsed().as_secs_f64(),
+    }
+}
+
+/// Pulls `"field": <number>` out of the object that contains
+/// `"name": "<scenario>"` in a bench report we wrote ourselves. Good
+/// enough for our own single-line-per-scenario format; not a JSON parser.
+fn scenario_number(text: &str, scenario: &str, field: &str) -> Option<f64> {
+    let obj_start = text.find(&format!("\"name\": \"{scenario}\""))?;
+    let obj = &text[obj_start..text[obj_start..].find('}').map(|e| obj_start + e)?];
+    let at = obj.find(&format!("\"{field}\": "))? + field.len() + 4;
+    let rest = &obj[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn bench(path: &str, bench_seeds: u64, jobs: usize, baseline: Option<&str>) -> ExitCode {
+    println!("bench: calibrating host…");
+    let (calib_bytes, calib_secs) = calibrate();
+    let calib_rate = calib_bytes as f64 / (1 << 20) as f64 / calib_secs;
+    println!("bench: {calib_rate:.0} MB/s FNV-1a");
+
+    let single_default = time_scenario("single_default", 1000, || {
+        default_world().run().events_processed
+    });
+    println!(
+        "bench: single_default {:.0} events/sec",
+        single_default.events_per_sec()
+    );
+    let cfg304 = ChaosConfig {
+        seed: 304,
+        ..ChaosConfig::default()
+    };
+    let single_chaos = time_scenario("single_chaos_304", 500, || {
+        run_chaos(&cfg304).metrics.events_processed
+    });
+    println!(
+        "bench: single_chaos_304 {:.0} events/sec",
+        single_chaos.events_per_sec()
+    );
+    let sweep_serial = time_sweep("sweep_serial", bench_seeds, 1);
+    println!(
+        "bench: sweep_serial {} seeds in {:.2}s",
+        bench_seeds, sweep_serial.wall_secs
+    );
+    let sweep_parallel = time_sweep("sweep_parallel", bench_seeds, jobs);
+    println!(
+        "bench: sweep_parallel {} seeds in {:.2}s ({jobs} jobs)",
+        bench_seeds, sweep_parallel.wall_secs
+    );
+    let parallel_speedup = if sweep_parallel.wall_secs > 0.0 {
+        sweep_serial.wall_secs / sweep_parallel.wall_secs
+    } else {
+        0.0
+    };
+
+    let mut json =
+        String::from("{\n  \"schema\": 1,\n  \"generator\": \"chaos-sweep --bench-out\",\n");
+    json.push_str(&format!(
+        "  \"jobs\": {jobs},\n  \"bench_seeds\": {bench_seeds},\n"
+    ));
+    json.push_str(&format!(
+        "  \"calibration\": {{\"bytes\": {calib_bytes}, \"wall_secs\": {calib_secs:.6}, \
+         \"mb_per_sec\": {calib_rate:.1}}},\n"
+    ));
+    json.push_str("  \"scenarios\": [\n");
+    let scenarios = [
+        &single_default,
+        &single_chaos,
+        &sweep_serial,
+        &sweep_parallel,
+    ];
+    for (i, sc) in scenarios.iter().enumerate() {
+        json.push_str(&sc.to_json(calib_rate));
+        json.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"sweep_parallel_speedup\": {parallel_speedup:.3}"
+    ));
+
+    if let Some(base_path) = baseline {
+        match std::fs::read_to_string(base_path) {
+            Ok(old) => {
+                let old = old.trim();
+                // Speedups vs the embedded baseline: wall-clock for the
+                // sweep (what CI budgets), events/sec for single runs
+                // (per-event dispatch cost). Raw ratios compare the two
+                // hosts as-is; `events_per_mb_hashed` ratios divide each
+                // side by its own calibration rate first, so they stay
+                // meaningful when the baseline was recorded on a faster
+                // (or merely less noisy) machine phase.
+                let sweep_speedup = scenario_number(old, "sweep_serial", "wall_secs")
+                    .map(|w| w / sweep_parallel.wall_secs.max(1e-9));
+                let single_speedup = scenario_number(old, "single_default", "events_per_sec")
+                    .map(|r| single_default.events_per_sec() / r.max(1e-9));
+                let chaos_speedup = scenario_number(old, "single_chaos_304", "events_per_sec")
+                    .map(|r| single_chaos.events_per_sec() / r.max(1e-9));
+                let norm = |name: &str, sc: &Scenario| {
+                    scenario_number(old, name, "events_per_mb_hashed")
+                        .map(|r| sc.events_per_sec() / calib_rate.max(1e-9) / r.max(1e-9))
+                };
+                let single_norm = norm("single_default", &single_default);
+                let chaos_norm = norm("single_chaos_304", &single_chaos);
+                json.push_str(",\n  \"vs_baseline\": {");
+                json.push_str(&format!(
+                    "\"sweep_wall_speedup\": {:.3}, \"single_default_events_per_sec_ratio\": {:.3}, \
+                     \"single_chaos_304_events_per_sec_ratio\": {:.3}, \
+                     \"single_default_events_per_mb_hashed_ratio\": {:.3}, \
+                     \"single_chaos_304_events_per_mb_hashed_ratio\": {:.3}}}",
+                    sweep_speedup.unwrap_or(0.0),
+                    single_speedup.unwrap_or(0.0),
+                    chaos_speedup.unwrap_or(0.0),
+                    single_norm.unwrap_or(0.0),
+                    chaos_norm.unwrap_or(0.0)
+                ));
+                json.push_str(",\n  \"baseline\": ");
+                json.push_str(old);
+                if let Some(s) = sweep_speedup {
+                    println!("bench: sweep wall-clock speedup vs baseline: {s:.2}x");
+                }
+                if let (Some(raw), Some(norm)) = (single_speedup, single_norm) {
+                    println!(
+                        "bench: single-run events/sec vs baseline: {raw:.2}x raw, \
+                         {norm:.2}x calibration-normalized"
+                    );
+                }
+                if let (Some(raw), Some(norm)) = (chaos_speedup, chaos_norm) {
+                    println!(
+                        "bench: single chaos run events/sec vs baseline: {raw:.2}x raw, \
+                         {norm:.2}x calibration-normalized"
+                    );
+                }
+            }
+            Err(e) => eprintln!("could not read baseline {base_path}: {e}"),
+        }
+    }
+    json.push_str("\n}\n");
+
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("bench: wrote {path}");
     ExitCode::SUCCESS
 }
 
