@@ -3,7 +3,7 @@
 //! The harness turns one seed into a complete chaos experiment — a small
 //! Ignem workload, an unreliable control-plane channel and a randomized
 //! fault plan drawn from the full palette ([`Fault`]) — runs it with
-//! per-event invariant validation, and checks seven end-state invariants:
+//! per-event invariant validation, and checks eight end-state invariants:
 //!
 //! 1. **Do-not-harm**: every event leaves each slave's reference lists,
 //!    queue and memory accounting mutually consistent
@@ -26,6 +26,14 @@
 //!    against the final resident bytes, and (when the recorder kept the
 //!    whole stream) its credit/debit sides equal the bytes the event
 //!    stream says were migrated and evicted.
+//! 8. **Recovery convergence** (runs with [`Fault::NodeCrash`] injected):
+//!    after the last fault heals, no dangling dead-incarnation state
+//!    remains anywhere — every crashed node that survived to the end
+//!    re-registered (master and slave agree on its incarnation, the
+//!    NameNode serves its durable replicas), the master's retransmission
+//!    outbox drained, and no durably written block lost its last alive
+//!    replica. Audited by the world at finalization
+//!    ([`RunMetrics::recovery`]); the harness surfaces the verdict.
 //!
 //! Chaos runs enable the epoch/lease reference lifecycle
 //! ([`ChaosConfig::lease`]) so orphaned references expire even when the
@@ -73,6 +81,12 @@ pub struct ChaosConfig {
     pub jobs: usize,
     /// Number of faults to draw from the palette.
     pub faults: usize,
+    /// Number of [`Fault::NodeCrash`] faults to draw *in addition to*
+    /// `faults`. Kept separate (and default **0**) so crash support is
+    /// zero-cost when unused: the base fault plan's randomness draws are
+    /// byte-identical with and without crashes enabled, which is what
+    /// keeps the pinned chaos-304 stream stable.
+    pub crashes: usize,
     /// Control-plane channel behaviour.
     pub rpc: RpcConfig,
     /// Reference-lease duration handed to every slave
@@ -90,6 +104,7 @@ impl Default for ChaosConfig {
             nodes: 6,
             jobs: 4,
             faults: 3,
+            crashes: 0,
             rpc: RpcConfig {
                 drop_p: 0.1,
                 dup_p: 0.1,
@@ -167,6 +182,15 @@ impl ChaosReport {
         self.check_ledger()?;
         if self.events_dropped == 0 {
             self.check_event_stream_consistent()?;
+        }
+        // Invariant 8: recovery convergence. The world audits crash
+        // recovery at finalization; a `Some` verdict names the first
+        // piece of dead-incarnation state that failed to converge.
+        if let Some(v) = &self.metrics.recovery {
+            return Err(format!(
+                "recovery did not converge: {v} (faults: {:?})",
+                self.faults
+            ));
         }
         Ok(())
     }
@@ -324,12 +348,19 @@ impl ChaosReport {
 /// Draws a randomized fault plan from the full palette. Destructive faults
 /// are bounded so the workload stays completable: fewer than `replication`
 /// distinct nodes fail permanently, and at most one plan is killed.
+///
+/// `crashes` extra [`Fault::NodeCrash`] draws are appended *after* the
+/// base `count` draws so that `crashes == 0` consumes exactly the same
+/// randomness as before crash support existed — the base fault sequence
+/// (and therefore every pinned stream) is unchanged. The final sort is
+/// stable, so equal-timestamp ordering also survives.
 pub fn generate_faults(
     rng: &mut SimRng,
     nodes: usize,
     replication: usize,
     num_plans: usize,
     count: usize,
+    crashes: usize,
 ) -> Vec<(SimTime, Fault)> {
     let mut out = Vec::new();
     let mut failed: Vec<u32> = Vec::new();
@@ -377,6 +408,12 @@ pub fn generate_faults(
             }
         };
         out.push((at, fault));
+    }
+    for _ in 0..crashes {
+        let at = SimTime::from_secs_f64(rng.uniform_range(2.0, 40.0));
+        let node = NodeId(rng.index(nodes) as u32);
+        let down_for = SimDuration::from_secs_f64(rng.uniform_range(3.0, 15.0));
+        out.push((at, Fault::NodeCrash(node, down_for)));
     }
     out.sort_by_key(|(at, _)| *at);
     out
@@ -456,6 +493,7 @@ pub fn fingerprint(m: &RunMetrics) -> u64 {
         s.liveness_queries,
         s.stale_epochs,
         s.lease_expiries,
+        s.stale_incarnations,
     ] {
         h.u64(v);
     }
@@ -472,6 +510,7 @@ pub fn fingerprint(m: &RunMetrics) -> u64 {
         ms.acks,
         ms.retries,
         ms.gave_up,
+        ms.registrations,
     ] {
         h.u64(v);
     }
@@ -480,6 +519,13 @@ pub fn fingerprint(m: &RunMetrics) -> u64 {
         h.u64(v);
     }
     h.u64(m.rereplicated);
+    h.u64(m.rerep_deferrals);
+    h.u64(m.rerep_gave_up);
+    h.u64(m.crashes);
+    h.u64(m.restarts);
+    h.u64(m.block_reports);
+    h.u64(m.reignited_jobs);
+    h.u64(m.recovery.is_some() as u64);
     h.u64(m.speculated);
     h.u64(m.leaked_job_refs);
     h.u64(m.final_migrated_bytes);
@@ -501,6 +547,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         ClusterConfig::default().dfs.replication,
         cfg.jobs,
         cfg.faults,
+        cfg.crashes,
     );
     run_chaos_with(cfg, faults)
 }
@@ -671,7 +718,7 @@ mod tests {
     fn fault_generator_respects_budgets() {
         for seed in 0..32 {
             let mut rng = SimRng::new(seed);
-            let faults = generate_faults(&mut rng, 6, 3, 4, 10);
+            let faults = generate_faults(&mut rng, 6, 3, 4, 10, 0);
             assert_eq!(faults.len(), 10);
             let node_fails: Vec<_> = faults
                 .iter()
@@ -684,6 +731,29 @@ mod tests {
                 .count();
             assert!(kills <= 1, "too many plan kills");
             assert!(faults.windows(2).all(|w| w[0].0 <= w[1].0), "unsorted");
+        }
+    }
+
+    #[test]
+    fn crash_draws_leave_base_plan_unchanged() {
+        // Zero-cost-when-unused: enabling crashes must only *append*
+        // draws — the base fault sequence is bit-identical either way.
+        for seed in 0..8 {
+            let mut a = SimRng::new(seed);
+            let base = generate_faults(&mut a, 6, 3, 4, 10, 0);
+            let mut b = SimRng::new(seed);
+            let with = generate_faults(&mut b, 6, 3, 4, 10, 3);
+            let crashes = with
+                .iter()
+                .filter(|(_, f)| matches!(f, Fault::NodeCrash(..)))
+                .count();
+            assert_eq!(crashes, 3);
+            let without: Vec<_> = with
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fault::NodeCrash(..)))
+                .cloned()
+                .collect();
+            assert_eq!(without, base);
         }
     }
 

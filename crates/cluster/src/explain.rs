@@ -43,6 +43,11 @@ use crate::metrics::{ReadKind, RunMetrics};
 pub enum LossCause {
     /// The block *was* migrated but got evicted again before the read.
     Evicted,
+    /// The block *was* migrated but the node crashed and its volatile
+    /// store was wiped before the read: the eviction that lost it
+    /// coincides with a [`NodeCrashed`](Event::NodeCrashed) on the same
+    /// node at the same instant.
+    LostToCrash,
     /// The disk read for the migration was in flight (or the block was
     /// resident on a node the reader didn't use) — the disk was the
     /// bottleneck.
@@ -67,6 +72,7 @@ impl LossCause {
     pub fn tag(self) -> &'static str {
         match self {
             LossCause::Evicted => "evicted",
+            LossCause::LostToCrash => "lost_to_crash",
             LossCause::DiskContended => "disk_contended",
             LossCause::QueuedBehind => "queued_behind",
             LossCause::RpcLost => "rpc_lost",
@@ -76,8 +82,9 @@ impl LossCause {
     }
 
     /// All causes, in the order [`LossCause`] declares them.
-    pub const ALL: [LossCause; 6] = [
+    pub const ALL: [LossCause; 7] = [
         LossCause::Evicted,
+        LossCause::LostToCrash,
         LossCause::DiskContended,
         LossCause::QueuedBehind,
         LossCause::RpcLost,
@@ -152,6 +159,26 @@ pub struct JobLeadTime {
     pub migration_service: SimDuration,
 }
 
+/// Recovery lead times for one node restart: how long after the reboot
+/// the master accepted the fresh incarnation's registration, and how long
+/// until the first migration landed back in the node's RAM — the
+/// re-ignition analogue of [`JobLeadTime`]. `None` means the stream ended
+/// (or was truncated) before the milestone was witnessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReignitionLead {
+    /// The node that restarted.
+    pub node: u32,
+    /// When the restart happened.
+    pub restarted_at: SimTime,
+    /// Restart → the master accepting the new incarnation's
+    /// registration ([`Event::SlaveRegistered`]).
+    pub register_lead: Option<SimDuration>,
+    /// Restart → the first migration completing on the node afterwards:
+    /// the moment upward migration is burning again on the rebooted
+    /// machine.
+    pub remigrate_lead: Option<SimDuration>,
+}
+
 /// Per-`(node, block)` migration timeline, indexed in the first pass and
 /// queried per read in the second.
 #[derive(Debug, Default)]
@@ -211,6 +238,9 @@ pub struct TelemetryReport {
     /// Blocks whose completed migrations outnumber their evictions at
     /// stream end, ordered by `(node, block)`. Empty for a leak-free run.
     pub leaked: Vec<LeakRecord>,
+    /// Per-restart recovery lead times, in restart order. Empty for runs
+    /// without [`Fault::NodeCrash`](crate::world::Fault::NodeCrash).
+    pub reignitions: Vec<ReignitionLead>,
 }
 
 impl TelemetryReport {
@@ -241,6 +271,11 @@ impl TelemetryReport {
         // witnessed by its latest completed migration.
         let mut leak_jobs: BTreeMap<(u32, u64), Vec<u64>> = BTreeMap::new();
         let mut block_bytes: BTreeMap<(u32, u64), u64> = BTreeMap::new();
+        // Crash/recovery fold state: when each node crashed (to reclassify
+        // same-instant evictions as crash losses) and the per-restart
+        // recovery milestones.
+        let mut crash_times: BTreeMap<u32, Vec<SimTime>> = BTreeMap::new();
+        let mut reignitions: Vec<ReignitionLead> = Vec::new();
 
         for rec in events {
             match &rec.event {
@@ -288,6 +323,15 @@ impl TelemetryReport {
                         *migration_service.entry(owner).or_default() +=
                             rec.at.saturating_duration_since(started);
                     }
+                    // First completion after a restart closes that
+                    // restart's re-ignition lead.
+                    if let Some(r) = reignitions
+                        .iter_mut()
+                        .rev()
+                        .find(|r| r.node == *node && r.remigrate_lead.is_none())
+                    {
+                        r.remigrate_lead = Some(rec.at.saturating_duration_since(r.restarted_at));
+                    }
                 }
                 Event::MigrationWasted { node, block, .. }
                 | Event::MigrationCancelled { node, block } => {
@@ -312,6 +356,29 @@ impl TelemetryReport {
                     // The eviction drained the block's references; any
                     // migration enqueued afterwards opens a fresh account.
                     leak_jobs.remove(&key);
+                }
+                Event::NodeCrashed { node } => {
+                    crash_times.entry(*node).or_default().push(rec.at);
+                }
+                Event::NodeRestarted { node, .. } => {
+                    reignitions.push(ReignitionLead {
+                        node: *node,
+                        restarted_at: rec.at,
+                        register_lead: None,
+                        remigrate_lead: None,
+                    });
+                }
+                Event::SlaveRegistered { node, .. } => {
+                    // Credit the latest unregistered restart of this node;
+                    // duplicate deliveries are rejected by the master and
+                    // never reach this event.
+                    if let Some(r) = reignitions
+                        .iter_mut()
+                        .rev()
+                        .find(|r| r.node == *node && r.register_lead.is_none())
+                    {
+                        r.register_lead = Some(rec.at.saturating_duration_since(r.restarted_at));
+                    }
                 }
                 _ => {}
             }
@@ -341,9 +408,14 @@ impl TelemetryReport {
                             .unwrap_or(SimDuration::ZERO);
                         Verdict::WonRace { margin }
                     }
-                    ReadClass::LocalDisk | ReadClass::RemoteDisk => {
-                        explain_disk_read(&timelines, &assigned, *job, *block, read_start)
-                    }
+                    ReadClass::LocalDisk | ReadClass::RemoteDisk => explain_disk_read(
+                        &timelines,
+                        &assigned,
+                        &crash_times,
+                        *job,
+                        *block,
+                        read_start,
+                    ),
                 };
                 verdicts.push(BlockVerdict {
                     task: *task,
@@ -398,6 +470,7 @@ impl TelemetryReport {
             verdicts,
             lead_times,
             leaked,
+            reignitions,
         }
     }
 
@@ -465,6 +538,7 @@ impl TelemetryReport {
 fn explain_disk_read(
     timelines: &BTreeMap<(u32, u64), Timeline>,
     assigned: &BTreeMap<(u64, u64), Vec<(u32, SimTime)>>,
+    crash_times: &BTreeMap<u32, Vec<SimTime>>,
     job: u64,
     block: u64,
     read_start: SimTime,
@@ -490,11 +564,22 @@ fn explain_disk_read(
 
         let candidate = if let Some(done) = completed {
             match evicted {
-                Some(gone) if gone >= done => (
-                    3,
-                    read_start.saturating_duration_since(gone),
-                    LossCause::Evicted,
-                ),
+                Some(gone) if gone >= done => {
+                    // A crash purge evicts at the crash instant
+                    // (`NodeCrashed` is emitted first, same timestamp):
+                    // the block wasn't released, it went down with the
+                    // machine's volatile store.
+                    let crashed = crash_times.get(&node).is_some_and(|ts| ts.contains(&gone));
+                    (
+                        3,
+                        read_start.saturating_duration_since(gone),
+                        if crashed {
+                            LossCause::LostToCrash
+                        } else {
+                            LossCause::Evicted
+                        },
+                    )
+                }
                 // Resident on this node at read time, yet the reader used
                 // another replica's disk: the contended disk path won the
                 // planner's cost model, so charge contention with no
@@ -752,6 +837,110 @@ mod tests {
                 cause: LossCause::Evicted,
             }
         );
+    }
+
+    #[test]
+    fn crash_purge_eviction_is_lost_to_crash() {
+        let mut events: Vec<EventRecord> = Vec::new();
+        for (i, ev) in migration_chain(1, 10, 0).into_iter().enumerate() {
+            events.push(rec(i as u64, (i as u64 + 1) * 1_000, ev));
+        }
+        // The node crashes at t=6_000; the purge evicts the block at the
+        // same instant.
+        events.push(rec(4, 6_000, Event::NodeCrashed { node: 0 }));
+        events.push(rec(
+            5,
+            6_000,
+            Event::BlockEvicted {
+                node: 0,
+                block: 10,
+                bytes: 64,
+            },
+        ));
+        events.push(rec(6, 10_000, read(10_000, ReadClass::LocalDisk, 1_000)));
+        let report = TelemetryReport::from_events(&events);
+        assert_eq!(
+            report.verdicts[0].verdict,
+            Verdict::LostRace {
+                shortfall: SimDuration::from_micros(3_000),
+                cause: LossCause::LostToCrash,
+            }
+        );
+        assert_eq!(LossCause::LostToCrash.tag(), "lost_to_crash");
+    }
+
+    #[test]
+    fn ordinary_eviction_stays_evicted_despite_other_node_crash() {
+        let mut events: Vec<EventRecord> = Vec::new();
+        for (i, ev) in migration_chain(1, 10, 0).into_iter().enumerate() {
+            events.push(rec(i as u64, (i as u64 + 1) * 1_000, ev));
+        }
+        // A *different* node crashes at the eviction instant: no
+        // reclassification.
+        events.push(rec(4, 6_000, Event::NodeCrashed { node: 3 }));
+        events.push(rec(
+            5,
+            6_000,
+            Event::BlockEvicted {
+                node: 0,
+                block: 10,
+                bytes: 64,
+            },
+        ));
+        events.push(rec(6, 10_000, read(10_000, ReadClass::LocalDisk, 1_000)));
+        let report = TelemetryReport::from_events(&events);
+        assert_eq!(report.lost_with(LossCause::Evicted), 1);
+        assert_eq!(report.lost_with(LossCause::LostToCrash), 0);
+    }
+
+    #[test]
+    fn reignition_leads_pair_restart_register_and_first_completion() {
+        let mut events = vec![
+            rec(0, 2_000, Event::NodeCrashed { node: 0 }),
+            rec(
+                1,
+                7_000,
+                Event::NodeRestarted {
+                    node: 0,
+                    incarnation: 2,
+                },
+            ),
+            rec(
+                2,
+                8_500,
+                Event::SlaveRegistered {
+                    node: 0,
+                    incarnation: 2,
+                },
+            ),
+        ];
+        for (i, ev) in migration_chain(1, 10, 0).into_iter().enumerate() {
+            events.push(rec(3 + i as u64, 9_000 + (i as u64 + 1) * 1_000, ev));
+        }
+        let report = TelemetryReport::from_events(&events);
+        assert_eq!(report.reignitions.len(), 1);
+        let r = report.reignitions[0];
+        assert_eq!(r.node, 0);
+        assert_eq!(r.restarted_at, SimTime::from_micros(7_000));
+        assert_eq!(r.register_lead, Some(SimDuration::from_micros(1_500)));
+        // First completion at 13_000 → lead 6_000 from the restart.
+        assert_eq!(r.remigrate_lead, Some(SimDuration::from_micros(6_000)));
+    }
+
+    #[test]
+    fn unrecovered_restart_leaves_leads_unwitnessed() {
+        let events = vec![rec(
+            0,
+            7_000,
+            Event::NodeRestarted {
+                node: 2,
+                incarnation: 5,
+            },
+        )];
+        let report = TelemetryReport::from_events(&events);
+        assert_eq!(report.reignitions.len(), 1);
+        assert_eq!(report.reignitions[0].register_lead, None);
+        assert_eq!(report.reignitions[0].remigrate_lead, None);
     }
 
     #[test]

@@ -187,6 +187,28 @@ pub struct RunMetrics {
     pub disk_utilization: Vec<f64>,
     /// Blocks re-replicated after node failures.
     pub rereplicated: u64,
+    /// Re-replication attempts deferred because no legal source/target
+    /// existed at the time (retried with backoff).
+    pub rerep_deferrals: u64,
+    /// Deferred re-replications abandoned after exhausting every backoff
+    /// retry (the cluster shrank below the replication factor for good).
+    pub rerep_gave_up: u64,
+    /// Node crashes injected ([`Fault::NodeCrash`](crate::world::Fault)).
+    pub crashes: u64,
+    /// Crashed nodes that came back up and restarted their slave.
+    pub restarts: u64,
+    /// Block reports absorbed by the NameNode from re-registering nodes.
+    pub block_reports: u64,
+    /// Migrate requests re-issued for still-live jobs after a node
+    /// re-registered (crash-recovery "re-ignition").
+    pub reignited_jobs: u64,
+    /// Invariant 8 (recovery convergence) verdict, computed at
+    /// finalization when the run injected at least one crash: `None` means
+    /// converged — every crashed-and-recovered node re-registered under
+    /// its final incarnation with both master and NameNode, the
+    /// retransmission outbox drained, and no durably written block was
+    /// left without an alive replica. `Some` carries the violation.
+    pub recovery: Option<String>,
     /// Speculative task attempts launched (0 unless speculation is on).
     pub speculated: u64,
     /// Time the last job finished.

@@ -280,6 +280,44 @@ mod tests {
     }
 
     #[test]
+    fn crash_enabled_chaos_outcomes_identical_serial_and_pooled() {
+        // The synthetic tests above prove the consume *sequence* matches;
+        // this one proves it for the real payload: full crash-enabled
+        // chaos verification runs, fingerprints and all, are
+        // byte-identical between the `--jobs 1` inline loop and the
+        // bounded-ring thread pool.
+        use crate::chaos::{fingerprint, run_chaos, ChaosConfig};
+        let outcome = |seed: u64| {
+            let cfg = ChaosConfig {
+                seed,
+                crashes: 1,
+                ..ChaosConfig::default()
+            };
+            let report = run_chaos(&cfg);
+            (
+                fingerprint(&report.metrics),
+                report.metrics.crashes,
+                report.check_invariants().is_ok(),
+            )
+        };
+        let collect = |jobs: usize| {
+            let mut seen = Vec::new();
+            sweep(0, 8, jobs, outcome, |seed, v| {
+                seen.push((seed, v));
+                ControlFlow::<()>::Continue(())
+            });
+            seen
+        };
+        let serial = collect(1);
+        assert_eq!(collect(4), serial);
+        assert!(serial.iter().all(|(_, (_, _, ok))| *ok), "invariants");
+        assert!(
+            serial.iter().any(|(_, (_, crashes, _))| *crashes > 0),
+            "no crash landed in the sweep range"
+        );
+    }
+
+    #[test]
     fn empty_and_single_item_sweeps_work() {
         assert_eq!(consumed_sequence(4, 3, 0), (vec![], None));
         assert_eq!(consumed_sequence(4, 3, 1), (vec![(3, 31)], None));

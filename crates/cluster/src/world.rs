@@ -19,9 +19,32 @@
 //! Faults can be scheduled before the run: master failover (slaves purge
 //! reference lists), slave process restarts (migrated data discarded, reads
 //! cancelled), whole-node failures (tasks re-executed elsewhere, replicas
-//! dropped from location queries), job kills (exercising the
+//! dropped from location queries), **node crashes with recovery** (volatile
+//! RAM wiped, NIC dark for the outage, then restart under a fresh
+//! incarnation with re-registration, block report and re-ignition — see
+//! *Crash and recovery* below), job kills (exercising the
 //! threshold-triggered dead-job cleanup), and **gray faults**: degraded
 //! disks, paused nodes and control-plane partitions.
+//!
+//! ## Crash and recovery
+//!
+//! A [`Fault::NodeCrash`] kills the whole server like [`Fault::NodeFail`]
+//! (volatile MemStore wiped — pinned inputs, page cache and migrated
+//! blocks alike — in-flight IO and transfers cancelled, tasks re-executed
+//! elsewhere, NIC cut) but schedules a restart after the outage. On
+//! restart the slave comes back under a fresh
+//! [`Incarnation`](ignem_netsim::rpc::Incarnation) and re-registers with
+//! the master over the lossy channel (retried with backoff); the
+//! registration doubles as a full block report from the node's durable
+//! disk, so the NameNode marks its replicas readable again. The master
+//! purges every outbox entry and job-routing record addressed to the dead
+//! incarnation — incarnations fence stale slave-directed state exactly
+//! like epochs fence stale master-issued state — then re-replication
+//! retries blocks still short a replica and migration is re-admitted
+//! ("re-ignition") for live jobs. Reads degrade to surviving replicas or
+//! disk while the node is dark. Invariant 8 (recovery convergence,
+//! [`RunMetrics::recovery`]) checks at the end of the run that no
+//! dangling dead-incarnation state survived anywhere.
 //!
 //! ## Unreliable control plane
 //!
@@ -75,7 +98,7 @@ use ignem_core::slave::{IgnemSlave, SlaveAction};
 use ignem_dfs::block::{split_into_blocks, BlockId};
 use ignem_dfs::client::{plan_read, ReadSource};
 use ignem_dfs::namenode::NameNode;
-use ignem_netsim::rpc::{Epoch, RpcChannel, RpcPeer};
+use ignem_netsim::rpc::{Epoch, Incarnation, RpcChannel, RpcPeer};
 use ignem_netsim::{Fabric, NodeId, TransferId};
 use ignem_simcore::event::Engine;
 use ignem_simcore::idmap::IdMap;
@@ -141,6 +164,12 @@ pub enum Fault {
     /// Data-plane reads are deliberately unaffected — the paper's 10 GbE
     /// fabric is non-blocking; this models management-network flakiness.
     Partition(Vec<NodeId>, SimDuration),
+    /// The whole server crashes and reboots after the given outage:
+    /// volatile RAM contents are lost, durable disk blocks survive, and
+    /// the restarted slave re-registers under a fresh incarnation (see the
+    /// module-level *Crash and recovery* section). Crashing an
+    /// already-dead node is a no-op.
+    NodeCrash(NodeId, SimDuration),
 }
 
 #[derive(Debug)]
@@ -153,8 +182,8 @@ enum Event {
     NetTimer(u64),
     TaskLaunched(TaskId),
     TaskComputeDone(TaskId),
-    DeliverMigrates(u32, SeqNo, Epoch, Vec<MigrateCommand>),
-    DeliverEvict(u32, SeqNo, Epoch, JobId),
+    DeliverMigrates(u32, SeqNo, Epoch, Incarnation, Vec<MigrateCommand>),
+    DeliverEvict(u32, SeqNo, Epoch, Incarnation, JobId),
     DeliverAck(SeqNo),
     RpcTimeout(SeqNo),
     LivenessQuery(u32, Vec<JobId>),
@@ -167,6 +196,17 @@ enum Event {
     NodeResume(u32),
     DiskRestore(u32),
     PartitionHeal(usize),
+    /// A crashed node's outage ends: the server boots, the slave restarts
+    /// under a fresh incarnation and sends its registration.
+    NodeRestart(u32),
+    /// A restarted slave's registration arriving at the master; it doubles
+    /// as the full block report from the node's durable store.
+    DeliverRegister(u32, Incarnation),
+    /// Registration retransmission timer: `(node, attempt)`. Inert once
+    /// the master has absorbed the node's current incarnation.
+    RegisterRetry(u32, u32),
+    /// Deferred re-replication backoff timer (generation-guarded).
+    RerepRetry(u64),
     CleanupSweep,
     Inject(usize),
 }
@@ -282,6 +322,22 @@ pub struct World {
     unfinished_plans: usize,
     rerep_queue: Vec<BlockId>,
     rerep_active: bool,
+    /// Blocks whose re-replication found no legal source/target; retried
+    /// with capped exponential backoff instead of being silently dropped.
+    rerep_deferred: Vec<BlockId>,
+    /// Consecutive all-deferred rounds (escalates the backoff; reset on
+    /// any successful start).
+    rerep_attempt: u32,
+    /// Guards stale [`Event::RerepRetry`] timers.
+    rerep_retry_gen: u64,
+    /// Nodes currently dark from a [`Fault::NodeCrash`] (restart pending).
+    crashed_down: Vec<bool>,
+    /// Nodes that crashed at least once; invariant 8 audits exactly these.
+    crashed_ever: Vec<bool>,
+    /// Whether node `n`'s heartbeat chain is still self-rescheduling; a
+    /// chain dies when a beat fires on a dead node, and a restart re-arms
+    /// it exactly once (two chains would double task assignment).
+    hb_live: Vec<bool>,
     /// Shared typed-event handle (disabled unless a sink is installed);
     /// clones of it live inside the master, every slave and the RPC
     /// channel, all stamping events off the same now-cursor.
@@ -420,6 +476,12 @@ impl World {
             unfinished_plans: unfinished,
             rerep_queue: Vec::new(),
             rerep_active: false,
+            rerep_deferred: Vec::new(),
+            rerep_attempt: 0,
+            rerep_retry_gen: 0,
+            crashed_down: vec![false; cfg.nodes],
+            crashed_ever: vec![false; cfg.nodes],
+            hb_live: vec![true; cfg.nodes],
             telemetry: Telemetry::default(),
             metrics: RunMetrics::default(),
             cfg,
@@ -482,10 +544,11 @@ impl World {
             // (slave state, MemStore state), both of which carry monotone
             // mutation counters. An unchanged stamp means the previous
             // clean verdict still holds, so per-event validation only
-            // re-audits the nodes the event actually touched. (Node death
-            // always bumps the slave version via `IgnemSlave::fail`, and
-            // `node_alive` never flips back, so liveness transitions are
-            // covered by the stamp.)
+            // re-audits the nodes the event actually touched. (Every
+            // liveness transition moves the stamp: node death bumps the
+            // slave version via `IgnemSlave::fail`, and a crash-restart
+            // bumps it again via `IgnemSlave::restart` plus the MemStore
+            // version via the crash wipe.)
             let stamp = (self.slaves[n].version(), self.mems[n].version());
             if self.validated[n] == stamp {
                 continue;
@@ -578,6 +641,7 @@ impl World {
             agg.liveness_queries += st.liveness_queries;
             agg.stale_epochs += st.stale_epochs;
             agg.lease_expiries += st.lease_expiries;
+            agg.stale_incarnations += st.stale_incarnations;
         }
         self.sync_ledger();
         self.metrics.ledger = self.ledger.clone();
@@ -590,6 +654,7 @@ impl World {
             }
         }
         self.metrics.disk_utilization = self.disks.iter().map(|d| d.utilization(end)).collect();
+        self.metrics.recovery = self.check_recovery();
         self.metrics
     }
 
@@ -611,10 +676,12 @@ impl World {
             Event::NetTimer(gen) => self.on_net_timer(gen),
             Event::TaskLaunched(t) => self.on_task_launched(t),
             Event::TaskComputeDone(t) => self.on_task_compute_done(t),
-            Event::DeliverMigrates(n, seq, epoch, cmds) => {
-                self.on_deliver_migrates(n, seq, epoch, cmds)
+            Event::DeliverMigrates(n, seq, epoch, inc, cmds) => {
+                self.on_deliver_migrates(n, seq, epoch, inc, cmds)
             }
-            Event::DeliverEvict(n, seq, epoch, job) => self.on_deliver_evict(n, seq, epoch, job),
+            Event::DeliverEvict(n, seq, epoch, inc, job) => {
+                self.on_deliver_evict(n, seq, epoch, inc, job)
+            }
             Event::DeliverAck(seq) => self.master.on_ack(seq),
             Event::RpcTimeout(seq) => self.on_rpc_timeout(seq),
             Event::LivenessQuery(n, jobs) => self.on_liveness_query(n, jobs),
@@ -625,6 +692,10 @@ impl World {
             Event::NodeResume(n) => self.on_node_resume(n),
             Event::DiskRestore(n) => self.on_disk_restore(n),
             Event::PartitionHeal(id) => self.on_partition_heal(id),
+            Event::NodeRestart(n) => self.on_node_restart(n),
+            Event::DeliverRegister(n, inc) => self.on_deliver_register(n, inc),
+            Event::RegisterRetry(n, attempt) => self.on_register_retry(n, attempt),
+            Event::RerepRetry(gen) => self.on_rerep_retry(gen),
             Event::CleanupSweep => self.on_cleanup_sweep(),
             Event::Inject(i) => self.on_inject(i),
         }
@@ -770,6 +841,8 @@ impl World {
 
     fn on_heartbeat(&mut self, n: u32) {
         if !self.node_alive[n as usize] {
+            // The chain dies here; a crash-restart re-arms it exactly once.
+            self.hb_live[n as usize] = false;
             return;
         }
         if self.paused_until[n as usize].is_some() {
@@ -1194,24 +1267,28 @@ impl World {
     // ------------------------------------------------------------------
 
     /// Registers an acked send with the master (which stamps its current
-    /// epoch on it) and dispatches the first transmission through the
-    /// unreliable channel.
+    /// epoch, and its belief of the destination's incarnation, on it) and
+    /// dispatches the first transmission through the unreliable channel.
     fn master_send(&mut self, to: u32, payload: RpcPayload) {
         let epoch = self.master.epoch();
+        let incarnation = self.master.slave_incarnation(NodeId(to));
         let (seq, timeout) = self.master.register_send(NodeId(to), payload.clone());
-        self.dispatch_send(seq, to, payload, epoch, timeout);
+        self.dispatch_send(seq, to, payload, epoch, incarnation, timeout);
     }
 
     /// Sends one (re)transmission attempt: schedules a delivery event for
     /// every copy the channel lets through, plus the ack timeout. The
-    /// epoch travels with the message — a retransmission from before a
-    /// failover still carries its *original* epoch and will be rejected.
+    /// epoch and incarnation travel with the message — a retransmission
+    /// from before a master failover still carries its *original* epoch,
+    /// and one from before a slave crash its *original* incarnation; the
+    /// receiving side rejects either kind of stale stamp.
     fn dispatch_send(
         &mut self,
         seq: SeqNo,
         to: u32,
         payload: RpcPayload,
         epoch: Epoch,
+        incarnation: Incarnation,
         timeout: SimDuration,
     ) {
         let rpc = self.net.rpc_latency();
@@ -1222,8 +1299,10 @@ impl World {
         );
         for extra in copies {
             let ev = match &payload {
-                RpcPayload::Migrates(cmds) => Event::DeliverMigrates(to, seq, epoch, cmds.clone()),
-                RpcPayload::Evict(job) => Event::DeliverEvict(to, seq, epoch, *job),
+                RpcPayload::Migrates(cmds) => {
+                    Event::DeliverMigrates(to, seq, epoch, incarnation, cmds.clone())
+                }
+                RpcPayload::Evict(job) => Event::DeliverEvict(to, seq, epoch, incarnation, *job),
             };
             self.engine.schedule_in(rpc + extra, ev);
         }
@@ -1252,8 +1331,9 @@ impl World {
                 to,
                 payload,
                 epoch,
+                incarnation,
                 next_timeout,
-            } => self.dispatch_send(seq, to.0, payload, epoch, next_timeout),
+            } => self.dispatch_send(seq, to.0, payload, epoch, incarnation, next_timeout),
             RetryDecision::GiveUp { .. } => {}
         }
     }
@@ -1268,11 +1348,25 @@ impl World {
         false
     }
 
-    fn on_deliver_migrates(&mut self, n: u32, seq: SeqNo, epoch: Epoch, cmds: Vec<MigrateCommand>) {
+    fn on_deliver_migrates(
+        &mut self,
+        n: u32,
+        seq: SeqNo,
+        epoch: Epoch,
+        inc: Incarnation,
+        cmds: Vec<MigrateCommand>,
+    ) {
         if !self.node_alive[n as usize] {
             return; // dead node never acks; the master retries, then gives up
         }
-        if self.defer_if_paused(n, Event::DeliverMigrates(n, seq, epoch, cmds.clone())) {
+        if self.defer_if_paused(n, Event::DeliverMigrates(n, seq, epoch, inc, cmds.clone())) {
+            return;
+        }
+        // Stale-incarnation commands are dropped *without* an ack, like
+        // stale epochs below: they were addressed to a pre-crash boot of
+        // this slave, and registration purges them from the master's
+        // outbox (their pending timeouts settle as stale).
+        if !self.slaves[n as usize].observe_incarnation(inc) {
             return;
         }
         let now = self.engine.now();
@@ -1289,11 +1383,14 @@ impl World {
         self.slave_ack(n, seq);
     }
 
-    fn on_deliver_evict(&mut self, n: u32, seq: SeqNo, epoch: Epoch, job: JobId) {
+    fn on_deliver_evict(&mut self, n: u32, seq: SeqNo, epoch: Epoch, inc: Incarnation, job: JobId) {
         if !self.node_alive[n as usize] {
             return;
         }
-        if self.defer_if_paused(n, Event::DeliverEvict(n, seq, epoch, job)) {
+        if self.defer_if_paused(n, Event::DeliverEvict(n, seq, epoch, inc, job)) {
+            return;
+        }
+        if !self.slaves[n as usize].observe_incarnation(inc) {
             return;
         }
         let now = self.engine.now();
@@ -1328,6 +1425,10 @@ impl World {
         }
     }
 
+    // Liveness replies are deliberately not incarnation-fenced: one that
+    // was in flight across a crash arrives at a freshly restarted slave
+    // with no references, where both the dead and alive verdicts are
+    // no-ops. Fencing them would only cost an extra stamp on the wire.
     fn on_liveness_reply(&mut self, n: u32, epoch: Epoch, dead: Vec<JobId>, alive: Vec<JobId>) {
         if !self.node_alive[n as usize] {
             return;
@@ -1600,12 +1701,20 @@ impl World {
     }
 
     /// Starts the next queued re-replication (one at a time cluster-wide,
-    /// like HDFS's throttled replication monitor).
+    /// like HDFS's throttled replication monitor). Blocks with no legal
+    /// source/target *right now* are deferred and retried with backoff —
+    /// a crash outage is temporary, so "no target" is usually transient —
+    /// instead of being silently dropped.
     fn start_next_rereplication(&mut self) {
         if self.rerep_active {
             return;
         }
         while let Some(block) = self.rerep_queue.pop() {
+            if !self.namenode.is_under_replicated(block) {
+                // Recovered while queued (its holder re-registered) or
+                // satisfied by the alive-node clamp: nothing to do.
+                continue;
+            }
             let Ok(locations) = self.namenode.locations(block) else {
                 continue;
             };
@@ -1618,6 +1727,7 @@ impl World {
                 .filter(|n| self.node_alive[n.0 as usize] && !holders.contains(n))
                 .collect();
             if candidates.is_empty() {
+                self.defer_rereplication(block);
                 continue;
             }
             let source = *self.rng.choose(&holders);
@@ -1631,9 +1741,18 @@ impl World {
                 target: target.0,
             };
             self.rerep_active = true;
+            self.rerep_attempt = 0; // progress resets the backoff
+            self.telemetry
+                .emit(|| TelemetryEvent::RereplicationStarted {
+                    block: block.0,
+                    source: source.0,
+                    target: target.0,
+                    bytes,
+                });
             self.submit_disk(source.0, IoKind::Read, bytes, owner);
             return;
         }
+        self.arm_rerep_retry();
     }
 
     fn process_ram(&mut self, n: u32, done: Vec<Completion>) {
@@ -1810,6 +1929,38 @@ impl World {
                 self.rpc.partition(idx, &nodes);
                 self.engine.schedule_in(duration, Event::PartitionHeal(idx));
             }
+            Fault::NodeCrash(node, down_for) => {
+                let n = node.0 as usize;
+                if !self.node_alive[n] {
+                    return; // already dead (failed or mid-crash): no-op
+                }
+                // Emitted before the purge so the BlockEvicted events the
+                // purge produces at this instant classify as crash losses
+                // in the explainer.
+                self.telemetry
+                    .emit(|| TelemetryEvent::NodeCrashed { node: node.0 });
+                self.metrics.crashes += 1;
+                self.crashed_down[n] = true;
+                self.crashed_ever[n] = true;
+                // Down is down: the full node-failure machinery (NameNode
+                // death mark, slave purge, task re-execution, IO
+                // cancellation with read re-issue, re-replication).
+                self.fail_node(node);
+                // The crash loses *all* volatile RAM — pinned inputs and
+                // page cache too, not just the migrated blocks the slave
+                // purge already debited. Durable disk blocks survive.
+                self.mems[n].wipe(now);
+                // A rebooting machine has no GC stall to wait out.
+                self.paused_until[n] = None;
+                // The NIC is dark for the outage. Partition ids at or
+                // above `faults.len()` are reserved for crash NIC-downs
+                // (fault indices key the injected partitions), and one
+                // node has at most one active crash, so `faults.len() + n`
+                // is collision-free.
+                self.rpc.partition(self.faults.len() + n, &[node]);
+                self.engine
+                    .schedule_in(down_for, Event::NodeRestart(node.0));
+            }
         }
     }
 
@@ -1838,6 +1989,262 @@ impl World {
             desc: format!("partition {id} healed"),
         });
         self.rpc.heal(id);
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery (see the module-level *Crash and recovery* section)
+    // ------------------------------------------------------------------
+
+    /// A crashed node's outage ends. The server boots with its durable
+    /// disk intact and an empty RAM, the NIC comes back up, the slave
+    /// restarts under a fresh incarnation and announces itself to the
+    /// master. A [`Fault::NodeFail`] that hit during the outage was a
+    /// no-op (the node was already dead), so restart is unconditional for
+    /// a dark node.
+    fn on_node_restart(&mut self, n: u32) {
+        let idx = n as usize;
+        if !self.crashed_down[idx] {
+            return;
+        }
+        let now = self.engine.now();
+        self.crashed_down[idx] = false;
+        self.node_alive[idx] = true;
+        // NIC up *before* the registration send, or the channel would cut
+        // it. A reboot also clears any lingering disk-speed degradation
+        // (a later DiskRestore for a healed degrade is idempotent).
+        self.rpc.heal(self.faults.len() + idx);
+        let done = self.disks[idx].set_speed_factor(now, 1.0);
+        self.process_disk(n, done);
+        self.resched_disk(n);
+        let incarnation = self.slaves[idx].restart();
+        self.telemetry.emit(|| TelemetryEvent::NodeRestarted {
+            node: n,
+            incarnation: incarnation.0,
+        });
+        self.metrics.restarts += 1;
+        // Heartbeats: the node's chain died while it was dark; re-arm it
+        // once (guarded so a short outage that never dropped a beat does
+        // not end up with two concurrent chains).
+        if self.unfinished_plans > 0 && !self.hb_live[idx] {
+            self.hb_live[idx] = true;
+            self.engine
+                .schedule_in(self.cfg.compute.heartbeat, Event::Heartbeat(n));
+        }
+        self.send_register(n, 1);
+    }
+
+    /// Sends (or retransmits) a restarted slave's registration through the
+    /// lossy channel and arms the next retry. Registration is idempotent
+    /// at the master, so duplicates from generous retries are harmless.
+    fn send_register(&mut self, n: u32, attempt: u32) {
+        let incarnation = self.slaves[n as usize].incarnation();
+        let rpc = self.net.rpc_latency();
+        let copies = self.rpc.deliveries(
+            &mut self.rpc_rng,
+            RpcPeer::Slave(NodeId(n)),
+            RpcPeer::Master,
+        );
+        for extra in copies {
+            self.engine
+                .schedule_in(rpc + extra, Event::DeliverRegister(n, incarnation));
+        }
+        // The master's ack-retry schedule doubles as the registration
+        // backoff. No attempt cap: an unregistered node is useless, so the
+        // slave keeps announcing itself (at the capped interval) until the
+        // master hears it — under any fault schedule that heals, this
+        // terminates, and invariant 8 would flag a node that never got
+        // through.
+        let timeout = self.cfg.master.retry.timeout_for(attempt);
+        self.engine
+            .schedule_in(timeout, Event::RegisterRetry(n, attempt));
+    }
+
+    fn on_register_retry(&mut self, n: u32, attempt: u32) {
+        let idx = n as usize;
+        // Inert once the master has absorbed this (or a newer) boot of the
+        // node, or the node died again while the timer was pending.
+        if !self.node_alive[idx]
+            || self.master.slave_incarnation(NodeId(n)) >= self.slaves[idx].incarnation()
+        {
+            return;
+        }
+        self.send_register(n, attempt.saturating_add(1));
+    }
+
+    /// A registration arriving at the master. Absorbing it purges every
+    /// outbox entry and job-routing record addressed to the dead
+    /// incarnation; the registration doubles as the node's full block
+    /// report, so the NameNode marks its durable replicas readable again,
+    /// re-replication re-examines what is still short, and migration is
+    /// re-admitted for live jobs.
+    fn on_deliver_register(&mut self, n: u32, incarnation: Incarnation) {
+        if !self.node_alive[n as usize] {
+            return; // crashed again while the registration was in flight
+        }
+        if !self.master.handle_register(NodeId(n), incarnation) {
+            return; // duplicate or out-of-order copy
+        }
+        // Block report from the durable store: the node is registered in
+        // every normal construction path, so this only errs in exotic
+        // test topologies where a no-op is the right answer.
+        let _ = self.namenode.mark_alive(NodeId(n));
+        let blocks = self.namenode.blocks_on(NodeId(n)).len() as u64;
+        self.telemetry
+            .emit(|| TelemetryEvent::BlockReportReceived { node: n, blocks });
+        self.metrics.block_reports += 1;
+        // Replicas lost in the crash may still be short (or a pending
+        // deferral may have become satisfiable now that this node is back
+        // as a target); re-examine.
+        self.rerep_queue.extend(self.namenode.under_replicated());
+        self.rerep_queue.sort();
+        self.rerep_queue.dedup();
+        self.rerep_queue.append(&mut self.rerep_deferred);
+        self.start_next_rereplication();
+        self.reignite();
+    }
+
+    /// Re-admits migration after a node recovered: every live migrate-mode
+    /// job gets its request re-issued, so blocks whose RAM copy the crash
+    /// wiped (and any the job never managed to migrate) heat up again.
+    /// Idempotent end to end — slaves dedup commands for blocks they
+    /// already hold, and the master stamps its fresh incarnation belief on
+    /// every send, so re-ignition cannot resurrect dead state.
+    fn reignite(&mut self) {
+        if self.mode != FsMode::Ignem {
+            return;
+        }
+        let now = self.engine.now();
+        // job_to_plan iterates in job-id order: re-ignition visits jobs,
+        // and therefore draws randomness, in one order on every run.
+        let jobs: Vec<JobId> = self
+            .job_to_plan
+            .iter()
+            .filter(|&(j, _)| self.live_jobs.contains(&j) && self.job_migrated.contains(&j))
+            .map(|(j, _)| j)
+            .collect();
+        for job in jobs {
+            let spec = self.job_spec[&job].clone();
+            let (Some(mode), JobInput::DfsFiles(files)) = (spec.submit.migrate, &spec.input) else {
+                continue;
+            };
+            let req = MigrateRequest {
+                job,
+                files: files.clone(),
+                mode,
+                // Re-migration lead time is measured from the recovery,
+                // not the original submission: the explainer reports how
+                // much runway the re-ignited blocks actually had.
+                submitted: now,
+            };
+            if let Ok(batches) = self
+                .master
+                .handle_migrate(&req, &self.namenode, &mut self.rng)
+            {
+                self.metrics.reignited_jobs += 1;
+                for b in batches {
+                    self.master_send(b.to.0, RpcPayload::Migrates(b.migrates));
+                }
+            }
+        }
+    }
+
+    /// Queues a block whose re-replication found no legal source/target
+    /// right now, to be retried with backoff.
+    fn defer_rereplication(&mut self, block: BlockId) {
+        if !self.rerep_deferred.contains(&block) {
+            self.rerep_deferred.push(block);
+        }
+        let attempt = self.rerep_attempt;
+        self.telemetry
+            .emit(|| TelemetryEvent::RereplicationDeferred {
+                block: block.0,
+                attempt,
+            });
+        self.metrics.rerep_deferrals += 1;
+    }
+
+    /// Arms the deferred-re-replication retry timer: capped exponential
+    /// backoff per consecutive all-deferred round, bounded attempts, then
+    /// give up (invariant 8 reports any durable block left without an
+    /// alive replica, so giving up is visible, not silent).
+    fn arm_rerep_retry(&mut self) {
+        if self.rerep_active || self.rerep_deferred.is_empty() {
+            return;
+        }
+        const MAX_REREP_ROUNDS: u32 = 10;
+        if self.rerep_attempt >= MAX_REREP_ROUNDS {
+            self.metrics.rerep_gave_up += self.rerep_deferred.len() as u64;
+            self.rerep_deferred.clear();
+            return;
+        }
+        self.rerep_attempt += 1;
+        self.rerep_retry_gen += 1;
+        let gen = self.rerep_retry_gen;
+        let backoff = SimDuration::from_secs(1 << self.rerep_attempt.min(5));
+        self.engine.schedule_in(backoff, Event::RerepRetry(gen));
+    }
+
+    fn on_rerep_retry(&mut self, gen: u64) {
+        if gen != self.rerep_retry_gen {
+            return;
+        }
+        self.rerep_queue.append(&mut self.rerep_deferred);
+        self.rerep_queue.sort();
+        self.rerep_queue.dedup();
+        self.start_next_rereplication();
+    }
+
+    /// Invariant 8 — recovery convergence, audited at finalization when
+    /// the run injected at least one crash. After the last fault heals: no
+    /// node may still be dark, every crashed node that is alive at the end
+    /// must have converged (master and slave agree on its incarnation, the
+    /// NameNode serves its replicas), the master's retransmission outbox
+    /// must have drained, and no durably written block may be left without
+    /// an alive replica. Returns a violation description, `None` when
+    /// converged.
+    fn check_recovery(&self) -> Option<String> {
+        if self.metrics.crashes == 0 {
+            return None;
+        }
+        for n in 0..self.cfg.nodes {
+            if self.crashed_down[n] {
+                return Some(format!("node{n} still dark at end of run"));
+            }
+            if !self.crashed_ever[n] || !self.node_alive[n] {
+                // Never crashed, or permanently failed after recovering:
+                // out of scope for convergence.
+                continue;
+            }
+            let node = NodeId(n as u32);
+            let master_inc = self.master.slave_incarnation(node);
+            let slave_inc = self.slaves[n].incarnation();
+            if master_inc != slave_inc {
+                return Some(format!(
+                    "node{n}: master believes {master_inc}, slave is {slave_inc} — \
+                     registration never converged"
+                ));
+            }
+            if !self.namenode.is_alive(node) {
+                return Some(format!(
+                    "node{n} re-registered with the master but not the NameNode"
+                ));
+            }
+        }
+        if self.master.pending_sends() != 0 {
+            return Some(format!(
+                "{} unsettled outbox entries at end of run",
+                self.master.pending_sends()
+            ));
+        }
+        let lost = self.namenode.blocks_without_alive_replica();
+        if !lost.is_empty() {
+            return Some(format!(
+                "{} durable blocks left without an alive replica (first: {:?})",
+                lost.len(),
+                lost[0]
+            ));
+        }
+        None
     }
 
     fn fail_node(&mut self, node: NodeId) {

@@ -45,6 +45,7 @@ fn chaos_world(cfg: &ChaosConfig) -> World {
         ClusterConfig::default().dfs.replication,
         cfg.jobs,
         cfg.faults,
+        cfg.crashes,
     );
     let mut cluster = ClusterConfig {
         nodes: cfg.nodes,
@@ -78,6 +79,28 @@ fn double_run_chaos_seed_is_deterministic() {
     // epoch/lease PR) — a good stress of the faulted migration paths.
     let cfg = ChaosConfig {
         seed: 304,
+        ..ChaosConfig::default()
+    };
+    let result = double_run(|| chaos_world(&cfg), RECORDER_CAP);
+    assert!(
+        !result.events_a.is_empty(),
+        "expected a non-empty telemetry stream"
+    );
+    assert!(result.is_deterministic(), "{}", result.describe());
+    assert_eq!(
+        fingerprint(&result.metrics_a),
+        fingerprint(&result.metrics_b)
+    );
+}
+
+#[test]
+fn double_run_crash_seed_is_deterministic() {
+    // Seed 14 with crashes enabled exercises the full crash/recovery
+    // protocol: wipe, NIC-down, fresh incarnation, lossy re-registration
+    // with retries, block report, re-replication, and re-ignition.
+    let cfg = ChaosConfig {
+        seed: 14,
+        crashes: 2,
         ..ChaosConfig::default()
     };
     let result = double_run(|| chaos_world(&cfg), RECORDER_CAP);

@@ -60,6 +60,38 @@ fn chaos_world_304() -> World {
         ClusterConfig::default().dfs.replication,
         cfg.jobs,
         cfg.faults,
+        cfg.crashes,
+    );
+    let mut cluster = ClusterConfig {
+        nodes: cfg.nodes,
+        seed: cfg.seed,
+        rpc: cfg.rpc,
+        ..ClusterConfig::default()
+    };
+    cluster.ignem.buffer_capacity = 512 * MIB;
+    cluster.ignem.lease = cfg.lease;
+    let (files, plans) = workload(cfg.jobs);
+    World::new(cluster, FsMode::Ignem, &files, plans, faults)
+}
+
+/// Crash-recovery stream: chaos seed 14 with two `NodeCrash` draws —
+/// the pinned-regression schedule (crash wipes a RAM replica mid-use, a
+/// read degrades to disk, the job re-ignites after restart; the second
+/// crash hits the node while it is already dark and must be a no-op).
+fn chaos_world_crash_14() -> World {
+    let cfg = ChaosConfig {
+        seed: 14,
+        crashes: 2,
+        ..ChaosConfig::default()
+    };
+    let mut fault_rng = SimRng::new(cfg.seed ^ 0xC4A0_5EED);
+    let faults = generate_faults(
+        &mut fault_rng,
+        cfg.nodes,
+        ClusterConfig::default().dfs.replication,
+        cfg.jobs,
+        cfg.faults,
+        cfg.crashes,
     );
     let mut cluster = ClusterConfig {
         nodes: cfg.nodes,
@@ -85,6 +117,9 @@ fn stream_tail(build: fn() -> World) -> (usize, u64) {
 /// overhaul (PR 5); the overhaul must reproduce them bit-for-bit.
 const DEFAULT_WORLD_GOLDEN: (usize, u64) = (111, 0x464c_1a7d_d766_ced1);
 const CHAOS_304_GOLDEN: (usize, u64) = (320, 0x2249_a012_16cb_e555);
+/// Captured when the crash/recovery protocol landed: the canonical
+/// crash-seed stream (crash → wipe → degrade → re-register → re-ignite).
+const CHAOS_CRASH_14_GOLDEN: (usize, u64) = (342, 0xa7dd_79d6_004d_5787);
 
 #[test]
 fn default_world_stream_is_pinned() {
@@ -96,12 +131,19 @@ fn chaos_seed_304_stream_is_pinned() {
     assert_eq!(stream_tail(chaos_world_304), CHAOS_304_GOLDEN);
 }
 
+#[test]
+fn chaos_crash_seed_14_stream_is_pinned() {
+    assert_eq!(stream_tail(chaos_world_crash_14), CHAOS_CRASH_14_GOLDEN);
+}
+
 /// Prints the current values for updating the constants above.
 #[test]
 #[ignore = "manual helper: prints the golden values"]
 fn print_stream_hashes() {
     let d = stream_tail(default_world);
     let c = stream_tail(chaos_world_304);
+    let k = stream_tail(chaos_world_crash_14);
     println!("DEFAULT_WORLD_GOLDEN: ({}, {:#018x})", d.0, d.1);
     println!("CHAOS_304_GOLDEN: ({}, {:#018x})", c.0, c.1);
+    println!("CHAOS_CRASH_14_GOLDEN: ({}, {:#018x})", k.0, k.1);
 }

@@ -346,6 +346,29 @@ impl NameNode {
             .collect()
     }
 
+    /// Whether a single block's alive replica count is below the
+    /// replication factor but above zero: the per-block form of
+    /// [`under_replicated`](Self::under_replicated), used to skip queued
+    /// re-replication work that a node's return already made redundant.
+    pub fn is_under_replicated(&self, block: BlockId) -> bool {
+        let Some(meta) = self.blocks.get(&block) else {
+            return false;
+        };
+        let alive = meta.replicas.iter().filter(|n| self.is_alive(**n)).count();
+        alive > 0 && alive < self.config.replication.min(self.alive_nodes().len())
+    }
+
+    /// Blocks with **no** alive replica at all: every copy sits on a dead
+    /// node. Empty in any recoverable state — the chaos harness's
+    /// recovery-convergence invariant checks exactly this at end of run.
+    pub fn blocks_without_alive_replica(&self) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .filter(|(_, m)| !m.replicas.iter().any(|n| self.is_alive(*n)))
+            .map(|(&b, _)| b)
+            .collect()
+    }
+
     /// Every block (with size) that has a replica on `node`. Used by the
     /// vmtouch-style *Inputs-in-RAM* configuration to pin local replicas.
     pub fn blocks_on(&self, node: NodeId) -> Vec<BlockInfo> {
@@ -528,6 +551,37 @@ mod tests {
             nn.add_replica(b, NodeId(42)),
             Err(DfsError::UnknownNode(NodeId(42)))
         );
+    }
+
+    #[test]
+    fn per_block_under_replication_matches_work_list() {
+        let (mut nn, mut rng) = namenode(4);
+        nn.create_file("/f", 128 * MIB, &mut rng).unwrap();
+        let victim = (0..4)
+            .map(NodeId)
+            .find(|n| !nn.blocks_on(*n).is_empty())
+            .unwrap();
+        nn.mark_dead(victim).unwrap();
+        for b in nn.under_replicated() {
+            assert!(nn.is_under_replicated(b));
+        }
+        assert!(!nn.is_under_replicated(BlockId(999)));
+        nn.mark_alive(victim).unwrap();
+        assert!(nn.under_replicated().is_empty());
+        assert!(nn.blocks_without_alive_replica().is_empty());
+    }
+
+    #[test]
+    fn fully_dead_blocks_are_reported_lost() {
+        let (mut nn, mut rng) = namenode(3);
+        nn.create_file("/f", MIB, &mut rng).unwrap();
+        for n in 0..3 {
+            nn.mark_dead(NodeId(n)).unwrap();
+        }
+        assert_eq!(nn.blocks_without_alive_replica().len(), 1);
+        // A returning node makes the block readable again.
+        nn.mark_alive(NodeId(0)).unwrap();
+        assert!(nn.blocks_without_alive_replica().is_empty());
     }
 
     #[test]

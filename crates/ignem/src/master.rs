@@ -15,7 +15,7 @@
 
 use ignem_dfs::error::DfsError;
 use ignem_dfs::namenode::NameNode;
-use ignem_netsim::rpc::Epoch;
+use ignem_netsim::rpc::{Epoch, Incarnation};
 use ignem_netsim::NodeId;
 use ignem_simcore::idmap::IdMap;
 use ignem_simcore::rng::SimRng;
@@ -103,6 +103,8 @@ pub struct MasterStats {
     pub retries: u64,
     /// Sends abandoned after exhausting every attempt.
     pub gave_up: u64,
+    /// Slave re-registrations absorbed after crash/restart cycles.
+    pub registrations: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -155,6 +157,14 @@ pub struct IgnemMaster {
     next_seq: u64,
     /// Sends awaiting acknowledgement.
     outbox: IdMap<SeqNo, PendingSend>,
+    /// The incarnation the master believes each slave is running, updated
+    /// by [`handle_register`](Self::handle_register). Nodes never seen to
+    /// restart implicitly run [`Incarnation::FIRST`]. Unlike the job
+    /// records this knowledge survives [`fail`](Self::fail): a real
+    /// failover recovers it from the slaves' re-registration handshake,
+    /// and forgetting it would make the new master stamp every send with
+    /// an incarnation the restarted slaves already fenced off.
+    incarnations: IdMap<NodeId, Incarnation>,
     /// Typed event emission (disabled by default).
     telemetry: Telemetry,
 }
@@ -168,6 +178,7 @@ impl Default for IgnemMaster {
             epoch: Epoch::FIRST,
             next_seq: 0,
             outbox: IdMap::new(),
+            incarnations: IdMap::new(),
             telemetry: Telemetry::default(),
         }
     }
@@ -182,6 +193,11 @@ struct PendingSend {
     /// always belongs to the current incarnation, but the stamp is stored
     /// rather than re-read so the invariant is structural.
     epoch: Epoch,
+    /// The slave incarnation the send was addressed to. Like the epoch
+    /// stamp this travels with retransmissions unchanged: a registration
+    /// purges the dead incarnation's outbox entries, so a surviving entry
+    /// is always addressed to the believed-current boot, structurally.
+    incarnation: Incarnation,
     /// Delivery attempts made so far (1 after the initial send).
     attempt: u32,
 }
@@ -200,6 +216,8 @@ pub enum RetryDecision {
         payload: RpcPayload,
         /// The epoch the original send was stamped with.
         epoch: Epoch,
+        /// The slave incarnation the original send was addressed to.
+        incarnation: Incarnation,
         /// Timeout to arm for this attempt (escalated, capped).
         next_timeout: SimDuration,
     },
@@ -251,6 +269,48 @@ impl IgnemMaster {
     /// The current master incarnation (stamped onto every outgoing send).
     pub fn epoch(&self) -> Epoch {
         self.epoch
+    }
+
+    /// The incarnation the master believes `node` is running (and stamps
+    /// onto sends addressed there). [`Incarnation::FIRST`] until the node
+    /// ever re-registers.
+    pub fn slave_incarnation(&self, node: NodeId) -> Incarnation {
+        self.incarnations
+            .get(&node)
+            .copied()
+            .unwrap_or(Incarnation::FIRST)
+    }
+
+    /// Absorbs a restarted slave's registration: records the fresh
+    /// incarnation, purges every outbox entry addressed to the dead one
+    /// (their pending timeouts then settle as stale), and forgets the node
+    /// in every job record — any reference-list state the dead incarnation
+    /// held is gone, so routing that job's eventual evict there would be
+    /// pointless. Duplicate or out-of-order deliveries of an
+    /// already-absorbed registration are ignored (returns `false`).
+    pub fn handle_register(&mut self, node: NodeId, incarnation: Incarnation) -> bool {
+        if incarnation <= self.slave_incarnation(node) {
+            return false;
+        }
+        self.incarnations.insert(node, incarnation);
+        self.stats.registrations += 1;
+        let stale: Vec<SeqNo> = self
+            .outbox
+            .iter()
+            .filter(|(_, p)| p.to == node)
+            .map(|(seq, _)| seq)
+            .collect();
+        for seq in stale {
+            self.outbox.remove(&seq);
+        }
+        for record in self.jobs.values_mut() {
+            record.slaves.retain(|&s| s != node);
+        }
+        self.telemetry.emit(|| Event::SlaveRegistered {
+            node: node.0,
+            incarnation: incarnation.0,
+        });
+        true
     }
 
     /// Handles a client migrate request: resolves files to blocks, picks one
@@ -352,6 +412,7 @@ impl IgnemMaster {
                 to,
                 payload,
                 epoch: self.epoch,
+                incarnation: self.slave_incarnation(to),
                 attempt: 1,
             },
         );
@@ -403,6 +464,7 @@ impl IgnemMaster {
             to: pending.to,
             payload: pending.payload.clone(),
             epoch: pending.epoch,
+            incarnation: pending.incarnation,
             next_timeout: self.config.retry.timeout_for(pending.attempt),
         }
     }
@@ -419,7 +481,9 @@ impl IgnemMaster {
     /// outbox is dropped too (pre-failure timeouts then settle as stale),
     /// but `next_seq` keeps counting so restarted sends never reuse a
     /// sequence number, and the epoch is bumped so in-flight copies of
-    /// pre-failure sends are recognizably stale wherever they land.
+    /// pre-failure sends are recognizably stale wherever they land. The
+    /// per-slave incarnation records survive (see the field docs): they
+    /// model knowledge the failover handshake re-establishes.
     pub fn fail(&mut self) {
         self.jobs.clear();
         self.outbox.clear();
@@ -585,6 +649,7 @@ mod tests {
                 to: NodeId(5),
                 payload: payload.clone(),
                 epoch: Epoch::FIRST,
+                incarnation: Incarnation::FIRST,
                 next_timeout: SimDuration::from_secs(2),
             }
         );
@@ -594,6 +659,7 @@ mod tests {
                 to: NodeId(5),
                 payload,
                 epoch: Epoch::FIRST,
+                incarnation: Incarnation::FIRST,
                 next_timeout: SimDuration::from_secs(4),
             }
         );
@@ -639,6 +705,53 @@ mod tests {
             RetryDecision::Retry { epoch, .. } => assert_eq!(epoch, Epoch(2)),
             other => panic!("expected retry, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn registration_purges_dead_incarnation_state() {
+        let (mut nn, mut rng) = setup(4);
+        nn.create_file("/f", 4 * 64 * MIB, &mut rng).unwrap();
+        let mut m = IgnemMaster::new();
+        let batches = m
+            .handle_migrate(&request(1, vec!["/f"]), &nn, &mut rng)
+            .unwrap();
+        let crashed = batches[0].to;
+        let (seq, _) = m.register_send(crashed, RpcPayload::Evict(JobId(9)));
+        let (other_seq, _) = m.register_send(NodeId(99), RpcPayload::Evict(JobId(9)));
+        assert_eq!(m.slave_incarnation(crashed), Incarnation::FIRST);
+
+        assert!(m.handle_register(crashed, Incarnation(2)));
+        assert_eq!(m.slave_incarnation(crashed), Incarnation(2));
+        assert_eq!(m.stats().registrations, 1);
+        // Outbox entries addressed to the dead incarnation are purged;
+        // their timeouts settle as stale. Unrelated sends survive.
+        assert_eq!(m.on_timeout(seq), RetryDecision::Settled);
+        assert!(matches!(
+            m.on_timeout(other_seq),
+            RetryDecision::Retry { .. }
+        ));
+        // The job's evict no longer targets the crashed node.
+        assert!(m.handle_evict(JobId(1)).iter().all(|b| b.to != crashed));
+        // Subsequent sends are stamped with the fresh incarnation.
+        let (seq2, _) = m.register_send(crashed, RpcPayload::Evict(JobId(2)));
+        match m.on_timeout(seq2) {
+            RetryDecision::Retry { incarnation, .. } => {
+                assert_eq!(incarnation, Incarnation(2));
+            }
+            other => panic!("expected retry, got {other:?}"),
+        }
+        // Duplicate and stale registrations are inert.
+        assert!(!m.handle_register(crashed, Incarnation(2)));
+        assert!(!m.handle_register(crashed, Incarnation::FIRST));
+        assert_eq!(m.stats().registrations, 1);
+    }
+
+    #[test]
+    fn incarnation_knowledge_survives_master_failure() {
+        let mut m = IgnemMaster::new();
+        assert!(m.handle_register(NodeId(3), Incarnation(4)));
+        m.fail();
+        assert_eq!(m.slave_incarnation(NodeId(3)), Incarnation(4));
     }
 
     #[test]

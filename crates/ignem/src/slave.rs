@@ -26,7 +26,7 @@
 //! passed in, since pinned (vmtouch) blocks share it.
 
 use ignem_dfs::block::BlockId;
-use ignem_netsim::rpc::Epoch;
+use ignem_netsim::rpc::{Epoch, Incarnation};
 use ignem_netsim::NodeId;
 use ignem_simcore::idmap::{IdMap, IdSet};
 use ignem_simcore::telemetry::{Event, Telemetry};
@@ -143,6 +143,9 @@ pub struct SlaveStats {
     pub stale_epochs: u64,
     /// Job leases that expired un-renewed, releasing the job's references.
     pub lease_expiries: u64,
+    /// Commands rejected because they were addressed to a dead incarnation
+    /// of this slave (issued before its last crash/restart cycle).
+    pub stale_incarnations: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,6 +204,11 @@ pub struct IgnemSlave {
     job_blocks: IdMap<JobId, IdSet<BlockId>>,
     /// Highest master epoch observed; commands stamped lower are stale.
     epoch: Epoch,
+    /// Which boot of this daemon is running. Bumped by
+    /// [`restart`](Self::restart) after a crash; commands addressed to an
+    /// older incarnation are rejected (they were issued for a boot whose
+    /// state died with it).
+    incarnation: Incarnation,
     /// Per-job lease expiry instants (populated only when
     /// [`IgnemConfig::lease`] is set; keys mirror `job_blocks`).
     lease_expiry: IdMap<JobId, SimTime>,
@@ -237,6 +245,7 @@ impl IgnemSlave {
             refs: IdMap::new(),
             job_blocks: IdMap::new(),
             epoch: Epoch::FIRST,
+            incarnation: Incarnation::FIRST,
             lease_expiry: IdMap::new(),
             arrivals: 0,
             liveness_pending: false,
@@ -303,6 +312,45 @@ impl IgnemSlave {
     /// The highest master epoch this slave has observed.
     pub fn epoch(&self) -> Epoch {
         self.epoch
+    }
+
+    /// The incarnation this slave is currently running under.
+    pub fn incarnation(&self) -> Incarnation {
+        self.incarnation
+    }
+
+    /// Observes the destination incarnation stamped on an incoming master
+    /// message. Returns `false` — and the message must be dropped without
+    /// an acknowledgement — when it was addressed to an older boot of this
+    /// daemon: the state the sender was talking to died in the crash, and
+    /// applying the command would resurrect references the recovery
+    /// protocol already fenced off. Messages stamped with the current (or,
+    /// defensively, a newer) incarnation pass through.
+    pub fn observe_incarnation(&mut self, incarnation: Incarnation) -> bool {
+        if incarnation < self.incarnation {
+            self.version += 1;
+            self.stats.stale_incarnations += 1;
+            let (stale, current) = (incarnation.0, self.incarnation.0);
+            self.telemetry.emit(|| Event::IncarnationRejected {
+                node: self.node.0,
+                stale,
+                current,
+            });
+            return false;
+        }
+        true
+    }
+
+    /// Boots the slave after a crash, under a fresh incarnation. The
+    /// volatile purge already happened at crash time ([`fail`](Self::fail)
+    /// plus the host wiping the MemStore); this models the process coming
+    /// back with empty state, durable knowledge (the observed master
+    /// epoch) intact, and a new boot id to re-register under. Returns the
+    /// new incarnation for the registration handshake.
+    pub fn restart(&mut self) -> Incarnation {
+        self.version += 1;
+        self.incarnation = self.incarnation.next();
+        self.incarnation
     }
 
     /// Monotone mutation counter: advances on every state-changing entry
@@ -1569,6 +1617,41 @@ mod tests {
         assert_eq!(st.migrated_bytes, st.evicted_bytes);
         assert_eq!(mem.migrated_used(), 0);
         s.check_consistency(&mem).unwrap();
+    }
+
+    #[test]
+    fn restart_bumps_incarnation_and_fences_stale_sends() {
+        let (mut s, mut mem) = slave();
+        assert_eq!(s.incarnation(), Incarnation::FIRST);
+        // A send stamped with the boot incarnation is accepted.
+        assert!(s.observe_incarnation(Incarnation::FIRST));
+        // Crash + restart: the host wipes state via fail(), then restart()
+        // mints the next incarnation.
+        s.enqueue(t(0), vec![cmd(1, 10, B64, 0)], &mut mem);
+        s.fail(t(1), &mut mem);
+        let fresh = s.restart();
+        assert_eq!(fresh, Incarnation(2));
+        assert_eq!(s.incarnation(), fresh);
+        // A retransmission stamped with the pre-crash incarnation is stale.
+        assert!(!s.observe_incarnation(Incarnation::FIRST));
+        assert_eq!(s.stats().stale_incarnations, 1);
+        // Current and future stamps still pass (future = master restarted us
+        // again before this delivery arrived; accept, never regress).
+        assert!(s.observe_incarnation(fresh));
+        assert!(s.observe_incarnation(fresh.next()));
+        s.check_consistency(&mem).unwrap();
+    }
+
+    #[test]
+    fn stale_incarnation_rejection_emits_telemetry() {
+        use ignem_simcore::telemetry::{FlightRecorder, Telemetry};
+        let (mut s, _mem) = slave();
+        let recorder = FlightRecorder::new(16);
+        s.set_telemetry(Telemetry::new(Box::new(recorder.clone())));
+        s.restart();
+        assert!(!s.observe_incarnation(Incarnation::FIRST));
+        let kinds: Vec<&str> = recorder.events().iter().map(|r| r.event.kind()).collect();
+        assert_eq!(kinds, ["incarnation_rejected"]);
     }
 
     /// Property test (in-tree rng): across random command/read/evict/fault

@@ -382,6 +382,174 @@ fn duplicate_migrate_while_in_flight_is_idempotent() {
     assert_eq!(mem.migrated_used(), 0, "single evict must fully release");
 }
 
+// ---------------------------------------------------------------------------
+// Incarnation fencing: crash/restart schedules leave no dead-incarnation state
+// ---------------------------------------------------------------------------
+
+/// Property test: across random schedules of sends, deliveries, ack
+/// timeouts, and node crash/restart cycles, no reference-list entry, lease,
+/// or retransmission-outbox entry belonging to a dead incarnation survives —
+/// in the slave (its crash purge is total) or in the master (registration
+/// fences every send stamped with the dead incarnation, so their pending
+/// timeouts settle as stale instead of retransmitting).
+#[test]
+fn property_no_dead_incarnation_state_survives_restart() {
+    use ignem_core::command::{RpcPayload, SeqNo};
+    use ignem_core::master::{IgnemMaster, RetryDecision};
+    use ignem_netsim::rpc::Incarnation;
+    use ignem_simcore::time::SimDuration;
+
+    const NODES: usize = 3;
+    for seed in 0..CASES {
+        let mut rng = SimRng::new(0x1CA2_7A71_0000 ^ seed);
+        let mut master = IgnemMaster::new();
+        let mut slaves: Vec<(IgnemSlave, MemStore<BlockId>)> = (0..NODES)
+            .map(|n| {
+                let slave = IgnemSlave::new(
+                    NodeId(n as u32),
+                    IgnemConfig {
+                        lease: Some(SimDuration::from_secs(60)),
+                        ..IgnemConfig::default()
+                    },
+                );
+                (slave, MemStore::new(8 * B64))
+            })
+            .collect();
+        // In-flight master → slave sends: (seq, node, stamped incarnation).
+        let mut outstanding: Vec<(SeqNo, usize, Incarnation)> = Vec::new();
+        let mut clock = 0u64;
+
+        for step in 0..150u64 {
+            clock += 1;
+            let now = SimTime::from_secs(clock);
+            let n = rng.index(NODES);
+            let node = NodeId(n as u32);
+            match rng.index(8) {
+                0..=1 => {
+                    // Master issues a send; it is stamped with the master's
+                    // current belief of the node's incarnation.
+                    let job = JobId(rng.next_u64() % 4);
+                    let (seq, _timeout) = master.register_send(node, RpcPayload::Evict(job));
+                    outstanding.push((seq, n, master.slave_incarnation(node)));
+                }
+                2..=3 => {
+                    // A send is delivered. The slave accepts it iff the stamp
+                    // is not from a dead (pre-restart) incarnation.
+                    if outstanding.is_empty() {
+                        continue;
+                    }
+                    let i = rng.index(outstanding.len());
+                    let (seq, to, stamp) = outstanding.remove(i);
+                    let (slave, _mem) = &mut slaves[to];
+                    let accepted = slave.observe_incarnation(stamp);
+                    assert_eq!(
+                        accepted,
+                        stamp >= slave.incarnation(),
+                        "seed {seed} step {step}: fencing must reject exactly \
+                         the stale stamps"
+                    );
+                    master.on_ack(seq);
+                }
+                4 => {
+                    // An ack timeout fires. Retransmissions keep the stamp of
+                    // the original send (the master learns of restarts only
+                    // through registration, never through timeouts).
+                    if outstanding.is_empty() {
+                        continue;
+                    }
+                    let i = rng.index(outstanding.len());
+                    let (seq, to, stamp) = outstanding[i];
+                    match master.on_timeout(seq) {
+                        RetryDecision::Settled => {
+                            outstanding.remove(i);
+                        }
+                        RetryDecision::Retry {
+                            to: rto,
+                            incarnation,
+                            ..
+                        } => {
+                            assert_eq!(rto, NodeId(to as u32));
+                            assert_eq!(incarnation, stamp, "seed {seed} step {step}");
+                        }
+                        RetryDecision::GiveUp { .. } => {
+                            outstanding.remove(i);
+                        }
+                    }
+                }
+                5..=6 => {
+                    // The slave does real work so a later crash has refs and
+                    // leases to purge; complete reads immediately.
+                    let (slave, mem) = &mut slaves[n];
+                    let block = rng.next_u64() % 8;
+                    let job = rng.next_u64() % 4;
+                    let mut started: Vec<BlockId> = slave
+                        .enqueue(now, vec![cmd(job, block, 4)], mem)
+                        .into_iter()
+                        .filter_map(|a| match a {
+                            SlaveAction::StartRead { block, .. } => Some(block),
+                            _ => None,
+                        })
+                        .collect();
+                    while let Some(b) = started.pop() {
+                        for a in slave.on_read_done(now, b, mem) {
+                            if let SlaveAction::StartRead { block, .. } = a {
+                                started.push(block);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    // Crash + restart. The crash purge must be total, and a
+                    // delivered registration must fence every outstanding
+                    // send stamped with the dead incarnation.
+                    let (slave, mem) = &mut slaves[n];
+                    slave.fail(now, mem);
+                    let fresh = slave.restart();
+                    assert_eq!(slave.total_references(), 0, "seed {seed} step {step}");
+                    assert_eq!(slave.next_lease_expiry(), None, "seed {seed} step {step}");
+                    assert_eq!(mem.migrated_used(), 0, "seed {seed} step {step}");
+                    // The registration may be lost (lossy channel); the
+                    // cluster layer retries it, here we just skip sometimes.
+                    if rng.uniform() < 0.75 {
+                        assert!(master.handle_register(node, fresh));
+                        assert!(
+                            !master.handle_register(node, fresh),
+                            "duplicate registration must be inert"
+                        );
+                        outstanding.retain(|&(seq, to, _)| {
+                            if to != n {
+                                return true;
+                            }
+                            assert!(
+                                matches!(master.on_timeout(seq), RetryDecision::Settled),
+                                "seed {seed} step {step}: send to a dead \
+                                 incarnation must settle, not retransmit"
+                            );
+                            false
+                        });
+                    }
+                }
+            }
+            // INVARIANT: the master never holds an outbox entry stamped with
+            // an incarnation it already knows to be dead — registration
+            // purges are complete, so every outstanding send carries exactly
+            // the master's current belief for its destination.
+            for &(_, to, stamp) in &outstanding {
+                assert_eq!(
+                    stamp,
+                    master.slave_incarnation(NodeId(to as u32)),
+                    "seed {seed} step {step}: dead-incarnation outbox entry survived"
+                );
+            }
+            for (slave, mem) in &slaves {
+                slave
+                    .check_consistency(mem)
+                    .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
+            }
+        }
+    }
+}
+
 /// Distinct jobs sharing a block still get one reference each (duplicate
 /// suppression must be per-(job, block), not per-block).
 #[test]

@@ -58,6 +58,36 @@ impl std::fmt::Display for Epoch {
     }
 }
 
+/// A slave incarnation number: which boot of a node's daemon is speaking.
+///
+/// The mirror image of [`Epoch`]: where epochs fence commands from a
+/// *master* whose authority was revoked by a failover, incarnations fence
+/// commands addressed to a *slave* process that has since crashed and
+/// restarted. The master stamps every send with the incarnation it believes
+/// the destination is running; a restarted slave (which bumped its own
+/// incarnation and re-registered) rejects anything stamped older — a
+/// retransmission aimed at the dead incarnation must not resurrect purged
+/// reference-list state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Incarnation(pub u64);
+
+impl Incarnation {
+    /// The boot every node starts under; no message is ever stamped lower.
+    pub const FIRST: Incarnation = Incarnation(1);
+
+    /// The incarnation after a crash/restart cycle.
+    #[must_use]
+    pub fn next(self) -> Incarnation {
+        Incarnation(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for Incarnation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "incarnation_{}", self.0)
+    }
+}
+
 /// One end of a control-plane RPC: the Ignem master (inside the NameNode)
 /// or a slave daemon on a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

@@ -320,6 +320,69 @@ pub enum Event {
         /// The epoch the slave currently recognizes.
         current: u64,
     },
+    /// A slave rejected a master command stamped with a stale incarnation
+    /// (a retransmission addressed to a crashed-and-replaced boot of the
+    /// node's daemon).
+    IncarnationRejected {
+        /// Rejecting node.
+        node: u32,
+        /// The stale incarnation carried by the command.
+        stale: u64,
+        /// The incarnation the slave is currently running.
+        current: u64,
+    },
+    /// A node crashed: its volatile memory is gone, its NIC is down, and
+    /// every in-flight transfer touching it was dropped. The matching
+    /// `BlockEvicted` events for wiped RAM replicas carry the same
+    /// timestamp.
+    NodeCrashed {
+        /// The crashed node.
+        node: u32,
+    },
+    /// A crashed node restarted under a fresh incarnation (durable disk
+    /// blocks intact, memory empty, not yet re-registered).
+    NodeRestarted {
+        /// The restarted node.
+        node: u32,
+        /// The incarnation the slave now runs under.
+        incarnation: u64,
+    },
+    /// The master processed a restarted slave's registration: stale
+    /// outbox state for the dead incarnation was purged.
+    SlaveRegistered {
+        /// The registering node.
+        node: u32,
+        /// The incarnation the master now records for the node.
+        incarnation: u64,
+    },
+    /// The master absorbed a re-registered node's full block report; its
+    /// durable replicas are visible to reads again.
+    BlockReportReceived {
+        /// The reporting node.
+        node: u32,
+        /// Number of block replicas the report restored.
+        blocks: u64,
+    },
+    /// The NameNode started copying an under-replicated block to restore
+    /// its replication factor.
+    RereplicationStarted {
+        /// The block being copied.
+        block: u64,
+        /// The surviving replica holder serving the read.
+        source: u32,
+        /// The node receiving the new replica.
+        target: u32,
+        /// Block size.
+        bytes: u64,
+    },
+    /// Re-replication of a block found no usable source or target and was
+    /// deferred to a backoff retry.
+    RereplicationDeferred {
+        /// The block that could not be copied yet.
+        block: u64,
+        /// Backoff attempt number (1 on the first deferral).
+        attempt: u32,
+    },
     /// A fault was injected.
     FaultInjected {
         /// Debug rendering of the fault.
@@ -363,6 +426,13 @@ impl Event {
             Event::RpcGaveUp { .. } => "rpc_gave_up",
             Event::LeaseExpired { .. } => "lease_expired",
             Event::EpochRejected { .. } => "epoch_rejected",
+            Event::IncarnationRejected { .. } => "incarnation_rejected",
+            Event::NodeCrashed { .. } => "node_crashed",
+            Event::NodeRestarted { .. } => "node_restarted",
+            Event::SlaveRegistered { .. } => "slave_registered",
+            Event::BlockReportReceived { .. } => "block_report_received",
+            Event::RereplicationStarted { .. } => "rereplication_started",
+            Event::RereplicationDeferred { .. } => "rereplication_deferred",
             Event::FaultInjected { .. } => "fault_injected",
             Event::FaultHealed { .. } => "fault_healed",
         }
@@ -389,7 +459,8 @@ impl Event {
             | Event::MigrationCancelled { .. }
             | Event::BlockEvicted { .. }
             | Event::LeaseExpired { .. }
-            | Event::EpochRejected { .. } => "migration",
+            | Event::EpochRejected { .. }
+            | Event::IncarnationRejected { .. } => "migration",
             Event::RpcSent { .. }
             | Event::RpcDropped { .. }
             | Event::RpcDuplicated { .. }
@@ -397,7 +468,14 @@ impl Event {
             | Event::RpcRetried { .. }
             | Event::RpcAcked { .. }
             | Event::RpcGaveUp { .. } => "rpc",
-            Event::FaultInjected { .. } | Event::FaultHealed { .. } => "fault",
+            Event::NodeCrashed { .. }
+            | Event::NodeRestarted { .. }
+            | Event::SlaveRegistered { .. }
+            | Event::BlockReportReceived { .. }
+            | Event::RereplicationStarted { .. }
+            | Event::RereplicationDeferred { .. }
+            | Event::FaultInjected { .. }
+            | Event::FaultHealed { .. } => "fault",
         }
     }
 
@@ -486,6 +564,32 @@ impl Event {
                 stale,
                 current,
             } => format!("node{node} rejects stale epoch {stale} (current {current})"),
+            Event::IncarnationRejected {
+                node,
+                stale,
+                current,
+            } => format!("node{node} rejects stale incarnation {stale} (current {current})"),
+            Event::NodeCrashed { node } => format!("node{node} crashed"),
+            Event::NodeRestarted { node, incarnation } => {
+                format!("node{node} restarted as incarnation {incarnation}")
+            }
+            Event::SlaveRegistered { node, incarnation } => {
+                format!("master registers node{node} incarnation {incarnation}")
+            }
+            Event::BlockReportReceived { node, blocks } => {
+                format!("block report from node{node} restores {blocks} replicas")
+            }
+            Event::RereplicationStarted {
+                block,
+                source,
+                target,
+                bytes,
+            } => format!(
+                "re-replicating block {block} ({bytes} bytes) from node{source} to node{target}"
+            ),
+            Event::RereplicationDeferred { block, attempt } => {
+                format!("re-replication of block {block} deferred (attempt {attempt})")
+            }
             Event::FaultInjected { desc } => desc.clone(),
             Event::FaultHealed { desc } => format!("healed: {desc}"),
         }
@@ -601,10 +705,40 @@ impl Event {
                 node,
                 stale,
                 current,
+            }
+            | Event::IncarnationRejected {
+                node,
+                stale,
+                current,
             } => {
                 push_u64(out, "node", *node as u64);
                 push_u64(out, "stale", *stale);
                 push_u64(out, "current", *current);
+            }
+            Event::NodeCrashed { node } => push_u64(out, "node", *node as u64),
+            Event::NodeRestarted { node, incarnation }
+            | Event::SlaveRegistered { node, incarnation } => {
+                push_u64(out, "node", *node as u64);
+                push_u64(out, "incarnation", *incarnation);
+            }
+            Event::BlockReportReceived { node, blocks } => {
+                push_u64(out, "node", *node as u64);
+                push_u64(out, "blocks", *blocks);
+            }
+            Event::RereplicationStarted {
+                block,
+                source,
+                target,
+                bytes,
+            } => {
+                push_u64(out, "block", *block);
+                push_u64(out, "source", *source as u64);
+                push_u64(out, "target", *target as u64);
+                push_u64(out, "bytes", *bytes);
+            }
+            Event::RereplicationDeferred { block, attempt } => {
+                push_u64(out, "block", *block);
+                push_u64(out, "attempt", *attempt as u64);
             }
             Event::FaultInjected { desc } | Event::FaultHealed { desc } => {
                 push_str(out, "desc", desc);
@@ -1101,6 +1235,31 @@ mod tests {
                 node: 0,
                 stale: 0,
                 current: 1,
+            },
+            Event::IncarnationRejected {
+                node: 0,
+                stale: 1,
+                current: 2,
+            },
+            Event::NodeCrashed { node: 0 },
+            Event::NodeRestarted {
+                node: 0,
+                incarnation: 2,
+            },
+            Event::SlaveRegistered {
+                node: 0,
+                incarnation: 2,
+            },
+            Event::BlockReportReceived { node: 0, blocks: 0 },
+            Event::RereplicationStarted {
+                block: 0,
+                source: 0,
+                target: 1,
+                bytes: 0,
+            },
+            Event::RereplicationDeferred {
+                block: 0,
+                attempt: 1,
             },
             Event::FaultInjected {
                 desc: String::new(),

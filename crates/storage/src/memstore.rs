@@ -258,6 +258,21 @@ impl<K: Ord + Copy> MemStore<K> {
         keys
     }
 
+    /// Removes **every** resident block — migrated, pinned and cached —
+    /// modelling a node crash: RAM contents do not survive a power cycle.
+    /// Returns the total bytes released. Occupancy history is preserved
+    /// (it describes the past) and migrated occupancy drops to zero at
+    /// `now`.
+    pub fn wipe(&mut self, now: SimTime) -> u64 {
+        let keys: Vec<K> = self.blocks.keys().copied().collect();
+        let mut released = 0;
+        for k in &keys {
+            released += self.remove(now, k).unwrap_or(0);
+        }
+        self.version += 1;
+        released
+    }
+
     /// Time-weighted average of **migrated** occupancy (bytes) up to `now`.
     pub fn average_migrated_occupancy(&self, now: SimTime) -> f64 {
         self.occupancy.average(now)
@@ -388,6 +403,24 @@ mod tests {
         assert!(m.insert_cached(t(3), 3, 40 * MB));
         assert!(m.contains(&1) && !m.contains(&2));
         assert_eq!(m.used(), 80 * MB);
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let mut m: MemStore<u32> = MemStore::new(100 * MB);
+        m.insert(t(0), 1, 30 * MB, Residency::Pinned).unwrap();
+        m.insert(t(0), 2, 20 * MB, Residency::Migrated).unwrap();
+        assert!(m.insert_cached(t(0), 3, 10 * MB));
+        let v = m.version();
+        assert_eq!(m.wipe(t(5)), 60 * MB);
+        assert!(m.is_empty());
+        assert_eq!(m.used(), 0);
+        assert_eq!(m.migrated_used(), 0);
+        assert_eq!(m.cached_used(), 0);
+        assert!(m.version() > v);
+        // The store is reusable after the wipe (the node restarted).
+        m.insert(t(6), 4, 40 * MB, Residency::Migrated).unwrap();
+        assert_eq!(m.migrated_used(), 40 * MB);
     }
 
     #[test]

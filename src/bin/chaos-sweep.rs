@@ -2,7 +2,7 @@
 //! invariant violation, and emit a minimized fault schedule for it.
 //!
 //! ```text
-//! chaos-sweep [SEEDS] [--start N] [--out PATH] [--jobs N]
+//! chaos-sweep [SEEDS] [--start N] [--out PATH] [--jobs N] [--crashes N]
 //! chaos-sweep --bench-out PATH [--bench-seeds N] [--jobs N]
 //!             [--bench-baseline PATH]
 //! ```
@@ -15,6 +15,12 @@
 //! to a 1-minimal schedule, written to `--out` (default
 //! `chaos-minimized.txt`) for CI artifact upload, and the process exits
 //! nonzero.
+//!
+//! `--crashes N` adds N [`Fault::NodeCrash`] draws to every seed's fault
+//! plan (on top of the default palette), exercising the crash/recovery
+//! protocol and the recovery-convergence invariant. The crash draws are
+//! appended after the base draws, so `--crashes 0` (the default) sweeps
+//! the same plans as before crash support existed.
 //!
 //! Seeds fan out over `--jobs` worker threads (default: available
 //! parallelism) through [`ignem_cluster::sweep`], which merges results in
@@ -47,6 +53,7 @@ fn main() -> ExitCode {
     let mut start: u64 = 0;
     let mut out = String::from("chaos-minimized.txt");
     let mut jobs: Option<usize> = None;
+    let mut crashes: usize = 0;
     let mut bench_out: Option<String> = None;
     let mut bench_seeds: u64 = 256;
     let mut bench_baseline: Option<String> = None;
@@ -56,6 +63,7 @@ fn main() -> ExitCode {
             "--start" => start = parse(args.next(), "--start"),
             "--out" => out = args.next().unwrap_or_else(|| usage("--out needs a path")),
             "--jobs" => jobs = Some(parse(args.next(), "--jobs").max(1) as usize),
+            "--crashes" => crashes = parse(args.next(), "--crashes") as usize,
             "--bench-out" => {
                 bench_out = Some(
                     args.next()
@@ -70,7 +78,7 @@ fn main() -> ExitCode {
                 )
             }
             "--help" | "-h" => usage(
-                "chaos-sweep [SEEDS] [--start N] [--out PATH] [--jobs N]\n\
+                "chaos-sweep [SEEDS] [--start N] [--out PATH] [--jobs N] [--crashes N]\n\
                  chaos-sweep --bench-out PATH [--bench-seeds N] [--jobs N] [--bench-baseline PATH]",
             ),
             other => seeds = parse(Some(other.to_string()), "SEEDS"),
@@ -83,31 +91,38 @@ fn main() -> ExitCode {
     }
 
     let mut worst_leak = 0u64;
-    let failed = sweep(start, seeds, jobs, seed_outcome, |seed, outcome| {
-        if let Err(violation) = outcome.verdict {
-            eprintln!("seed {seed}: FAIL — {violation}");
-            let cfg = ChaosConfig {
-                seed,
-                ..ChaosConfig::default()
-            };
-            let description = match minimize_faults(&cfg) {
-                Some(min) => min.describe(),
-                // Determinism violations survive fault shrinking only by
-                // accident; still record the full plan for the report.
-                None => format!("seed {seed} violates: {violation}\n(full fault plan kept)\n"),
-            };
-            eprintln!("{description}");
-            if let Err(e) = std::fs::write(&out, &description) {
-                eprintln!("could not write {out}: {e}");
+    let failed = sweep(
+        start,
+        seeds,
+        jobs,
+        move |seed| seed_outcome(seed, crashes),
+        |seed, outcome| {
+            if let Err(violation) = outcome.verdict {
+                eprintln!("seed {seed}: FAIL — {violation}");
+                let cfg = ChaosConfig {
+                    seed,
+                    crashes,
+                    ..ChaosConfig::default()
+                };
+                let description = match minimize_faults(&cfg) {
+                    Some(min) => min.describe(),
+                    // Determinism violations survive fault shrinking only by
+                    // accident; still record the full plan for the report.
+                    None => format!("seed {seed} violates: {violation}\n(full fault plan kept)\n"),
+                };
+                eprintln!("{description}");
+                if let Err(e) = std::fs::write(&out, &description) {
+                    eprintln!("could not write {out}: {e}");
+                }
+                return ControlFlow::Break(());
             }
-            return ControlFlow::Break(());
-        }
-        worst_leak = worst_leak.max(outcome.leak);
-        if (seed - start + 1).is_multiple_of(64) {
-            println!("…{} seeds clean", seed - start + 1);
-        }
-        ControlFlow::Continue(())
-    });
+            worst_leak = worst_leak.max(outcome.leak);
+            if (seed - start + 1).is_multiple_of(64) {
+                println!("…{} seeds clean", seed - start + 1);
+            }
+            ControlFlow::Continue(())
+        },
+    );
     if failed.is_some() {
         return ExitCode::FAILURE;
     }
@@ -125,9 +140,10 @@ struct SeedOutcome {
 
 /// The per-seed verification: one validated chaos run, the invariant
 /// suite, and a second run to confirm a bit-identical fingerprint.
-fn seed_outcome(seed: u64) -> SeedOutcome {
+fn seed_outcome(seed: u64, crashes: usize) -> SeedOutcome {
     let cfg = ChaosConfig {
         seed,
+        crashes,
         ..ChaosConfig::default()
     };
     let first = run_chaos(&cfg);
@@ -283,13 +299,19 @@ fn time_sweep(name: &'static str, seeds: u64, jobs: usize) -> Scenario {
     let mut events = 0u64;
     let mut violations = 0u64;
     for _ in 0..SWEEP_REPS {
-        sweep(0, seeds, jobs, seed_outcome, |_seed, outcome| {
-            events += outcome.events;
-            if outcome.verdict.is_err() {
-                violations += 1;
-            }
-            ControlFlow::<()>::Continue(())
-        });
+        sweep(
+            0,
+            seeds,
+            jobs,
+            |seed| seed_outcome(seed, 0),
+            |_seed, outcome| {
+                events += outcome.events;
+                if outcome.verdict.is_err() {
+                    violations += 1;
+                }
+                ControlFlow::<()>::Continue(())
+            },
+        );
     }
     if violations > 0 {
         eprintln!("{name}: {violations} seed violation(s) during bench");
