@@ -1,13 +1,19 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! report [OUT_DIR] [--trace-out PATH] [SECTION...]
+//! report [OUT_DIR] [--trace-out PATH] [--perfetto-out PATH]
+//!        [--perfetto-chaos SEED] [SECTION...]
 //!
 //! SECTION: fig1 fig2 fig3 fig4 table1 fig5 table2 fig6 fig7 table3 fig8
-//!          fig9 ablation-priority telemetry   (default: all)
+//!          fig9 ablation-priority telemetry profile   (default: all)
 //! OUT_DIR: where CSVs go (default: ./results)
 //! --trace-out PATH: where the telemetry section writes the run's raw
 //!          event stream as JSONL
+//! --perfetto-out PATH: where the telemetry section writes span trees and
+//!          metric tracks as Chrome trace-event JSON (open in
+//!          https://ui.perfetto.dev)
+//! --perfetto-chaos SEED: export the Perfetto trace from this chaos seed
+//!          instead of the SWIM run
 //! ```
 
 use ignem_bench::{Report, Section};
@@ -19,6 +25,7 @@ fn is_section(name: &str) -> bool {
         || name.starts_with("ablation")
         || name.starts_with("extension")
         || name == "telemetry"
+        || name == "profile"
         || name == "all"
 }
 
@@ -35,6 +42,31 @@ fn main() {
         trace_out = Some(args.remove(i + 1));
         args.remove(i);
     }
+    let mut perfetto_out: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--perfetto-out") {
+        if i + 1 >= args.len() {
+            eprintln!("--perfetto-out requires a path");
+            std::process::exit(2);
+        }
+        perfetto_out = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let mut perfetto_chaos: Option<u64> = None;
+    if let Some(i) = args.iter().position(|a| a == "--perfetto-chaos") {
+        if i + 1 >= args.len() {
+            eprintln!("--perfetto-chaos requires a seed");
+            std::process::exit(2);
+        }
+        let seed = args.remove(i + 1);
+        args.remove(i);
+        match seed.parse() {
+            Ok(s) => perfetto_chaos = Some(s),
+            Err(_) => {
+                eprintln!("--perfetto-chaos requires an integer seed, got {seed}");
+                std::process::exit(2);
+            }
+        }
+    }
     let (out, wanted): (String, Vec<String>) = match args.split_first() {
         Some((first, rest)) if !is_section(first) => (first.clone(), rest.to_vec()),
         _ => ("results".to_string(), args),
@@ -42,6 +74,12 @@ fn main() {
     let mut report = Report::new(&out);
     if let Some(path) = &trace_out {
         report.set_trace_out(path);
+    }
+    if let Some(path) = &perfetto_out {
+        report.set_perfetto_out(path);
+    }
+    if let Some(seed) = perfetto_chaos {
+        report.set_perfetto_chaos(seed);
     }
     let sections: Vec<Section> = if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         report.all()
@@ -71,6 +109,7 @@ fn main() {
                 "extension-iterative" => report.extension_iterative(),
                 "extension-caching" => report.extension_caching(),
                 "telemetry" => report.telemetry(),
+                "profile" => report.profile(),
                 other => {
                     eprintln!("unknown section: {other}");
                     std::process::exit(2);

@@ -7,14 +7,20 @@
 
 use std::path::Path;
 
+use ignem_cluster::chaos::{run_chaos_observed, ChaosConfig};
 use ignem_cluster::config::{ClusterConfig, FsMode};
 use ignem_cluster::experiment::{
-    run_hive, run_read_micro, run_sort, run_swim, run_swim_recorded, run_wordcount,
+    run_hive, run_read_micro, run_sort, run_swim, run_swim_observed, run_swim_profiled,
+    run_wordcount,
 };
-use ignem_cluster::explain::{JobLeadTime, LossCause, TelemetryReport};
+use ignem_cluster::explain::{reconcile_critical_path, JobLeadTime, LossCause, TelemetryReport};
 use ignem_cluster::metrics::RunMetrics;
 use ignem_core::policy::Policy;
+use ignem_simcore::metrics::MetricsReport;
+use ignem_simcore::perfetto;
+use ignem_simcore::profile::HostProfiler;
 use ignem_simcore::rng::SimRng;
+use ignem_simcore::span::SpanForest;
 use ignem_simcore::stats::{Histogram, Samples};
 use ignem_simcore::time::{SimDuration, SimTime};
 use ignem_simcore::units::GB;
@@ -45,7 +51,12 @@ pub struct Report {
     trace: SwimTrace,
     swim: Option<SwimBundle>,
     trace_out: Option<std::path::PathBuf>,
+    perfetto_out: Option<std::path::PathBuf>,
+    perfetto_chaos: Option<u64>,
 }
+
+/// The fixed metric-aggregation window every report run uses.
+const METRICS_WINDOW: SimDuration = SimDuration::from_secs(10);
 
 struct SwimBundle {
     hdfs: RunMetrics,
@@ -68,6 +79,8 @@ impl Report {
             trace,
             swim: None,
             trace_out: None,
+            perfetto_out: None,
+            perfetto_chaos: None,
         }
     }
 
@@ -80,6 +93,19 @@ impl Report {
     /// writes the raw event stream as JSONL (the `--trace-out` flag).
     pub fn set_trace_out(&mut self, path: impl AsRef<Path>) {
         self.trace_out = Some(path.as_ref().to_path_buf());
+    }
+
+    /// Sets the path where [`telemetry`](Report::telemetry) writes the
+    /// run's span trees and metric tracks as Chrome trace-event JSON for
+    /// <https://ui.perfetto.dev> (the `--perfetto-out` flag).
+    pub fn set_perfetto_out(&mut self, path: impl AsRef<Path>) {
+        self.perfetto_out = Some(path.as_ref().to_path_buf());
+    }
+
+    /// Exports the Perfetto trace from the given chaos seed instead of
+    /// the Table I SWIM run (the `--perfetto-chaos SEED` flag).
+    pub fn set_perfetto_chaos(&mut self, seed: u64) {
+        self.perfetto_chaos = Some(seed);
     }
 
     fn swim(&mut self) -> &SwimBundle {
@@ -977,14 +1003,23 @@ impl Report {
     }
 
     /// Telemetry deep-dive (not a paper figure): replays the Table I
-    /// SWIM/Ignem run with the flight recorder installed, folds the event
-    /// stream into per-block migration-race verdicts and per-job
-    /// lead-time decompositions, and checks that the verdicts reconcile
-    /// exactly with the run's metrics. When a trace path is set
-    /// ([`Report::set_trace_out`]), the raw JSONL stream is written there
-    /// too.
+    /// SWIM/Ignem run with the flight recorder and the sim-time metrics
+    /// registry installed, folds the event stream into per-block
+    /// migration-race verdicts, per-job lead-time decompositions, and
+    /// causal span trees with per-category critical paths, and checks
+    /// that all three views reconcile exactly with the run's metrics.
+    /// When a trace path is set ([`Report::set_trace_out`]), the raw
+    /// JSONL stream is written there too; when a Perfetto path is set
+    /// ([`Report::set_perfetto_out`]), the span trees and metric tracks
+    /// go there as Chrome trace-event JSON.
     pub fn telemetry(&mut self) -> Section {
-        let (metrics, recorder) = run_swim_recorded(&self.cfg, FsMode::Ignem, &self.trace, 1 << 22);
+        let (metrics, recorder, mreport) = run_swim_observed(
+            &self.cfg,
+            FsMode::Ignem,
+            &self.trace,
+            1 << 22,
+            METRICS_WINDOW,
+        );
         if let Some(path) = &self.trace_out {
             if let Some(dir) = path.parent() {
                 if !dir.as_os_str().is_empty() {
@@ -1032,6 +1067,88 @@ impl Report {
             &lt_rows,
         );
 
+        // Causal span trees and the per-category critical path, cross-
+        // checked against the explainer's decomposition by integer
+        // equality (DESIGN.md §12).
+        let forest = SpanForest::build(&events);
+        let path = forest.critical_path();
+        reconcile_critical_path(&path, &report, &metrics)
+            .expect("critical path must reconcile with explainer lead times");
+        let cp_rows: Vec<Vec<String>> = path
+            .jobs
+            .iter()
+            .map(|j| {
+                vec![
+                    j.job.to_string(),
+                    j.queueing.as_micros().to_string(),
+                    j.master_processing.as_micros().to_string(),
+                    j.disk_contention.as_micros().to_string(),
+                    j.migration_queue.as_micros().to_string(),
+                    j.network.as_micros().to_string(),
+                    j.retransmission_backoff.as_micros().to_string(),
+                ]
+            })
+            .collect();
+        write_csv(
+            &self.out,
+            "telemetry_critical_path",
+            &[
+                "job",
+                "queueing_us",
+                "master_processing_us",
+                "disk_contention_us",
+                "migration_queue_us",
+                "network_us",
+                "retransmission_backoff_us",
+            ],
+            &cp_rows,
+        );
+
+        // Windowed sim-time metrics: CSV + JSONL exports.
+        write_csv(
+            &self.out,
+            "metrics_windows",
+            &MetricsReport::csv_header(),
+            &mreport.to_csv_rows(),
+        );
+        std::fs::write(self.out.join("metrics_windows.jsonl"), mreport.to_jsonl())
+            .expect("write metrics JSONL");
+
+        // Perfetto trace: the chaos world when a seed is set, else this
+        // SWIM run.
+        let mut perfetto_line = String::new();
+        if let Some(p) = &self.perfetto_out {
+            let json = match self.perfetto_chaos {
+                Some(seed) => {
+                    let cfg = ChaosConfig {
+                        seed,
+                        ..ChaosConfig::default()
+                    };
+                    let (chaos, cm) = run_chaos_observed(&cfg, METRICS_WINDOW);
+                    assert_eq!(
+                        chaos.events_dropped, 0,
+                        "chaos recorder must hold the whole stream"
+                    );
+                    perfetto::export(&SpanForest::build(&chaos.events), Some(&cm))
+                }
+                None => perfetto::export(&forest, Some(&mreport)),
+            };
+            if let Some(dir) = p.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).expect("create perfetto dir");
+                }
+            }
+            std::fs::write(p, json).expect("write perfetto trace");
+            perfetto_line = format!(
+                "\nperfetto trace ({}) written to {}",
+                match self.perfetto_chaos {
+                    Some(seed) => format!("chaos seed {seed}"),
+                    None => "SWIM run".to_string(),
+                },
+                p.display()
+            );
+        }
+
         let n = report.lead_times.len().max(1) as f64;
         let mean = |sel: fn(&JobLeadTime) -> f64| -> f64 {
             report.lead_times.iter().map(sel).sum::<f64>() / n
@@ -1041,13 +1158,25 @@ impl Report {
             .map(|&c| format!("{} {}", c.tag(), report.lost_with(c)))
             .collect::<Vec<_>>()
             .join("   ");
+        let overflow = if recorder.dropped() > 0 {
+            format!(
+                "\nWARNING: flight recorder overflowed — {} records dropped; \
+                 spans and verdicts below audit a truncated stream",
+                recorder.dropped()
+            )
+        } else {
+            String::new()
+        };
         let text = format!(
             "Telemetry — migration-race explainer over the Table I SWIM/Ignem run\n\
-             {} events recorded ({} dropped), {} block reads explained\n\
+             {} events recorded ({} dropped), {} block reads explained{overflow}\n\
              won race (memory): {}   lost race (disk): {}\n\
              loss causes: {causes}\n\
              mean lead time: queue {:.2}s + heartbeat {:.2}s; \
-             migration service {:.2}s per job",
+             migration service {:.2}s per job\n\
+             {} causal spans across {} completed-migration critical paths \
+             (reconciled exactly)\n\
+             {} metric windows of {}s exported (CSV + JSONL){perfetto_line}",
             events.len(),
             recorder.dropped(),
             report.verdicts.len(),
@@ -1056,9 +1185,67 @@ impl Report {
             mean(|lt| lt.queue_delay.as_secs_f64()),
             mean(|lt| lt.heartbeat_delay.as_secs_f64()),
             mean(|lt| lt.migration_service.as_secs_f64()),
+            forest.spans.len(),
+            path.jobs.len(),
+            mreport.windows.len(),
+            METRICS_WINDOW.as_secs_f64() as u64,
         );
         Section {
             id: "telemetry",
+            text,
+        }
+    }
+
+    /// Host-time profile (not a paper figure): reruns the Table I
+    /// SWIM/Ignem run with the [`HostProfiler`] attached, attributing the
+    /// engine's wall-clock time to event-type buckets. The profile is
+    /// purely observational — the simulated run is bit-identical — but
+    /// the wall-clock numbers themselves naturally vary host to host.
+    pub fn profile(&mut self) -> Section {
+        let t0 = crate::timing::wall_clock();
+        let profiler = HostProfiler::new(Box::new(move || t0.elapsed().as_nanos() as u64));
+        let metrics = run_swim_profiled(&self.cfg, FsMode::Ignem, &self.trace, profiler.clone());
+        let mut buckets = profiler.report();
+        let total_nanos: u64 = buckets.iter().map(|(_, b)| b.nanos).sum();
+        let total_events: u64 = buckets.iter().map(|(_, b)| b.count).sum();
+
+        let rows: Vec<Vec<String>> = buckets
+            .iter()
+            .map(|(name, b)| {
+                vec![
+                    name.to_string(),
+                    b.count.to_string(),
+                    (b.nanos / 1_000).to_string(),
+                ]
+            })
+            .collect();
+        write_csv(
+            &self.out,
+            "profile_event_buckets",
+            &["event_kind", "events", "host_us"],
+            &rows,
+        );
+
+        buckets.sort_by(|a, b| b.1.nanos.cmp(&a.1.nanos).then(a.0.cmp(b.0)));
+        let mut text = format!(
+            "Host profile — engine wall-clock by event kind (Table I SWIM/Ignem run)\n\
+             {} events handled in {:.1} ms of host time ({} sim-seconds)\n",
+            total_events,
+            total_nanos as f64 / 1e6,
+            metrics.makespan.as_secs_f64() as u64,
+        );
+        for (name, b) in buckets.iter().take(8) {
+            text.push_str(&format!(
+                "  {:<18} {:>8} events  {:>9.2} ms  {:>5.1}%\n",
+                name,
+                b.count,
+                b.nanos as f64 / 1e6,
+                b.nanos as f64 / (total_nanos.max(1)) as f64 * 100.0
+            ));
+        }
+        text.push_str("full per-kind table in profile_event_buckets.csv");
+        Section {
+            id: "profile",
             text,
         }
     }
@@ -1088,6 +1275,7 @@ impl Report {
             self.extension_iterative(),
             self.extension_caching(),
             self.telemetry(),
+            self.profile(),
         ]
     }
 }

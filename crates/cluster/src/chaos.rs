@@ -130,9 +130,11 @@ pub struct ChaosReport {
     pub fingerprint: u64,
     /// The flight-recorder event stream of the run, in emission order.
     pub events: Vec<EventRecord>,
-    /// Records the flight recorder had to evict to stay within its bound;
-    /// invariant 6 is only checked when this is zero (a truncated stream
-    /// can legitimately miss `MigrationStarted` events).
+    /// Records the flight recorder had to evict to stay within its bound.
+    /// Any nonzero count fails [`check_invariants`](Self::check_invariants)
+    /// loudly: a truncated stream can legitimately miss
+    /// `MigrationStarted` events, so invariant 6 would otherwise pass
+    /// vacuously on a window that no longer covers the run.
     pub events_dropped: u64,
 }
 
@@ -180,9 +182,15 @@ impl ChaosReport {
             }
         }
         self.check_ledger()?;
-        if self.events_dropped == 0 {
-            self.check_event_stream_consistent()?;
+        if self.events_dropped > 0 {
+            return Err(format!(
+                "flight recorder overflowed: {} records dropped, so invariant 6 \
+                 cannot audit the full run — raise the recorder capacity \
+                 (faults: {:?})",
+                self.events_dropped, self.faults
+            ));
         }
+        self.check_event_stream_consistent()?;
         // Invariant 8: recovery convergence. The world audits crash
         // recovery at finalization; a `Some` verdict names the first
         // piece of dead-incarnation state that failed to converge.
@@ -594,6 +602,66 @@ pub fn run_chaos_with(cfg: &ChaosConfig, faults: Vec<(SimTime, Fault)>) -> Chaos
         events: recorder.events(),
         events_dropped: recorder.dropped(),
     }
+}
+
+/// [`run_chaos`] with a sim-time [`MetricsRegistry`] attached, returning
+/// the chaos report alongside the windowed metrics. The metrics handle is
+/// purely observational — the report (fingerprint, event stream) is
+/// bit-identical to an unobserved [`run_chaos`] of the same config.
+pub fn run_chaos_observed(
+    cfg: &ChaosConfig,
+    window: SimDuration,
+) -> (ChaosReport, ignem_simcore::metrics::MetricsReport) {
+    let mut fault_rng = SimRng::new(cfg.seed ^ 0xC4A0_5EED);
+    let faults = generate_faults(
+        &mut fault_rng,
+        cfg.nodes,
+        ClusterConfig::default().dfs.replication,
+        cfg.jobs,
+        cfg.faults,
+        cfg.crashes,
+    );
+    let mut cluster = ClusterConfig {
+        nodes: cfg.nodes,
+        seed: cfg.seed,
+        rpc: cfg.rpc,
+        ..ClusterConfig::default()
+    };
+    cluster.ignem.buffer_capacity = 512 * MIB;
+    cluster.ignem.lease = cfg.lease;
+    cluster.validate();
+
+    let killed_plans: Vec<usize> = faults
+        .iter()
+        .filter_map(|(_, f)| match f {
+            Fault::KillPlan(p) => Some(*p),
+            _ => None,
+        })
+        .collect();
+
+    let (files, plans) = workload(cfg.jobs);
+    let total_plans = plans.len();
+    let recorder = FlightRecorder::new(1 << 20);
+    let registry = ignem_simcore::metrics::MetricsRegistry::new(window);
+    let world = World::new(cluster, FsMode::Ignem, &files, plans, faults.clone())
+        .with_telemetry(Box::new(recorder.clone()))
+        .with_metrics(registry.clone())
+        .with_validation();
+    let metrics = world.run();
+    let report = registry.finish(metrics.makespan);
+    let fp = fingerprint(&metrics);
+    (
+        ChaosReport {
+            faults,
+            killed_plans,
+            total_plans,
+            metrics,
+            fingerprint: fp,
+            events: recorder.events(),
+            events_dropped: recorder.dropped(),
+        },
+        report,
+    )
 }
 
 /// A failing fault schedule shrunk to 1-minimality, plus the violation it

@@ -187,6 +187,67 @@ pub fn run_swim_recorded(
     (metrics, recorder)
 }
 
+/// Runs the SWIM workload like [`run_swim_recorded`], but with a sim-time
+/// [`MetricsRegistry`](ignem_simcore::metrics::MetricsRegistry) of the
+/// given window attached as well; returns the metrics, the recorder, and
+/// the windowed metrics report. The registry is purely observational —
+/// the event stream and [`RunMetrics`] are bit-identical to an
+/// unobserved run.
+pub fn run_swim_observed(
+    cfg: &ClusterConfig,
+    mode: FsMode,
+    trace: &SwimTrace,
+    capacity: usize,
+    window: ignem_simcore::time::SimDuration,
+) -> (
+    RunMetrics,
+    FlightRecorder,
+    ignem_simcore::metrics::MetricsReport,
+) {
+    let files = swim_files(trace);
+    let migrate = mode == FsMode::Ignem;
+    let recorder = FlightRecorder::new(capacity);
+    let registry = ignem_simcore::metrics::MetricsRegistry::new(window);
+    let metrics = World::new(
+        cfg.clone(),
+        mode,
+        &files,
+        swim_plan_with(trace, migrate, EvictionMode::Explicit),
+        vec![],
+    )
+    .with_telemetry(Box::new(recorder.clone()))
+    .with_metrics(registry.clone())
+    .run();
+    let report = registry.finish(metrics.makespan);
+    (metrics, recorder, report)
+}
+
+/// Runs the SWIM workload with a [`HostProfiler`] attached, attributing
+/// the engine's host wall-clock time to event-type buckets. The profiler
+/// never influences the simulation — it only measures how long the host
+/// spends handling each event kind — so the returned [`RunMetrics`] are
+/// bit-identical to an unprofiled run.
+///
+/// [`HostProfiler`]: ignem_simcore::profile::HostProfiler
+pub fn run_swim_profiled(
+    cfg: &ClusterConfig,
+    mode: FsMode,
+    trace: &SwimTrace,
+    profiler: ignem_simcore::profile::HostProfiler,
+) -> RunMetrics {
+    let files = swim_files(trace);
+    let migrate = mode == FsMode::Ignem;
+    World::new(
+        cfg.clone(),
+        mode,
+        &files,
+        swim_plan_with(trace, migrate, EvictionMode::Explicit),
+        vec![],
+    )
+    .with_profiler(profiler)
+    .run()
+}
+
 /// Runs the 40 GB sort job (Table III).
 pub fn run_sort(cfg: &ClusterConfig, mode: FsMode, input_bytes: u64) -> RunMetrics {
     let parts = 8;

@@ -32,6 +32,7 @@
 // reports.
 use std::collections::BTreeMap;
 
+use ignem_simcore::span::CriticalPath;
 use ignem_simcore::telemetry::{Event, EventRecord, ReadClass};
 use ignem_simcore::time::{SimDuration, SimTime};
 
@@ -530,6 +531,59 @@ impl TelemetryReport {
         }
         Ok(())
     }
+}
+
+/// Cross-checks the span-based critical path against the explainer's
+/// lead-time decomposition and a run's metrics, by **integer equality**:
+/// for every job the explainer decomposed, the span forest's `queueing`,
+/// `master_processing` and `disk_contention` sums must equal the
+/// explainer's `queue_delay`, `heartbeat_delay` and `migration_service`
+/// exactly, and the forest's retry count must equal the master's retry
+/// counter. Returns a description of the first mismatch.
+///
+/// Only meaningful on an untruncated stream (no ring-buffer eviction) —
+/// both folds degrade gracefully under truncation, but not identically.
+pub fn reconcile_critical_path(
+    path: &CriticalPath,
+    report: &TelemetryReport,
+    metrics: &RunMetrics,
+) -> Result<(), String> {
+    for lt in &report.lead_times {
+        let Some(j) = path.job(lt.job) else {
+            return Err(format!("job {} missing from the critical path", lt.job));
+        };
+        if j.queueing != lt.queue_delay {
+            return Err(format!(
+                "job {}: span queueing {} != explainer queue_delay {}",
+                lt.job,
+                j.queueing.as_micros(),
+                lt.queue_delay.as_micros()
+            ));
+        }
+        if j.master_processing != lt.heartbeat_delay {
+            return Err(format!(
+                "job {}: span master_processing {} != explainer heartbeat_delay {}",
+                lt.job,
+                j.master_processing.as_micros(),
+                lt.heartbeat_delay.as_micros()
+            ));
+        }
+        if j.disk_contention != lt.migration_service {
+            return Err(format!(
+                "job {}: span disk_contention {} != explainer migration_service {}",
+                lt.job,
+                j.disk_contention.as_micros(),
+                lt.migration_service.as_micros()
+            ));
+        }
+    }
+    if path.retries != metrics.master_stats.retries {
+        return Err(format!(
+            "span forest saw {} retries, master counted {}",
+            path.retries, metrics.master_stats.retries
+        ));
+    }
+    Ok(())
 }
 
 /// Ranks how far a migration got on one node by `read_start` and derives

@@ -225,6 +225,47 @@ where
         .collect()
 }
 
+/// Distribution summary of one integer metric across the seeds of a
+/// sweep: minimum, nearest-rank median and p99, and maximum. Used to
+/// aggregate per-seed [`MetricsReport`](ignem_simcore::metrics::MetricsReport)
+/// totals (and any other per-seed counter) into one line per metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeedStat {
+    /// Smallest observed value.
+    pub min: u64,
+    /// Nearest-rank 50th percentile.
+    pub p50: u64,
+    /// Nearest-rank 99th percentile.
+    pub p99: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl SeedStat {
+    /// Summarizes `values` (one per seed). Sorts a copy; the input order
+    /// does not matter. Returns the default (all zeros) for an empty
+    /// slice.
+    pub fn from_values(values: &[u64]) -> SeedStat {
+        if values.is_empty() {
+            return SeedStat::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let rank = |q_num: usize, q_den: usize| {
+            // Nearest-rank: ceil(q * n) clamped to [1, n], 1-indexed.
+            let n = sorted.len();
+            let r = (q_num * n).div_ceil(q_den).clamp(1, n);
+            sorted[r - 1]
+        };
+        SeedStat {
+            min: sorted[0],
+            p50: rank(1, 2),
+            p99: rank(99, 100),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,5 +372,25 @@ mod tests {
             assert_eq!(parallel_map(items.clone(), jobs, |x| x * x), serial);
         }
         assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn seed_stat_nearest_rank_percentiles() {
+        // 1..=100: p50 is the 50th value, p99 the 99th.
+        let values: Vec<u64> = (1..=100).rev().collect();
+        let s = SeedStat::from_values(&values);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+    }
+
+    #[test]
+    fn seed_stat_small_and_empty_inputs() {
+        assert_eq!(SeedStat::from_values(&[]), SeedStat::default());
+        let one = SeedStat::from_values(&[7]);
+        assert_eq!((one.min, one.p50, one.p99, one.max), (7, 7, 7, 7));
+        let two = SeedStat::from_values(&[10, 2]);
+        assert_eq!((two.min, two.p50, two.p99, two.max), (2, 2, 10, 10));
     }
 }

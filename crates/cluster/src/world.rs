@@ -102,6 +102,8 @@ use ignem_netsim::rpc::{Epoch, Incarnation, RpcChannel, RpcPeer};
 use ignem_netsim::{Fabric, NodeId, TransferId};
 use ignem_simcore::event::Engine;
 use ignem_simcore::idmap::IdMap;
+use ignem_simcore::metrics::MetricsRegistry;
+use ignem_simcore::profile::HostProfiler;
 use ignem_simcore::rng::SimRng;
 use ignem_simcore::stats::TimeWeighted;
 use ignem_simcore::telemetry::{
@@ -209,6 +211,38 @@ enum Event {
     RerepRetry(u64),
     CleanupSweep,
     Inject(usize),
+}
+
+impl Event {
+    /// Stable bucket name for host-time profiling.
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Event::Submit(..) => "submit",
+            Event::Queued(..) => "queued",
+            Event::Heartbeat(..) => "heartbeat",
+            Event::DiskTimer(..) => "disk_timer",
+            Event::RamTimer(..) => "ram_timer",
+            Event::NetTimer(..) => "net_timer",
+            Event::TaskLaunched(..) => "task_launched",
+            Event::TaskComputeDone(..) => "task_compute_done",
+            Event::DeliverMigrates(..) => "deliver_migrates",
+            Event::DeliverEvict(..) => "deliver_evict",
+            Event::DeliverAck(..) => "deliver_ack",
+            Event::RpcTimeout(..) => "rpc_timeout",
+            Event::LivenessQuery(..) => "liveness_query",
+            Event::LivenessReply(..) => "liveness_reply",
+            Event::LeaseCheck(..) => "lease_check",
+            Event::NodeResume(..) => "node_resume",
+            Event::DiskRestore(..) => "disk_restore",
+            Event::PartitionHeal(..) => "partition_heal",
+            Event::NodeRestart(..) => "node_restart",
+            Event::DeliverRegister(..) => "deliver_register",
+            Event::RegisterRetry(..) => "register_retry",
+            Event::RerepRetry(..) => "rerep_retry",
+            Event::CleanupSweep => "cleanup_sweep",
+            Event::Inject(..) => "inject",
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -342,6 +376,13 @@ pub struct World {
     /// clones of it live inside the master, every slave and the RPC
     /// channel, all stamping events off the same now-cursor.
     telemetry: Telemetry,
+    /// Shared sim-time metrics handle (disabled unless installed); clones
+    /// of it live in the master, every slave, the RPC channel and every
+    /// disk, all windowed off the same now-cursor.
+    mreg: MetricsRegistry,
+    /// Host-time profiler charging engine wall-clock to event-kind
+    /// buckets; purely observational.
+    profiler: HostProfiler,
     metrics: RunMetrics,
 }
 
@@ -483,6 +524,8 @@ impl World {
             crashed_ever: vec![false; cfg.nodes],
             hb_live: vec![true; cfg.nodes],
             telemetry: Telemetry::default(),
+            mreg: MetricsRegistry::default(),
+            profiler: HostProfiler::disabled(),
             metrics: RunMetrics::default(),
             cfg,
         }
@@ -511,6 +554,33 @@ impl World {
         }
         self.rpc.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Installs a sim-time metrics registry and propagates clones into the
+    /// master, every slave, the RPC channel and every disk. Recording is
+    /// zero-cost when the handle is disabled and consumes no randomness
+    /// either way — same-seed runs are bit-identical with metrics on or
+    /// off. Call [`MetricsRegistry::finish`] on your own clone after
+    /// [`run`](Self::run) to collect the windows.
+    pub fn with_metrics(mut self, reg: MetricsRegistry) -> Self {
+        self.master.set_metrics(reg.clone());
+        for slave in &mut self.slaves {
+            slave.set_metrics(reg.clone());
+        }
+        self.rpc.set_metrics(reg.clone());
+        for (n, d) in self.disks.iter_mut().enumerate() {
+            d.set_metrics(reg.clone(), n as u64);
+        }
+        self.mreg = reg;
+        self
+    }
+
+    /// Installs a host-time profiler; [`run`](Self::run) charges each
+    /// handled event's wall-clock to its event-kind bucket. Purely
+    /// observational — the simulation result is unaffected.
+    pub fn with_profiler(mut self, profiler: HostProfiler) -> Self {
+        self.profiler = profiler;
         self
     }
 
@@ -581,8 +651,10 @@ impl World {
     /// simulation) or a block becomes unreadable (all replicas dead).
     pub fn run(mut self) -> RunMetrics {
         const MAX_EVENTS: u64 = 200_000_000;
+        let prof = self.profiler.clone();
         while let Some(ev) = self.engine.pop() {
-            self.handle(ev);
+            let kind = ev.kind_name();
+            prof.measure(kind, || self.handle(ev));
             if self.validate {
                 self.check_invariants();
             }
@@ -667,6 +739,7 @@ impl World {
         // below (world, master, slaves, RPC channel) happens inside this
         // call, and the engine clock cannot advance during it.
         self.telemetry.set_now(self.engine.now());
+        self.mreg.set_now(self.engine.now());
         match ev {
             Event::Submit(plan) => self.on_submit(plan),
             Event::Queued(job) => self.on_queued(job),
@@ -1673,6 +1746,11 @@ impl World {
                         &mut self.mems[n as usize],
                     );
                     self.process_slave_actions(n, actions);
+                    self.mreg.gauge_set(
+                        "mem_migrated_bytes",
+                        n as u64,
+                        self.mems[n as usize].migrated_used() as i64,
+                    );
                 }
                 DiskOwner::MapRead {
                     task,
@@ -1839,6 +1917,11 @@ impl World {
                 },
                 duration_us: now.duration_since(started).as_micros(),
             });
+            self.mreg.observe(
+                "block_read_us",
+                kind as u64,
+                now.duration_since(started).as_micros(),
+            );
         }
         // Optional PACMan-style page cache on the serving node.
         if self.cfg.cache_reads && self.node_alive[serving as usize] {

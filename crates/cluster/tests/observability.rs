@@ -1,0 +1,190 @@
+//! Observability golden pins: span-tree reconstruction, Perfetto export,
+//! zero-cost-when-disabled metrics, and exact critical-path reconciliation.
+//!
+//! The span forest is derived *purely* from the recorded event stream, so
+//! as long as the stream goldens in `stream_golden.rs` hold, the span
+//! goldens here must hold too — a change in either set means behavior
+//! (or the derivation) changed, and the constants must be re-captured
+//! with `print_observability_hashes` (`cargo test -p ignem-cluster
+//! --test observability -- --ignored --nocapture`) in the same commit.
+
+mod common;
+
+use common::{chaos_world_304, chaos_world_crash_14, default_world, RECORDER_CAP};
+use ignem_cluster::explain::{reconcile_critical_path, TelemetryReport};
+use ignem_cluster::metrics::RunMetrics;
+use ignem_cluster::prelude::*;
+use ignem_cluster::sanitizer::hash_chain;
+use ignem_simcore::metrics::{MetricsRegistry, MetricsReport};
+use ignem_simcore::perfetto;
+use ignem_simcore::span::SpanForest;
+use ignem_simcore::telemetry::{EventRecord, FlightRecorder};
+use ignem_simcore::time::SimDuration;
+
+/// FNV-1a over a byte string; the same primitive the sanitizer's chain
+/// hash uses, applied here to the canonical span/trace text forms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Records a world and returns its full untruncated stream plus metrics.
+fn record(build: fn() -> World) -> (RunMetrics, Vec<EventRecord>) {
+    let (metrics, events, dropped) = build().run_recorded(RECORDER_CAP);
+    assert_eq!(dropped, 0, "recorder must hold the whole stream");
+    (metrics, events)
+}
+
+/// Records a metrics-enabled world: same stream, plus a windowed report.
+fn record_observed(
+    build: fn() -> World,
+    window: SimDuration,
+) -> (RunMetrics, Vec<EventRecord>, MetricsReport) {
+    let registry = MetricsRegistry::new(window);
+    let world = build().with_metrics(registry.clone());
+    let recorder = FlightRecorder::new(RECORDER_CAP);
+    let metrics = world.with_telemetry(Box::new(recorder.clone())).run();
+    assert_eq!(recorder.dropped(), 0, "recorder must hold the whole stream");
+    let report = registry.finish(metrics.makespan);
+    (metrics, recorder.events(), report)
+}
+
+/// Reduces a world's span forest to `(span count, canonical-text hash)`.
+fn span_tail(build: fn() -> World) -> (usize, u64) {
+    let (_metrics, events) = record(build);
+    let forest = SpanForest::build(&events);
+    (
+        forest.spans.len(),
+        fnv1a(forest.canonical_lines().as_bytes()),
+    )
+}
+
+/// Captured when the span builder landed; pure functions of the pinned
+/// event streams in `stream_golden.rs`.
+const DEFAULT_SPAN_GOLDEN: (usize, u64) = (51, 0xa47e_5f1c_9eae_e2c4);
+const CHAOS_304_SPAN_GOLDEN: (usize, u64) = (137, 0x1a12_dd61_9be9_6ca5);
+const CHAOS_CRASH_14_SPAN_GOLDEN: (usize, u64) = (156, 0x17db_1cd3_9908_bb4f);
+/// Perfetto export of the chaos-304 run (spans + metric counter tracks).
+const CHAOS_304_PERFETTO_GOLDEN: u64 = 0x47e9_8d91_75b1_351e;
+
+#[test]
+fn default_world_span_forest_is_pinned() {
+    assert_eq!(span_tail(default_world), DEFAULT_SPAN_GOLDEN);
+}
+
+#[test]
+fn chaos_seed_304_span_forest_is_pinned() {
+    assert_eq!(span_tail(chaos_world_304), CHAOS_304_SPAN_GOLDEN);
+}
+
+#[test]
+fn chaos_crash_seed_14_span_forest_is_pinned() {
+    assert_eq!(span_tail(chaos_world_crash_14), CHAOS_CRASH_14_SPAN_GOLDEN);
+}
+
+/// The same seed rebuilt from scratch must yield a bit-identical span
+/// tree — the acceptance bar for `report --perfetto-out` reproducibility.
+#[test]
+fn span_trees_are_bit_identical_across_runs() {
+    for build in [default_world, chaos_world_304, chaos_world_crash_14] {
+        let a = SpanForest::build(&record(build).1).canonical_lines();
+        let b = SpanForest::build(&record(build).1).canonical_lines();
+        assert_eq!(a, b, "span tree must not vary across runs");
+    }
+}
+
+#[test]
+fn chaos_304_perfetto_export_is_pinned_and_valid() {
+    let window = SimDuration::from_secs(10);
+    let (_m, events, report) = record_observed(chaos_world_304, window);
+    let forest = SpanForest::build(&events);
+    let json = perfetto::export(&forest, Some(&report));
+
+    // Shape: Chrome trace-event JSON object, integer-only timestamps.
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(json.ends_with("]}\n"));
+    assert!(!json.contains('.'), "export must be integer-only");
+    let balance = json.bytes().fold(0i64, |n, b| match b {
+        b'{' => n + 1,
+        b'}' => n - 1,
+        _ => n,
+    });
+    assert_eq!(balance, 0, "braces must balance");
+
+    // Reproducibility: a second run exports byte-identical JSON.
+    let (_m2, events2, report2) = record_observed(chaos_world_304, window);
+    let json2 = perfetto::export(&SpanForest::build(&events2), Some(&report2));
+    assert_eq!(json, json2, "perfetto export must be deterministic");
+
+    assert_eq!(fnv1a(json.as_bytes()), CHAOS_304_PERFETTO_GOLDEN);
+}
+
+/// Metrics collection must be an observer, never an actor: enabling the
+/// registry must leave the event stream byte-identical and process the
+/// same number of engine events as a metrics-off run.
+#[test]
+fn metrics_are_zero_cost_when_disabled_and_inert_when_enabled() {
+    for build in [default_world, chaos_world_304, chaos_world_crash_14] {
+        let (off_metrics, off_events) = record(build);
+        let (on_metrics, on_events, report) = record_observed(build, SimDuration::from_secs(10));
+        assert_eq!(off_events.len(), on_events.len());
+        assert_eq!(
+            hash_chain(&off_events).last(),
+            hash_chain(&on_events).last(),
+            "metrics must not perturb the event stream"
+        );
+        assert_eq!(off_metrics.events_processed, on_metrics.events_processed);
+        assert!(
+            !report.windows.is_empty(),
+            "enabled registry must have observed at least one window"
+        );
+    }
+    // And a disabled registry records nothing at all.
+    let reg = MetricsRegistry::disabled();
+    assert!(!reg.is_enabled());
+    reg.counter_add("rpc_sent", 0, 1);
+    let report = reg.finish(ignem_simcore::time::SimTime::ZERO);
+    assert!(report.windows.is_empty());
+    assert!(report.counter_totals.is_empty());
+}
+
+/// The span-based critical path must reconcile with the explainer's
+/// lead-time decomposition and the run metrics by integer equality, on
+/// every pinned seed.
+#[test]
+fn critical_path_reconciles_exactly_with_explainer() {
+    for build in [default_world, chaos_world_304, chaos_world_crash_14] {
+        let (metrics, events) = record(build);
+        let report = TelemetryReport::from_events(&events);
+        assert!(
+            !report.lead_times.is_empty(),
+            "explainer must decompose at least one job"
+        );
+        let path = SpanForest::build(&events).critical_path();
+        reconcile_critical_path(&path, &report, &metrics)
+            .expect("critical path must reconcile exactly");
+    }
+}
+
+/// Prints the current values for updating the constants above.
+#[test]
+#[ignore = "manual helper: prints the golden values"]
+fn print_observability_hashes() {
+    let d = span_tail(default_world);
+    let c = span_tail(chaos_world_304);
+    let k = span_tail(chaos_world_crash_14);
+    println!("DEFAULT_SPAN_GOLDEN: ({}, {:#018x})", d.0, d.1);
+    println!("CHAOS_304_SPAN_GOLDEN: ({}, {:#018x})", c.0, c.1);
+    println!("CHAOS_CRASH_14_SPAN_GOLDEN: ({}, {:#018x})", k.0, k.1);
+    let window = SimDuration::from_secs(10);
+    let (_m, events, report) = record_observed(chaos_world_304, window);
+    let json = perfetto::export(&SpanForest::build(&events), Some(&report));
+    println!(
+        "CHAOS_304_PERFETTO_GOLDEN: {:#018x}",
+        fnv1a(json.as_bytes())
+    );
+}

@@ -13,97 +13,11 @@
 //! ignem-cluster --test stream_golden -- --ignored --nocapture`) and
 //! update the constants in the same commit that explains why.
 
-use ignem_cluster::chaos::{generate_faults, workload, ChaosConfig};
+mod common;
+
+use common::{chaos_world_304, chaos_world_crash_14, default_world, RECORDER_CAP};
 use ignem_cluster::prelude::*;
 use ignem_cluster::sanitizer::hash_chain;
-use ignem_compute::job::{JobInput, JobSpec, SubmitOptions};
-use ignem_simcore::rng::SimRng;
-use ignem_simcore::time::SimDuration;
-use ignem_simcore::units::{MB, MIB};
-
-const RECORDER_CAP: usize = 1 << 20;
-
-/// The same fault-free default world the sanitizer double-runs.
-fn default_world() -> World {
-    let files: Vec<(String, u64)> = (0..4)
-        .map(|i| (format!("/in/part-{i}"), 512 * MB / 4))
-        .collect();
-    let mut spec = JobSpec::new(
-        "sanitizer-job",
-        JobInput::DfsFiles(files.iter().map(|(p, _)| p.clone()).collect()),
-    );
-    spec.submit = SubmitOptions::with_migration();
-    let plan = vec![PlannedJob::single(
-        "sanitizer",
-        SimDuration::from_secs(1),
-        spec,
-    )];
-    World::new(
-        ClusterConfig::default(),
-        FsMode::Ignem,
-        &files,
-        plan,
-        vec![],
-    )
-}
-
-/// Mirrors `run_chaos_with`'s world construction for seed 304.
-fn chaos_world_304() -> World {
-    let cfg = ChaosConfig {
-        seed: 304,
-        ..ChaosConfig::default()
-    };
-    let mut fault_rng = SimRng::new(cfg.seed ^ 0xC4A0_5EED);
-    let faults = generate_faults(
-        &mut fault_rng,
-        cfg.nodes,
-        ClusterConfig::default().dfs.replication,
-        cfg.jobs,
-        cfg.faults,
-        cfg.crashes,
-    );
-    let mut cluster = ClusterConfig {
-        nodes: cfg.nodes,
-        seed: cfg.seed,
-        rpc: cfg.rpc,
-        ..ClusterConfig::default()
-    };
-    cluster.ignem.buffer_capacity = 512 * MIB;
-    cluster.ignem.lease = cfg.lease;
-    let (files, plans) = workload(cfg.jobs);
-    World::new(cluster, FsMode::Ignem, &files, plans, faults)
-}
-
-/// Crash-recovery stream: chaos seed 14 with two `NodeCrash` draws —
-/// the pinned-regression schedule (crash wipes a RAM replica mid-use, a
-/// read degrades to disk, the job re-ignites after restart; the second
-/// crash hits the node while it is already dark and must be a no-op).
-fn chaos_world_crash_14() -> World {
-    let cfg = ChaosConfig {
-        seed: 14,
-        crashes: 2,
-        ..ChaosConfig::default()
-    };
-    let mut fault_rng = SimRng::new(cfg.seed ^ 0xC4A0_5EED);
-    let faults = generate_faults(
-        &mut fault_rng,
-        cfg.nodes,
-        ClusterConfig::default().dfs.replication,
-        cfg.jobs,
-        cfg.faults,
-        cfg.crashes,
-    );
-    let mut cluster = ClusterConfig {
-        nodes: cfg.nodes,
-        seed: cfg.seed,
-        rpc: cfg.rpc,
-        ..ClusterConfig::default()
-    };
-    cluster.ignem.buffer_capacity = 512 * MIB;
-    cluster.ignem.lease = cfg.lease;
-    let (files, plans) = workload(cfg.jobs);
-    World::new(cluster, FsMode::Ignem, &files, plans, faults)
-}
 
 /// Records a world and reduces its stream to `(events, final chain hash)`.
 fn stream_tail(build: fn() -> World) -> (usize, u64) {

@@ -18,6 +18,7 @@ use ignem_dfs::namenode::NameNode;
 use ignem_netsim::rpc::{Epoch, Incarnation};
 use ignem_netsim::NodeId;
 use ignem_simcore::idmap::IdMap;
+use ignem_simcore::metrics::MetricsRegistry;
 use ignem_simcore::rng::SimRng;
 use ignem_simcore::telemetry::{Event, Telemetry};
 use ignem_simcore::time::SimDuration;
@@ -167,6 +168,8 @@ pub struct IgnemMaster {
     incarnations: IdMap<NodeId, Incarnation>,
     /// Typed event emission (disabled by default).
     telemetry: Telemetry,
+    /// Sim-time metrics (disabled by default).
+    metrics: MetricsRegistry,
 }
 
 impl Default for IgnemMaster {
@@ -180,6 +183,7 @@ impl Default for IgnemMaster {
             outbox: IdMap::new(),
             incarnations: IdMap::new(),
             telemetry: Telemetry::default(),
+            metrics: MetricsRegistry::default(),
         }
     }
 }
@@ -254,6 +258,12 @@ impl IgnemMaster {
     /// ([`Event::RpcRetried`] / [`Event::RpcAcked`] / [`Event::RpcGaveUp`]).
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Installs a sim-time metrics handle; the master then counts assigned
+    /// migration commands and histograms retransmission attempt depth.
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// Activity counters.
@@ -362,6 +372,8 @@ impl IgnemMaster {
                         submitted: req.submitted,
                     });
                 self.stats.blocks_assigned += 1;
+                self.metrics
+                    .counter_add("migrations_assigned", target.0 as u64, 1);
                 self.telemetry.emit(|| Event::MigrationAssigned {
                     job: req.job.0,
                     block: info.id.0,
@@ -455,6 +467,8 @@ impl IgnemMaster {
         pending.attempt += 1;
         self.stats.retries += 1;
         let (node, attempt) = (pending.to.0, pending.attempt);
+        self.metrics
+            .observe("rpc_retry_attempt", node as u64, attempt as u64);
         self.telemetry.emit(|| Event::RpcRetried {
             seq: seq.0,
             node,

@@ -29,6 +29,7 @@ use ignem_dfs::block::BlockId;
 use ignem_netsim::rpc::{Epoch, Incarnation};
 use ignem_netsim::NodeId;
 use ignem_simcore::idmap::{IdMap, IdSet};
+use ignem_simcore::metrics::MetricsRegistry;
 use ignem_simcore::telemetry::{Event, Telemetry};
 use ignem_simcore::time::{SimDuration, SimTime};
 use ignem_storage::memstore::{MemStore, Residency};
@@ -222,6 +223,8 @@ pub struct IgnemSlave {
     stats: SlaveStats,
     /// Typed event emission (disabled by default).
     telemetry: Telemetry,
+    /// Sim-time metrics (disabled by default).
+    metrics: MetricsRegistry,
 }
 
 impl IgnemSlave {
@@ -253,6 +256,7 @@ impl IgnemSlave {
             last_liveness: None,
             stats: SlaveStats::default(),
             telemetry: Telemetry::default(),
+            metrics: MetricsRegistry::default(),
         }
     }
 
@@ -261,6 +265,12 @@ impl IgnemSlave {
     /// discarded / evicted).
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Installs a sim-time metrics handle; the slave then gauges its
+    /// migration-queue depth and counts evicted bytes.
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// The node this slave runs on.
@@ -654,6 +664,8 @@ impl IgnemSlave {
             let bytes = mem.remove(now, &block).unwrap_or(0);
             self.stats.evicted += 1;
             self.stats.evicted_bytes += bytes;
+            self.metrics
+                .counter_add("evicted_bytes", self.node.0 as u64, bytes);
             self.telemetry.emit(|| Event::BlockEvicted {
                 node: self.node.0,
                 block: block.0,
@@ -695,6 +707,8 @@ impl IgnemSlave {
             let bytes = mem.remove(now, &block).unwrap_or(0);
             self.stats.evicted += 1;
             self.stats.evicted_bytes += bytes;
+            self.metrics
+                .counter_add("evicted_bytes", self.node.0 as u64, bytes);
             self.telemetry.emit(|| Event::BlockEvicted {
                 node: self.node.0,
                 block: block.0,
@@ -724,6 +738,8 @@ impl IgnemSlave {
             let bytes = mem.remove(now, &block).unwrap_or(0);
             self.stats.evicted += 1;
             self.stats.evicted_bytes += bytes;
+            self.metrics
+                .counter_add("evicted_bytes", self.node.0 as u64, bytes);
             self.telemetry.emit(|| Event::BlockEvicted {
                 node: self.node.0,
                 block: block.0,
@@ -954,6 +970,8 @@ impl IgnemSlave {
                     let bytes = mem.remove(now, &block).unwrap_or(0);
                     self.stats.evicted += 1;
                     self.stats.evicted_bytes += bytes;
+                    self.metrics
+                        .counter_add("evicted_bytes", self.node.0 as u64, bytes);
                     self.telemetry.emit(|| Event::BlockEvicted {
                         node: self.node.0,
                         block: block.0,
@@ -1066,6 +1084,11 @@ impl IgnemSlave {
             block: cmd.block.0,
             bytes: cmd.bytes,
         });
+        self.metrics.gauge_set(
+            "migration_queue_depth",
+            self.node.0 as u64,
+            self.queue.len() as i64,
+        );
     }
 
     fn index_interest(&mut self, job: JobId, block: BlockId) {

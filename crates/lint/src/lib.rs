@@ -16,6 +16,7 @@
 //! | D03  | sim crates (minus `simcore::rng`) | `std::env`, `std::process`, ambient randomness |
 //! | P01  | RPC/fault/migration files | `unwrap()` / `expect()` outside tests |
 //! | F01  | sim crates | `partial_cmp(..).unwrap()` float ordering |
+//! | T01  | sim crates (minus `simcore::trace`) | `println!` / `eprintln!` in library code |
 //! | A00  | everywhere | malformed `// lint: allow(...)` directives |
 //!
 //! A violation is suppressed only by `// lint: allow(<rule>, reason =

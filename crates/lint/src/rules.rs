@@ -46,7 +46,7 @@ const ITER_METHODS: &[&str] = &[
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id: `D01`, `D02`, `D03`, `P01`, `F01`, or `A00`.
+    /// Rule id: `D01`, `D02`, `D03`, `P01`, `F01`, `T01`, or `A00`.
     pub rule: &'static str,
     /// Workspace-relative path with `/` separators.
     pub file: String,
@@ -69,11 +69,14 @@ pub struct Scope {
     pub p01: bool,
     /// No `partial_cmp(..).unwrap()`-style float ordering.
     pub f01: bool,
+    /// No `println!`/`eprintln!` in library code; output goes through
+    /// telemetry sinks, bins, or the bench reporter.
+    pub t01: bool,
 }
 
 impl Scope {
     fn any(&self) -> bool {
-        self.d01 || self.d02 || self.d03 || self.p01 || self.f01
+        self.d01 || self.d02 || self.d03 || self.p01 || self.f01 || self.t01
     }
 }
 
@@ -92,6 +95,9 @@ pub fn scope_for(rel: &str) -> Scope {
         d03: sim && rel != "crates/simcore/src/rng.rs",
         p01: P01_FILES.contains(&rel),
         f01: sim,
+        // `trace.rs` hosts `StderrSink`, the one sanctioned place library
+        // code may write to stderr (opted into explicitly by the caller).
+        t01: sim && rel != "crates/simcore/src/trace.rs",
     }
 }
 
@@ -129,6 +135,9 @@ pub fn check_file(rel: &str, lexed: &Lexed) -> Vec<Violation> {
         }
         if scope.f01 {
             rule_f01(rel, &toks, &mut raw);
+        }
+        if scope.t01 {
+            rule_t01(rel, &toks, &mut raw);
         }
         // An allow suppresses a same-rule violation on its own line
         // (trailing comment) or the line directly below (comment above).
@@ -450,6 +459,28 @@ fn rule_f01(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
     }
 }
 
+/// T01: `println!`/`eprintln!` (and their no-newline forms) in library
+/// code. Simulation output must flow through telemetry sinks or the
+/// report layer so that runs stay machine-auditable and quiet by
+/// default; ad-hoc prints are debugging residue.
+fn rule_t01(rel: &str, toks: &[Token], out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        if let Some(m @ ("println" | "eprintln" | "print" | "eprint")) = ident_at(toks, i) {
+            if tok_at(toks, i + 1) == Some(&Tok::Other('!')) {
+                out.push(Violation {
+                    rule: "T01",
+                    file: rel.to_string(),
+                    line: toks[i].line,
+                    message: format!(
+                        "`{m}!` in library code; emit through a telemetry sink or \
+                         return data for the report layer to print"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,6 +499,9 @@ mod tests {
         assert!(scope_for("crates/bench/benches/substrates.rs").d01);
         assert!(!scope_for("crates/bench/src/report.rs").d02);
         assert!(!scope_for("crates/lint/src/lib.rs").any());
+        assert!(scope_for("crates/cluster/src/world.rs").t01);
+        assert!(!scope_for("crates/simcore/src/trace.rs").t01);
+        assert!(!scope_for("crates/bench/src/report.rs").t01);
     }
 
     #[test]

@@ -95,6 +95,30 @@ fn f01_clean_total_cmp_and_ord_boilerplate_pass() {
 }
 
 #[test]
+fn t01_violations_are_found() {
+    assert_eq!(
+        hits("t01_violate.rs", "crates/cluster/src/fake.rs"),
+        vec![
+            ("T01".into(), 3),
+            ("T01".into(), 6),
+            ("T01".into(), 7),
+            ("T01".into(), 8)
+        ]
+    );
+    // The sanctioned stderr sink and non-sim crates are out of scope.
+    assert_eq!(
+        hits("t01_violate.rs", "crates/simcore/src/trace.rs"),
+        vec![]
+    );
+    assert_eq!(hits("t01_violate.rs", "crates/bench/src/report.rs"), vec![]);
+}
+
+#[test]
+fn t01_clean_with_allow_and_test_code_passes() {
+    assert_eq!(hits("t01_clean.rs", "crates/cluster/src/fake.rs"), vec![]);
+}
+
+#[test]
 fn empty_reason_reports_a00_and_does_not_suppress() {
     assert_eq!(
         hits("a00_bad_allow.rs", "crates/simcore/src/fake.rs"),

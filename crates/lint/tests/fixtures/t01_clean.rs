@@ -1,0 +1,16 @@
+// Clean: formatting without printing, a justified allow, and test code.
+fn render(node: u32) -> String {
+    format!("node {node} up")
+}
+
+fn debug_dump(detail: u32) {
+    eprintln!("detail {detail}"); // lint: allow(T01, reason = "gated debug dump")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_freely() {
+        println!("tests may print");
+    }
+}

@@ -1,0 +1,10 @@
+// Library code printing directly: every macro form is a T01 hit.
+fn announce(node: u32) {
+    println!("node {node} up");
+    let detail = 7;
+    if detail > 0 {
+        eprintln!("detail {detail}");
+        print!("partial");
+        eprint!("more");
+    }
+}

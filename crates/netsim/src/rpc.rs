@@ -24,6 +24,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use ignem_simcore::metrics::MetricsRegistry;
 use ignem_simcore::rng::SimRng;
 use ignem_simcore::telemetry::{Event, Peer, Telemetry};
 use ignem_simcore::time::SimDuration;
@@ -188,6 +189,8 @@ pub struct RpcChannel {
     stats: RpcStats,
     /// Typed event emission (disabled by default; consumes no randomness).
     telemetry: Telemetry,
+    /// Sim-time metrics (disabled by default; consumes no randomness).
+    metrics: MetricsRegistry,
 }
 
 impl RpcChannel {
@@ -204,6 +207,7 @@ impl RpcChannel {
             partitions: BTreeMap::new(),
             stats: RpcStats::default(),
             telemetry: Telemetry::default(),
+            metrics: MetricsRegistry::default(),
         }
     }
 
@@ -212,6 +216,13 @@ impl RpcChannel {
     /// / [`Event::RpcCut`] as it decides each message's fate.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Installs a sim-time metrics handle; the channel then counts sends,
+    /// drops and duplicates and histograms the extra jitter it injects.
+    /// Recording consumes no randomness and never perturbs message fate.
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// The channel configuration.
@@ -274,12 +285,14 @@ impl RpcChannel {
             from: from.telemetry_peer(),
             to: to.telemetry_peer(),
         });
+        self.metrics.counter_add("rpc_sent", 0, 1);
         if self.is_cut(from, to) {
             self.stats.cut += 1;
             self.telemetry.emit(|| Event::RpcCut {
                 from: from.telemetry_peer(),
                 to: to.telemetry_peer(),
             });
+            self.metrics.counter_add("rpc_cut", 0, 1);
             return Deliveries::default();
         }
         let drop_p = self
@@ -297,6 +310,7 @@ impl RpcChannel {
                 from: from.telemetry_peer(),
                 to: to.telemetry_peer(),
             });
+            self.metrics.counter_add("rpc_dropped", 0, 1);
             return Deliveries::default();
         }
         let copies = if self.config.dup_p > 0.0 && rng.uniform() < self.config.dup_p {
@@ -305,6 +319,7 @@ impl RpcChannel {
                 from: from.telemetry_peer(),
                 to: to.telemetry_peer(),
             });
+            self.metrics.counter_add("rpc_duplicated", 0, 1);
             2
         } else {
             1
@@ -313,11 +328,13 @@ impl RpcChannel {
         let mut out = Deliveries::default();
         for _ in 0..copies {
             self.stats.delivered += 1;
-            out.push(if jitter > 0.0 {
+            let delay = if jitter > 0.0 {
                 SimDuration::from_secs_f64(rng.uniform() * jitter)
             } else {
                 SimDuration::ZERO
-            });
+            };
+            self.metrics.observe("rpc_jitter_us", 0, delay.as_micros());
+            out.push(delay);
         }
         out
     }

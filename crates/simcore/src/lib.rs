@@ -15,6 +15,12 @@
 //! * [`trace`] — legacy string tracing ([`trace::TraceSink`]).
 //! * [`telemetry`] — typed event stream ([`telemetry::Event`]), flight
 //!   recorder with JSONL export, adapter onto the legacy trace sinks.
+//! * [`span`] — causal span trees reconstructed from recorded streams,
+//!   with a per-category critical-path extractor.
+//! * [`metrics`] — sim-time windowed counters/gauges/histograms
+//!   ([`metrics::MetricsRegistry`]), integer-only CSV/JSONL export.
+//! * [`perfetto`] — Chrome trace-event JSON export of spans and metrics.
+//! * [`profile`] — host-time profiling hooks with an injected clock.
 //! * [`units`] — byte-size constants and formatting.
 //!
 //! ## Example
@@ -38,7 +44,11 @@ pub mod dist;
 pub mod event;
 pub mod flow;
 pub mod idmap;
+pub mod metrics;
+pub mod perfetto;
+pub mod profile;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod telemetry;
 pub mod time;

@@ -1,0 +1,146 @@
+//! Host-time profiling hooks: attribute engine wall-clock to buckets.
+//!
+//! The profiler never reads a clock itself — the harness injects one as a
+//! monotonic-nanos closure (the bench crate builds it from its sanctioned
+//! wall-clock read), so `simcore` stays free of ambient time sources and
+//! the determinism lint. Like [`crate::telemetry::Telemetry`], a disabled
+//! profiler is a no-op handle: `measure` runs the closure without touching
+//! the clock, so simulation results are identical with or without it.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Wall-clock totals for one bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileBucket {
+    /// Number of measured sections.
+    pub count: u64,
+    /// Total host nanoseconds across them.
+    pub nanos: u64,
+}
+
+struct Inner {
+    clock: Box<dyn FnMut() -> u64>,
+    buckets: BTreeMap<&'static str, ProfileBucket>,
+}
+
+/// A cloneable handle measuring host time per named bucket.
+#[derive(Clone, Default)]
+pub struct HostProfiler {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+impl std::fmt::Debug for HostProfiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostProfiler")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl HostProfiler {
+    /// An enabled profiler reading host time from `clock` (monotonic
+    /// nanoseconds; only differences are used).
+    pub fn new(clock: Box<dyn FnMut() -> u64>) -> HostProfiler {
+        HostProfiler {
+            inner: Some(Rc::new(RefCell::new(Inner {
+                clock,
+                buckets: BTreeMap::new(),
+            }))),
+        }
+    }
+
+    /// A disabled handle: `measure` runs closures untimed.
+    pub fn disabled() -> HostProfiler {
+        HostProfiler { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Runs `f`, charging its host wall-clock to `bucket` when enabled.
+    pub fn measure<R>(&self, bucket: &'static str, f: impl FnOnce() -> R) -> R {
+        let Some(inner) = &self.inner else {
+            return f();
+        };
+        let before = (inner.borrow_mut().clock)();
+        // The borrow is dropped around `f` so measured code may itself
+        // hold a clone of this handle.
+        let out = f();
+        let mut inner = inner.borrow_mut();
+        let after = (inner.clock)();
+        let b = inner.buckets.entry(bucket).or_default();
+        b.count += 1;
+        b.nanos += after.saturating_sub(before);
+        out
+    }
+
+    /// Snapshot of all buckets, ordered by name.
+    pub fn report(&self) -> Vec<(&'static str, ProfileBucket)> {
+        match &self.inner {
+            Some(inner) => inner
+                .borrow()
+                .buckets
+                .iter()
+                .map(|(k, v)| (*k, *v))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_still_runs_closures() {
+        let p = HostProfiler::disabled();
+        assert!(!p.is_enabled());
+        assert_eq!(p.measure("x", || 7), 7);
+        assert!(p.report().is_empty());
+    }
+
+    #[test]
+    fn buckets_accumulate_injected_clock_deltas() {
+        // A fake clock ticking 10ns per read keeps the test hermetic.
+        let t = Rc::new(RefCell::new(0u64));
+        let tc = t.clone();
+        let p = HostProfiler::new(Box::new(move || {
+            let mut t = tc.borrow_mut();
+            *t += 10;
+            *t
+        }));
+        assert!(p.is_enabled());
+        p.measure("handle", || ());
+        p.measure("handle", || ());
+        p.measure("drain", || ());
+        let report = p.report();
+        assert_eq!(report.len(), 2);
+        let (name, b) = report[1];
+        assert_eq!(name, "handle");
+        assert_eq!(b.count, 2);
+        assert_eq!(b.nanos, 20);
+        let (name, b) = report[0];
+        assert_eq!(name, "drain");
+        assert_eq!(b.count, 1);
+        assert_eq!(b.nanos, 10);
+    }
+
+    #[test]
+    fn measured_code_may_reenter_the_handle() {
+        let t = Rc::new(RefCell::new(0u64));
+        let tc = t.clone();
+        let p = HostProfiler::new(Box::new(move || {
+            let mut t = tc.borrow_mut();
+            *t += 1;
+            *t
+        }));
+        let q = p.clone();
+        p.measure("outer", || q.measure("inner", || ()));
+        assert_eq!(p.report().len(), 2);
+    }
+}

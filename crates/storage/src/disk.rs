@@ -15,6 +15,7 @@
 
 use ignem_simcore::flow::{FlowId, FlowResource};
 use ignem_simcore::idmap::{DenseId, IdMap};
+use ignem_simcore::metrics::MetricsRegistry;
 use ignem_simcore::time::{SimDuration, SimTime};
 
 use crate::device::DeviceProfile;
@@ -118,6 +119,10 @@ pub struct Disk {
     next_flush_id: u64,
     bytes_read: u64,
     bytes_written: u64,
+    /// Sim-time metrics (disabled by default); `metrics_tag` distinguishes
+    /// devices sharing one registry (e.g. the node index).
+    metrics: MetricsRegistry,
+    metrics_tag: u64,
 }
 
 impl Disk {
@@ -135,7 +140,17 @@ impl Disk {
             next_flush_id: FLUSH_ID_BASE,
             bytes_read: 0,
             bytes_written: 0,
+            metrics: MetricsRegistry::default(),
+            metrics_tag: 0,
         }
+    }
+
+    /// Installs a sim-time metrics handle; the disk then histograms the
+    /// service time of every reported completion under `"disk_io_us"` with
+    /// the given tag (callers use the node index).
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry, tag: u64) {
+        self.metrics = metrics;
+        self.metrics_tag = tag;
     }
 
     /// The device profile.
@@ -333,6 +348,11 @@ impl Disk {
                 IoKind::Read | IoKind::Migration => {
                     self.foreground.remove(&info.id);
                     self.bytes_read += info.bytes;
+                    self.metrics.observe(
+                        "disk_io_us",
+                        self.metrics_tag,
+                        finished.saturating_duration_since(info.started).as_micros(),
+                    );
                     out.push(Completion {
                         id: info.id,
                         kind: info.kind,

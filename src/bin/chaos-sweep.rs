@@ -29,7 +29,8 @@
 //!
 //! `--bench-out` switches to bench mode: instead of sweeping for
 //! violations it times representative scenarios (single fault-free world,
-//! single chaos world, serial and parallel verification sweeps), writes
+//! single chaos world, the SWIM run with and without the sim-time metrics
+//! registry, serial and parallel verification sweeps), writes
 //! events/sec, total events and wall time per scenario as JSON to PATH,
 //! and prints a short summary. `--bench-baseline OLD.json` embeds a
 //! previously committed report under `"baseline"` and records the
@@ -42,11 +43,14 @@ use std::process::ExitCode;
 use ignem_bench::wall_clock;
 use ignem_cluster::chaos::{minimize_faults, run_chaos, ChaosConfig};
 use ignem_cluster::config::{ClusterConfig, FsMode};
+use ignem_cluster::experiment::{run_swim_observed, run_swim_recorded};
 use ignem_cluster::sweep::{default_jobs, sweep};
 use ignem_cluster::world::{PlannedJob, World};
 use ignem_compute::job::{JobInput, JobSpec, SubmitOptions};
+use ignem_simcore::rng::SimRng;
 use ignem_simcore::time::SimDuration;
 use ignem_simcore::units::MB;
+use ignem_workloads::swim::{SwimConfig, SwimTrace};
 
 fn main() -> ExitCode {
     let mut seeds: u64 = 256;
@@ -287,6 +291,42 @@ fn time_scenario(name: &'static str, runs: u64, body: impl Fn() -> u64) -> Scena
     }
 }
 
+/// Times two bodies over `runs` repetitions each, alternating per
+/// iteration so slow host-frequency drift (turbo decay, thermal
+/// throttling) hits both scenarios equally. CI gates on the pair's
+/// throughput ratio, which back-to-back blocks would bias against
+/// whichever scenario runs second.
+fn time_scenario_pair(
+    a_name: &'static str,
+    b_name: &'static str,
+    runs: u64,
+    a: impl Fn() -> u64,
+    b: impl Fn() -> u64,
+) -> (Scenario, Scenario) {
+    let (mut a_events, mut b_events) = (0u64, 0u64);
+    let (mut a_secs, mut b_secs) = (0f64, 0f64);
+    for _ in 0..runs {
+        let t = wall_clock();
+        a_events += a();
+        a_secs += t.elapsed().as_secs_f64();
+        let t = wall_clock();
+        b_events += b();
+        b_secs += t.elapsed().as_secs_f64();
+    }
+    let scenario = |name, events, wall_secs| Scenario {
+        name,
+        seeds: None,
+        jobs: None,
+        runs,
+        events,
+        wall_secs,
+    };
+    (
+        scenario(a_name, a_events, a_secs),
+        scenario(b_name, b_events, b_secs),
+    )
+}
+
 /// How many times each sweep scenario repeats its full seed range: single
 /// sweeps finish in fractions of a second, so timing one pass would be
 /// mostly noise.
@@ -364,6 +404,43 @@ fn bench(path: &str, bench_seeds: u64, jobs: usize, baseline: Option<&str>) -> E
         "bench: single_chaos_304 {:.0} events/sec",
         single_chaos.events_per_sec()
     );
+    // The SWIM run — the workload the report's telemetry section actually
+    // observes — with and without the sim-time metrics registry,
+    // interleaved: CI gates the metrics overhead by comparing the two
+    // scenarios' `events_per_mb_hashed` within one report. (The chaos
+    // world above would be a poor denominator: at ~330 events per run its
+    // timing is dominated by per-run setup, not by per-event cost.)
+    let swim_cfg = ClusterConfig::default();
+    let swim_trace = SwimTrace::generate(&SwimConfig::default(), &mut SimRng::new(7));
+    let (single_swim, single_swim_metrics) = time_scenario_pair(
+        "single_swim",
+        "single_swim_metrics",
+        20,
+        || {
+            run_swim_recorded(&swim_cfg, FsMode::Ignem, &swim_trace, 1 << 22)
+                .0
+                .events_processed
+        },
+        || {
+            run_swim_observed(
+                &swim_cfg,
+                FsMode::Ignem,
+                &swim_trace,
+                1 << 22,
+                SimDuration::from_secs(10),
+            )
+            .0
+            .events_processed
+        },
+    );
+    println!(
+        "bench: single_swim {:.0} events/sec",
+        single_swim.events_per_sec()
+    );
+    println!(
+        "bench: single_swim_metrics {:.0} events/sec",
+        single_swim_metrics.events_per_sec()
+    );
     let sweep_serial = time_sweep("sweep_serial", bench_seeds, 1);
     println!(
         "bench: sweep_serial {} seeds in {:.2}s",
@@ -393,6 +470,8 @@ fn bench(path: &str, bench_seeds: u64, jobs: usize, baseline: Option<&str>) -> E
     let scenarios = [
         &single_default,
         &single_chaos,
+        &single_swim,
+        &single_swim_metrics,
         &sweep_serial,
         &sweep_parallel,
     ];
