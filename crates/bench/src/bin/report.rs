@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! report [OUT_DIR] [--trace-out PATH] [--perfetto-out PATH]
-//!        [--perfetto-chaos SEED] [SECTION...]
+//!        [--perfetto-chaos SEED] [--at SEQ] [--at-seed SEED] [SECTION...]
 //!
 //! SECTION: fig1 fig2 fig3 fig4 table1 fig5 table2 fig6 fig7 table3 fig8
 //!          fig9 ablation-priority telemetry profile   (default: all)
@@ -14,9 +14,16 @@
 //!          https://ui.perfetto.dev)
 //! --perfetto-chaos SEED: export the Perfetto trace from this chaos seed
 //!          instead of the SWIM run
+//! --at SEQ: time-travel debugger — run the chaos experiment until the
+//!          telemetry record with this sequence number is emitted, then
+//!          print the record and a full dump of the frozen world state
+//!          (skips all sections)
+//! --at-seed SEED: which chaos seed `--at` replays (default 304, the
+//!          repo's pinned reference-leak seed)
 //! ```
 
 use ignem_bench::{Report, Section};
+use ignem_cluster::chaos::{state_at, ChaosConfig};
 
 /// Whether an argument names a report section (as opposed to OUT_DIR).
 fn is_section(name: &str) -> bool {
@@ -64,6 +71,56 @@ fn main() {
             Err(_) => {
                 eprintln!("--perfetto-chaos requires an integer seed, got {seed}");
                 std::process::exit(2);
+            }
+        }
+    }
+    let mut at_seed: u64 = 304;
+    if let Some(i) = args.iter().position(|a| a == "--at-seed") {
+        if i + 1 >= args.len() {
+            eprintln!("--at-seed requires a seed");
+            std::process::exit(2);
+        }
+        let seed = args.remove(i + 1);
+        args.remove(i);
+        match seed.parse() {
+            Ok(s) => at_seed = s,
+            Err(_) => {
+                eprintln!("--at-seed requires an integer seed, got {seed}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--at") {
+        if i + 1 >= args.len() {
+            eprintln!("--at requires a telemetry sequence number");
+            std::process::exit(2);
+        }
+        let seq = args.remove(i + 1);
+        args.remove(i);
+        let seq: u64 = match seq.parse() {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("--at requires an integer sequence number, got {seq}");
+                std::process::exit(2);
+            }
+        };
+        let cfg = ChaosConfig {
+            seed: at_seed,
+            lease: None,
+            ..ChaosConfig::default()
+        };
+        match state_at(&cfg, seq) {
+            Some((record, state)) => {
+                println!(
+                    "seed {at_seed}, stopped after event seq {seq}: {}",
+                    record.to_json()
+                );
+                println!("{state}");
+                return;
+            }
+            None => {
+                eprintln!("seed {at_seed}'s run ended before emitting event seq {seq}");
+                std::process::exit(1);
             }
         }
     }

@@ -67,7 +67,7 @@ use ignem_simcore::units::MIB;
 use crate::config::{ClusterConfig, FsMode};
 use crate::explain::{LossCause, TelemetryReport};
 use crate::metrics::RunMetrics;
-use crate::world::{Fault, PlannedJob, World};
+use crate::world::{Fault, PlannedJob, World, WorldSnapshot};
 
 /// Parameters of one chaos experiment. Everything downstream — workload,
 /// fault plan, channel behaviour — is a pure function of these.
@@ -560,10 +560,27 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     run_chaos_with(cfg, faults)
 }
 
-/// Runs one chaos experiment against an *explicit* fault schedule instead
-/// of a generated one — the minimizer's probe, and the replay vehicle for
-/// pinned regression schedules.
-pub fn run_chaos_with(cfg: &ChaosConfig, faults: Vec<(SimTime, Fault)>) -> ChaosReport {
+/// The plans a fault schedule kills, in schedule order.
+fn killed_plans_of(faults: &[(SimTime, Fault)]) -> Vec<usize> {
+    faults
+        .iter()
+        .filter_map(|(_, f)| match f {
+            Fault::KillPlan(p) => Some(*p),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Builds the chaos world for `(cfg, faults)` with a fresh
+/// [`FlightRecorder`] attached and per-event validation on — shared by
+/// the straight-line runner below and the snapshot-forked minimizer,
+/// which drives the world step by step instead of calling
+/// [`World::run`]. Also returns the recorder handle and the workload's
+/// plan count.
+fn build_chaos_world(
+    cfg: &ChaosConfig,
+    faults: Vec<(SimTime, Fault)>,
+) -> (World, FlightRecorder, usize) {
     let mut cluster = ClusterConfig {
         nodes: cfg.nodes,
         seed: cfg.seed,
@@ -575,22 +592,23 @@ pub fn run_chaos_with(cfg: &ChaosConfig, faults: Vec<(SimTime, Fault)>) -> Chaos
     cluster.ignem.lease = cfg.lease;
     cluster.validate();
 
-    let killed_plans: Vec<usize> = faults
-        .iter()
-        .filter_map(|(_, f)| match f {
-            Fault::KillPlan(p) => Some(*p),
-            _ => None,
-        })
-        .collect();
-
     let (files, plans) = workload(cfg.jobs);
     let total_plans = plans.len();
     // Generous bound: chaos workloads emit a few thousand events, so the
     // recorder keeps the whole run and invariant 6 sees everything.
     let recorder = FlightRecorder::new(1 << 20);
-    let world = World::new(cluster, FsMode::Ignem, &files, plans, faults.clone())
+    let world = World::new(cluster, FsMode::Ignem, &files, plans, faults)
         .with_telemetry(Box::new(recorder.clone()))
         .with_validation();
+    (world, recorder, total_plans)
+}
+
+/// Runs one chaos experiment against an *explicit* fault schedule instead
+/// of a generated one — the minimizer's probe, and the replay vehicle for
+/// pinned regression schedules.
+pub fn run_chaos_with(cfg: &ChaosConfig, faults: Vec<(SimTime, Fault)>) -> ChaosReport {
+    let killed_plans = killed_plans_of(&faults);
+    let (world, recorder, total_plans) = build_chaos_world(cfg, faults.clone());
     let metrics = world.run();
     let fp = fingerprint(&metrics);
     ChaosReport {
@@ -664,6 +682,39 @@ pub fn run_chaos_observed(
     )
 }
 
+/// Time-travel debugger: runs the seed's chaos experiment until the
+/// telemetry record with sequence number `seq` has been emitted, freezes
+/// the world there, and renders its full state
+/// ([`World::describe_state`]) next to the matched record.
+///
+/// The stop is step-granular: the world halts right after the simulation
+/// step that emitted `seq` (a step may emit several records, so the dump
+/// can also reflect the same step's later records). Returns `None` when
+/// the run finishes before ever emitting `seq`.
+pub fn state_at(cfg: &ChaosConfig, seq: u64) -> Option<(EventRecord, String)> {
+    let mut fault_rng = SimRng::new(cfg.seed ^ 0xC4A0_5EED);
+    let faults = generate_faults(
+        &mut fault_rng,
+        cfg.nodes,
+        ClusterConfig::default().dfs.replication,
+        cfg.jobs,
+        cfg.faults,
+        cfg.crashes,
+    );
+    let (mut world, recorder, _) = build_chaos_world(cfg, faults);
+    loop {
+        let emitted = world.telemetry_cursor().map_or(0, |(_, next)| next);
+        if emitted > seq {
+            break;
+        }
+        if !world.step() {
+            return None;
+        }
+    }
+    let record = recorder.events().into_iter().find(|r| r.seq == seq)?;
+    Some((record, world.describe_state()))
+}
+
 /// A failing fault schedule shrunk to 1-minimality, plus the violation it
 /// still reproduces.
 #[derive(Debug, Clone)]
@@ -708,44 +759,74 @@ impl MinimizedSchedule {
     }
 }
 
-/// Probes one candidate schedule: `Ok` when every invariant holds, `Err`
-/// with the violation (and the finished report, when the run survived to
-/// produce one — a mid-run panic from per-event validation yields `None`).
+/// Cost counters from one minimization, for comparing the snapshot-forked
+/// shrink against full-replay probing on the same seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinimizeStats {
+    /// Candidate schedules simulated, the initial full run included.
+    pub probes: u64,
+    /// Total events simulated across the initial run and every probe. For
+    /// forked probes only the suffix after the restore point counts — the
+    /// shared prefix is paid once, during the run that took the snapshot.
+    pub simulated_events: u64,
+}
+
+/// Extracts a panic payload's message for use as a violation string.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    panic
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "run panicked".into())
+}
+
+/// Probes one candidate schedule by replaying it from `t = 0`: `Ok` when
+/// every invariant holds, `Err` with the violation (and the finished
+/// report, when the run survived to produce one — a mid-run panic from
+/// per-event validation yields `None`). Also returns the number of events
+/// the probe simulated, for [`MinimizeStats`].
+#[allow(clippy::type_complexity)]
 fn probe(
     cfg: &ChaosConfig,
     faults: &[(SimTime, Fault)],
-) -> Result<(), Box<(String, Option<ChaosReport>)>> {
+) -> (Result<(), Box<(String, Option<ChaosReport>)>>, u64) {
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_chaos_with(cfg, faults.to_vec())
     }));
     match outcome {
-        Ok(report) => match report.check_invariants() {
-            Ok(()) => Ok(()),
-            Err(violation) => Err(Box::new((violation, Some(report)))),
-        },
-        Err(panic) => {
-            let msg = panic
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_string()))
-                .unwrap_or_else(|| "run panicked".into());
-            Err(Box::new((msg, None)))
+        Ok(report) => {
+            let events = report.metrics.events_processed;
+            match report.check_invariants() {
+                Ok(()) => (Ok(()), events),
+                Err(violation) => (Err(Box::new((violation, Some(report)))), events),
+            }
         }
+        // A panicked replay's event count is unknown (the report never
+        // materialized); count it as zero on both sides of a comparison.
+        Err(panic) => (Err(Box::new((panic_message(panic.as_ref()), None))), 0),
     }
 }
 
-/// Shrinks a failing seed's fault schedule to a 1-minimal reproducer.
+/// Shrinks a failing seed's fault schedule to a 1-minimal reproducer by
+/// replaying every candidate schedule from `t = 0`.
 ///
-/// Returns `None` when the seed's full schedule passes its invariants.
-/// Otherwise repeatedly tries dropping each fault; any drop that still
-/// fails is kept, until no single removal preserves the violation. The
-/// shrink is deterministic — candidate schedules are probed in order —
-/// and quadratic in the schedule length, which the generator caps at a
-/// handful of faults.
-pub fn minimize_faults(cfg: &ChaosConfig) -> Option<MinimizedSchedule> {
+/// This is the pre-snapshot algorithm, kept as the baseline the forked
+/// shrink ([`minimize_faults`]) is benchmarked and regression-tested
+/// against; both produce identical minimal schedules.
+pub fn minimize_faults_replay(cfg: &ChaosConfig) -> Option<MinimizedSchedule> {
+    minimize_faults_replay_with_stats(cfg).0
+}
+
+/// [`minimize_faults_replay`] plus the probe-cost counters.
+pub fn minimize_faults_replay_with_stats(
+    cfg: &ChaosConfig,
+) -> (Option<MinimizedSchedule>, MinimizeStats) {
+    let mut stats = MinimizeStats::default();
     let full = run_chaos(cfg);
+    stats.probes = 1;
+    stats.simulated_events = full.metrics.events_processed;
     let mut violation = match full.check_invariants() {
-        Ok(()) => return None,
+        Ok(()) => return (None, stats),
         Err(v) => v,
     };
     let mut faults = full.faults.clone();
@@ -756,7 +837,10 @@ pub fn minimize_faults(cfg: &ChaosConfig) -> Option<MinimizedSchedule> {
         for i in 0..faults.len() {
             let mut candidate = faults.clone();
             candidate.remove(i);
-            if let Err(err) = probe(cfg, &candidate) {
+            let (verdict, events) = probe(cfg, &candidate);
+            stats.probes += 1;
+            stats.simulated_events += events;
+            if let Err(err) = verdict {
                 let (v, r) = *err;
                 faults = candidate;
                 violation = v;
@@ -770,12 +854,294 @@ pub fn minimize_faults(cfg: &ChaosConfig) -> Option<MinimizedSchedule> {
             }
         }
     }
-    Some(MinimizedSchedule {
-        seed: cfg.seed,
-        faults,
-        violation,
-        report,
-    })
+    (
+        Some(MinimizedSchedule {
+            seed: cfg.seed,
+            faults,
+            violation,
+            report,
+        }),
+        stats,
+    )
+}
+
+/// Everything needed to branch a probe from the instant just before one
+/// fault injection fires: the world snapshot, plus the flight-recorder
+/// stream up to that instant (snapshots deliberately exclude emitted
+/// telemetry, so the prefix rides alongside).
+struct InjectSnapshot {
+    snap: WorldSnapshot,
+    prefix: Vec<EventRecord>,
+    prefix_dropped: u64,
+}
+
+/// Runs `world` to completion, capturing an [`InjectSnapshot`] just before
+/// every [`Event::Inject`](crate::world::Event) pops. `recorder` must be
+/// the world's current telemetry sink and `prefix`/`prefix_dropped` the
+/// stream it does *not* contain (empty for a from-scratch run; the restore
+/// point's stream when continuing a fork). Returns the captured snapshots
+/// as `(fault index, snapshot)` pairs and the finalized metrics.
+fn run_capturing_snapshots(
+    world: &mut World,
+    recorder: &FlightRecorder,
+    prefix: &[EventRecord],
+    prefix_dropped: u64,
+    captured: &mut Vec<(usize, InjectSnapshot)>,
+) -> RunMetrics {
+    while let Some(idx) = world.run_until_next_inject() {
+        let mut stream = prefix.to_vec();
+        stream.extend(recorder.events());
+        captured.push((
+            idx,
+            InjectSnapshot {
+                snap: world.snapshot(),
+                prefix: stream,
+                prefix_dropped: prefix_dropped + recorder.dropped(),
+            },
+        ));
+        world.step();
+    }
+    world.finalize_mut()
+}
+
+/// Shrinks a failing seed's fault schedule to a 1-minimal reproducer,
+/// forking each probe from a snapshot instead of replaying from `t = 0`.
+///
+/// Returns `None` when the seed's full schedule passes its invariants.
+/// Otherwise repeatedly tries dropping each fault; any drop that still
+/// fails is kept, until no single removal preserves the violation.
+///
+/// The initial run captures a [`World::snapshot`] just before every fault
+/// injection. To probe "what if fault *k* never fired", the minimizer
+/// restores the snapshot taken just before injection *k*, marks *k* (and
+/// every previously dropped fault) suppressed, and simulates only the
+/// suffix — the prefix up to *k* is byte-identical across the candidate
+/// and its parent run, so re-simulating it would be pure waste. Snapshot
+/// equivalence (see `DESIGN.md` §13) guarantees the forked probe's event
+/// stream, metrics and fingerprint match a from-scratch replay of the
+/// candidate schedule, so this produces the same minimal schedule as
+/// [`minimize_faults_replay`] while simulating strictly fewer events.
+/// The shrink is deterministic — candidates are probed in order.
+pub fn minimize_faults(cfg: &ChaosConfig) -> Option<MinimizedSchedule> {
+    minimize_faults_with_stats(cfg).0
+}
+
+/// [`minimize_faults`] plus the probe-cost counters.
+///
+/// A forked probe's event cost is the suffix it actually simulated; note
+/// that a suppressed fault's `Inject` event still pops (inertly) so the
+/// forked path's `RunMetrics::events_processed` can exceed a replay's by
+/// the number of dropped faults, even though fewer events were *simulated*.
+///
+/// # Panics
+///
+/// Panics if the generated fault plan is not sorted by injection time
+/// (the generator always sorts; the fork bookkeeping relies on it).
+pub fn minimize_faults_with_stats(cfg: &ChaosConfig) -> (Option<MinimizedSchedule>, MinimizeStats) {
+    let mut stats = MinimizeStats::default();
+    let mut fault_rng = SimRng::new(cfg.seed ^ 0xC4A0_5EED);
+    let full_faults = generate_faults(
+        &mut fault_rng,
+        cfg.nodes,
+        ClusterConfig::default().dfs.replication,
+        cfg.jobs,
+        cfg.faults,
+        cfg.crashes,
+    );
+    // Index order must equal injection order: snapshots taken before
+    // injection j stay valid when a *later* fault is dropped, and "later"
+    // is tracked by index. Sorted times guarantee it (ties pop in
+    // scheduling = index order).
+    assert!(
+        full_faults.windows(2).all(|w| w[0].0 <= w[1].0),
+        "fault plan must be sorted by injection time"
+    );
+    let total_faults = full_faults.len();
+
+    // The initial full run, capturing a snapshot before every injection.
+    let (mut world, recorder, total_plans) = build_chaos_world(cfg, full_faults.clone());
+    let mut captured = Vec::new();
+    let metrics = run_capturing_snapshots(&mut world, &recorder, &[], 0, &mut captured);
+    stats.probes = 1;
+    stats.simulated_events = metrics.events_processed;
+    let mut snaps: Vec<Option<InjectSnapshot>> = (0..total_faults).map(|_| None).collect();
+    for (idx, snap) in captured {
+        snaps[idx] = Some(snap);
+    }
+    let fp = fingerprint(&metrics);
+    let full_report = ChaosReport {
+        faults: full_faults.clone(),
+        killed_plans: killed_plans_of(&full_faults),
+        total_plans,
+        metrics,
+        fingerprint: fp,
+        events: recorder.events(),
+        events_dropped: recorder.dropped(),
+    };
+    let mut violation = match full_report.check_invariants() {
+        Ok(()) => return (None, stats),
+        Err(v) => v,
+    };
+    let mut report = full_report;
+
+    // Greedy 1-minimal shrink. `dropped[j]` marks faults removed from the
+    // accepted schedule; `active` is the remaining candidate set in
+    // injection order.
+    let mut dropped = vec![false; total_faults];
+    let mut active: Vec<usize> = (0..total_faults).collect();
+    let mut shrunk = true;
+    while shrunk && !active.is_empty() {
+        shrunk = false;
+        for pos in 0..active.len() {
+            let k = active[pos];
+            stats.probes += 1;
+            let accept = if snaps[k].is_some() {
+                fork_probe(
+                    &full_faults,
+                    &dropped,
+                    k,
+                    &mut world,
+                    &mut snaps,
+                    total_plans,
+                    &mut stats,
+                )
+            } else {
+                // The accepted run panicked before injection k ever fired
+                // (so no snapshot exists for it); fall back to a full
+                // replay of the candidate.
+                let candidate = candidate_faults(&full_faults, &dropped, k);
+                let (verdict, events) = probe(cfg, &candidate);
+                stats.simulated_events += events;
+                match verdict {
+                    Ok(()) => None,
+                    Err(err) => {
+                        let (v, r) = *err;
+                        Some((v, r))
+                    }
+                }
+            };
+            if let Some((v, r)) = accept {
+                violation = v;
+                if let Some(r) = r {
+                    report = r;
+                }
+                dropped[k] = true;
+                active.remove(pos);
+                // Snapshots taken before a *later* injection baked in the
+                // old schedule's suffix behaviour only if the probe that
+                // refreshed them was accepted — fork_probe handles the
+                // refresh; the replay fallback leaves them stale, so
+                // invalidate.
+                if snaps[k].is_none() {
+                    for entry in snaps.iter_mut().skip(k + 1) {
+                        *entry = None;
+                    }
+                }
+                shrunk = true;
+                break;
+            }
+        }
+    }
+    (
+        Some(MinimizedSchedule {
+            seed: cfg.seed,
+            faults: candidate_faults(&full_faults, &dropped, usize::MAX),
+            violation,
+            report,
+        }),
+        stats,
+    )
+}
+
+/// The schedule that remains after removing `dropped` faults and fault
+/// `extra` (pass `usize::MAX` for "none") from the full plan, in
+/// injection order.
+fn candidate_faults(
+    full: &[(SimTime, Fault)],
+    dropped: &[bool],
+    extra: usize,
+) -> Vec<(SimTime, Fault)> {
+    full.iter()
+        .enumerate()
+        .filter(|(j, _)| !dropped[*j] && *j != extra)
+        .map(|(_, f)| f.clone())
+        .collect()
+}
+
+/// Probes "current schedule minus fault `k`" by restoring the snapshot
+/// taken just before injection `k` and simulating only the suffix with
+/// `k` suppressed. Returns `Some((violation, report))` when the candidate
+/// still fails (accept the drop), `None` when it passes (keep fault `k`).
+///
+/// On acceptance the snapshots captured during this continuation replace
+/// the stale ones for later injections — their histories now reflect the
+/// new schedule — and any later snapshot the continuation never reached
+/// (mid-run panic) is invalidated.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+fn fork_probe(
+    full_faults: &[(SimTime, Fault)],
+    dropped: &[bool],
+    k: usize,
+    world: &mut World,
+    snaps: &mut [Option<InjectSnapshot>],
+    total_plans: usize,
+    stats: &mut MinimizeStats,
+) -> Option<(String, Option<ChaosReport>)> {
+    let Some(entry) = snaps[k].as_ref() else {
+        // The caller dispatches here only when a snapshot exists; if one
+        // ever goes missing, treat fault k as load-bearing (keep it)
+        // rather than panicking mid-minimization.
+        return None;
+    };
+    world.restore(&entry.snap);
+    let (prefix, prefix_dropped) = (entry.prefix.clone(), entry.prefix_dropped);
+    for (d, was_dropped) in dropped.iter().enumerate() {
+        if *was_dropped || d == k {
+            world.suppress_fault(d);
+        }
+    }
+    let fork_rec = FlightRecorder::new(1 << 20);
+    world.swap_recorder(Box::new(fork_rec.clone()));
+    let start_events = world.events_processed();
+    let mut captured = Vec::new();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_capturing_snapshots(world, &fork_rec, &prefix, prefix_dropped, &mut captured)
+    }));
+    stats.simulated_events += world.events_processed() - start_events;
+    let accept = match outcome {
+        Ok(metrics) => {
+            let candidate = candidate_faults(full_faults, dropped, k);
+            let mut events = prefix;
+            events.extend(fork_rec.events());
+            let fp = fingerprint(&metrics);
+            let cand_report = ChaosReport {
+                faults: candidate.clone(),
+                killed_plans: killed_plans_of(&candidate),
+                total_plans,
+                metrics,
+                fingerprint: fp,
+                events,
+                events_dropped: prefix_dropped + fork_rec.dropped(),
+            };
+            match cand_report.check_invariants() {
+                Ok(()) => None,
+                Err(v) => Some((v, Some(cand_report))),
+            }
+        }
+        Err(panic) => Some((panic_message(panic.as_ref()), None)),
+    };
+    if accept.is_some() {
+        // The continuation's history *is* the new accepted schedule:
+        // refresh every later snapshot it reached, drop the rest. Earlier
+        // snapshots (index < k) predate the divergence and stay valid.
+        for entry in snaps.iter_mut().skip(k + 1) {
+            *entry = None;
+        }
+        for (idx, snap) in captured {
+            snaps[idx] = Some(snap);
+        }
+    }
+    accept
 }
 
 #[cfg(test)]

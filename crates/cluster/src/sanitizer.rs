@@ -18,7 +18,7 @@
 //! capacity; a nonzero eviction count is reported rather than silently
 //! shortening the compared window.
 
-use ignem_simcore::telemetry::EventRecord;
+use ignem_simcore::telemetry::{EventRecord, FlightRecorder};
 
 use crate::explain::TelemetryReport;
 use crate::metrics::RunMetrics;
@@ -213,6 +213,100 @@ where
         events_b,
         dropped: (dropped_a, dropped_b),
         divergence,
+    }
+}
+
+/// A [`DoubleRun`] produced by [`double_run_forked`], plus the outcome of
+/// the snapshot-forked suffix re-check.
+#[derive(Debug)]
+pub struct ForkedDoubleRun {
+    /// The ordinary double-run comparison.
+    pub run: DoubleRun,
+    /// Emitted-event index of the snapshot the fork restored: the latest
+    /// snapshot at or before the divergence (or before the stream's end
+    /// when the runs agree — the re-check then audits snapshot
+    /// equivalence on the final window).
+    pub fork_at: usize,
+    /// How many events the forked suffix re-simulated; everything before
+    /// `fork_at` was *not* re-run.
+    pub resimulated: usize,
+    /// Whether the forked suffix reproduced run A's tail bit-for-bit.
+    /// `false` here means the divergence is not stable under replay from
+    /// the snapshot — i.e. the nondeterminism lives in state the snapshot
+    /// captures, which localizes the bug to the suffix window.
+    pub suffix_consistent: bool,
+}
+
+/// [`double_run`], but run A is driven step by step with a
+/// [`World::snapshot`] taken every `stride` emitted events. When the two
+/// streams diverge, the checker does **not** replay run A from `t = 0` to
+/// study the split: it restores the latest snapshot at or before the
+/// diverging event and re-simulates only the suspect suffix, confirming
+/// the suffix reproduces run A's tail (snapshot equivalence). When the
+/// runs agree, the same re-check audits the final window so the
+/// equivalence property is exercised on every invocation.
+///
+/// # Panics
+///
+/// Panics if `stride` is zero.
+pub fn double_run_forked<F>(build: F, capacity: usize, stride: usize) -> ForkedDoubleRun
+where
+    F: Fn() -> World,
+{
+    assert!(stride > 0, "snapshot stride must be at least one event");
+    let recorder = FlightRecorder::new(capacity);
+    let mut world = build().with_telemetry(Box::new(recorder.clone()));
+    let mut snaps = vec![(0usize, world.snapshot())];
+    let mut next_mark = stride;
+    while world.step() {
+        let emitted = world.telemetry_cursor().map_or(0, |(_, seq)| seq) as usize;
+        if emitted >= next_mark {
+            snaps.push((emitted, world.snapshot()));
+            next_mark = emitted + stride;
+        }
+    }
+    let metrics_a = world.finalize_mut();
+    let events_a = recorder.events();
+    let dropped_a = recorder.dropped();
+
+    let (metrics_b, events_b, dropped_b) = build().run_recorded(capacity);
+    let divergence = bisect_divergence(&events_a, &events_b);
+
+    // Fork target: the divergence when there is one, else the end of the
+    // stream. Restore the latest snapshot at or before it that still
+    // leaves a nonempty suffix to re-simulate.
+    let target = divergence
+        .as_ref()
+        .map_or(events_a.len(), |d| d.index)
+        .min(events_a.len());
+    let (fork_at, snap) = snaps
+        .iter()
+        .rev()
+        .find(|(emitted, _)| *emitted <= target && *emitted < events_a.len().max(1))
+        .unwrap_or(&snaps[0]);
+    let fork_at = *fork_at;
+
+    world.restore(snap);
+    let fork_rec = FlightRecorder::new(capacity);
+    world.swap_recorder(Box::new(fork_rec.clone()));
+    world.run_to_end();
+    let _ = world.finalize_mut();
+    let suffix = fork_rec.events();
+    let suffix_consistent =
+        fork_rec.dropped() == 0 && bisect_divergence(&events_a[fork_at..], &suffix).is_none();
+
+    ForkedDoubleRun {
+        run: DoubleRun {
+            metrics_a,
+            metrics_b,
+            events_a,
+            events_b,
+            dropped: (dropped_a, dropped_b),
+            divergence,
+        },
+        fork_at,
+        resimulated: suffix.len(),
+        suffix_consistent,
     }
 }
 

@@ -85,6 +85,13 @@ impl<T> Drop for StopGuard<'_, T> {
 /// threads, no locks); with any `jobs` value the `consume` call sequence
 /// is identical, which is what makes parallel sweeps byte-equivalent to
 /// serial ones.
+///
+/// # Panics
+///
+/// Panics if `count` does not fit in `usize` (only reachable on targets
+/// narrower than 64 bits): the parallel path indexes per-seed slots in
+/// memory, so a >4G-seed sweep on a 32-bit host must be split by the
+/// caller rather than silently truncated.
 pub fn sweep<T, B>(
     start: u64,
     count: u64,
@@ -104,7 +111,7 @@ where
         return None;
     }
 
-    let total = usize::try_from(count).unwrap_or(usize::MAX);
+    let total = checked_seed_total(count);
     let window = jobs.saturating_mul(2).min(total).max(1);
     let state = Mutex::new(State {
         slots: (0..window).map(|_| None).collect(),
@@ -182,6 +189,27 @@ where
     out
 }
 
+/// Converts a sweep's seed count into the in-memory work-list length the
+/// parallel path indexes by. Refusing (rather than clamping to
+/// `usize::MAX`, as this used to) is deliberate: a silent clamp on a
+/// 32-bit target would quietly run fewer seeds than asked for and report
+/// statistics over the truncated set. See
+/// [`seed_count_fits_pointer_width`] for the decision logic.
+fn checked_seed_total(count: u64) -> usize {
+    assert!(
+        seed_count_fits_pointer_width(count, usize::MAX as u128),
+        "sweep seed count {count} exceeds usize::MAX on this target; split the sweep into smaller ranges"
+    );
+    count as usize
+}
+
+/// Whether a `count`-seed sweep fits a target whose `usize::MAX` is
+/// `usize_max`. Factored out (with the width as a parameter) so the
+/// 32-bit refusal is unit-testable from a 64-bit host.
+fn seed_count_fits_pointer_width(count: u64, usize_max: u128) -> bool {
+    u128::from(count) <= usize_max
+}
+
 /// Maps `f` over `items` on `jobs` scoped worker threads, returning the
 /// results in input order. The order-restoring merge makes the output
 /// independent of worker scheduling, so parallel bench runs stay
@@ -233,7 +261,8 @@ where
 pub struct SeedStat {
     /// Smallest observed value.
     pub min: u64,
-    /// Nearest-rank 50th percentile.
+    /// Median: the true middle value for odd sample sizes, the upper of
+    /// the two middle values for even ones.
     pub p50: u64,
     /// Nearest-rank 99th percentile.
     pub p99: u64,
@@ -245,6 +274,14 @@ impl SeedStat {
     /// Summarizes `values` (one per seed). Sorts a copy; the input order
     /// does not matter. Returns the default (all zeros) for an empty
     /// slice.
+    ///
+    /// The median takes the *upper* middle value on even sample sizes
+    /// (`sorted[n / 2]`, zero-indexed). The previous nearest-rank
+    /// `ceil(n/2)` formula took the lower middle, which degenerates for a
+    /// two-element sample: p50 of `[10, 2]` came out as 2 — the minimum —
+    /// so a sweep over two seeds reported min == p50 unconditionally.
+    /// With the upper-middle convention at least half the sample is `<=
+    /// p50` and the two-seed median is no longer pinned to the minimum.
     pub fn from_values(values: &[u64]) -> SeedStat {
         if values.is_empty() {
             return SeedStat::default();
@@ -259,7 +296,7 @@ impl SeedStat {
         };
         SeedStat {
             min: sorted[0],
-            p50: rank(1, 2),
+            p50: sorted[sorted.len() / 2],
             p99: rank(99, 100),
             max: sorted[sorted.len() - 1],
         }
@@ -375,14 +412,18 @@ mod tests {
     }
 
     #[test]
-    fn seed_stat_nearest_rank_percentiles() {
-        // 1..=100: p50 is the 50th value, p99 the 99th.
+    fn seed_stat_percentiles() {
+        // 1..=100 (even n): p50 is the upper middle (51st value), p99 the
+        // nearest-rank 99th.
         let values: Vec<u64> = (1..=100).rev().collect();
         let s = SeedStat::from_values(&values);
         assert_eq!(s.min, 1);
-        assert_eq!(s.p50, 50);
+        assert_eq!(s.p50, 51);
         assert_eq!(s.p99, 99);
         assert_eq!(s.max, 100);
+        // Odd n: the true median.
+        let odd: Vec<u64> = (1..=7).collect();
+        assert_eq!(SeedStat::from_values(&odd).p50, 4);
     }
 
     #[test]
@@ -390,7 +431,26 @@ mod tests {
         assert_eq!(SeedStat::from_values(&[]), SeedStat::default());
         let one = SeedStat::from_values(&[7]);
         assert_eq!((one.min, one.p50, one.p99, one.max), (7, 7, 7, 7));
+        // Regression: the lower-middle formula made the two-sample median
+        // collapse onto the minimum; it must be the upper middle.
         let two = SeedStat::from_values(&[10, 2]);
-        assert_eq!((two.min, two.p50, two.p99, two.max), (2, 2, 10, 10));
+        assert_eq!((two.min, two.p50, two.p99, two.max), (2, 10, 10, 10));
+    }
+
+    /// Pins the refusal decision for seed counts wider than the target's
+    /// pointer width (the parallel path indexes per-seed slots in memory,
+    /// so clamping would silently truncate a >4G-seed sweep on 32-bit).
+    #[test]
+    fn seed_count_overflow_is_refused_not_clamped() {
+        let five_g = 5_000_000_000u64;
+        // Fits a 64-bit host, refused on a 32-bit one.
+        assert!(seed_count_fits_pointer_width(five_g, u64::MAX as u128));
+        assert!(!seed_count_fits_pointer_width(five_g, u32::MAX as u128));
+        assert!(seed_count_fits_pointer_width(
+            u64::from(u32::MAX),
+            u32::MAX as u128
+        ));
+        // On this host the conversion itself must round-trip exactly.
+        assert_eq!(checked_seed_total(123_456), 123_456usize);
     }
 }

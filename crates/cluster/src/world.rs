@@ -102,7 +102,7 @@ use ignem_netsim::rpc::{Epoch, Incarnation, RpcChannel, RpcPeer};
 use ignem_netsim::{Fabric, NodeId, TransferId};
 use ignem_simcore::event::Engine;
 use ignem_simcore::idmap::IdMap;
-use ignem_simcore::metrics::MetricsRegistry;
+use ignem_simcore::metrics::{MetricsRegistry, MetricsState};
 use ignem_simcore::profile::HostProfiler;
 use ignem_simcore::rng::SimRng;
 use ignem_simcore::stats::TimeWeighted;
@@ -174,7 +174,7 @@ pub enum Fault {
     NodeCrash(NodeId, SimDuration),
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Event {
     Submit(usize),
     Queued(JobId),
@@ -287,6 +287,14 @@ struct PlanState {
 }
 
 /// The integrated simulator (see module docs).
+///
+/// `Clone` copies the *deterministic* state structurally — engine queue
+/// (slot slab, generation stamps, insertion seq), every component, both
+/// RNG streams — while the observability handles ([`Telemetry`],
+/// [`MetricsRegistry`], [`HostProfiler`]) clone as shared references.
+/// [`World::snapshot`]/[`World::restore`] build on this: see
+/// [`WorldSnapshot`] for the exact capture contract.
+#[derive(Clone)]
 pub struct World {
     cfg: ClusterConfig,
     mode: FsMode,
@@ -353,6 +361,12 @@ pub struct World {
     hyp_assign: HashMap<JobId, Vec<(u32, u64)>>,
 
     faults: Vec<(SimTime, Fault)>,
+    /// Faults whose [`Event::Inject`] has been neutralized: the event
+    /// still pops (preserving the engine's seq/tie-break bookkeeping) but
+    /// injects nothing and emits nothing. The minimizer uses this to
+    /// drop a fault from a snapshot-forked continuation without
+    /// rebuilding the world.
+    suppressed_faults: Vec<bool>,
     unfinished_plans: usize,
     rerep_queue: Vec<BlockId>,
     rerep_active: bool,
@@ -384,6 +398,45 @@ pub struct World {
     /// buckets; purely observational.
     profiler: HostProfiler,
     metrics: RunMetrics,
+}
+
+/// A copy-on-write checkpoint of a [`World`] at an event boundary,
+/// captured by [`World::snapshot`] and reinstated (any number of times)
+/// by [`World::restore`].
+///
+/// **Captured:** every bit of deterministic simulation state — the
+/// engine's event queue (slot slab, generation stamps, insertion
+/// sequence, clock, processed count), NameNode, master, slaves, MemStores,
+/// disks, fabric, RPC channel with its in-flight retransmissions, both
+/// RNG streams, the residency ledger, accumulated run metrics, fault
+/// suppression flags, and the telemetry/metrics *cursors* (emission seq,
+/// open metrics window and totals).
+///
+/// **Deliberately not captured:** the contents of any attached telemetry
+/// sink (recorded events are history, not state — a fork appends to
+/// whatever sink is installed, gap-free, or swaps in a fresh one via
+/// [`World::swap_recorder`]), and the host-time profiler's wall-clock
+/// buckets (observational only; charging fork re-runs to the same
+/// buckets is the desired behavior).
+///
+/// The equivalence contract: `run-to-t → snapshot → run-to-end` then
+/// `restore → run-to-end` produces a continuation bit-identical — event
+/// stream, fingerprint, span forest, metrics report — to the
+/// uninterrupted run. Pinned by the `snapshot_equivalence` tests against
+/// the three golden streams.
+pub struct WorldSnapshot {
+    state: Box<World>,
+    telemetry_cursor: Option<(SimTime, u64)>,
+    metrics_state: MetricsState,
+}
+
+impl std::fmt::Debug for WorldSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldSnapshot")
+            .field("at", &self.state.engine.now())
+            .field("events_processed", &self.state.engine.processed())
+            .finish()
+    }
 }
 
 impl World {
@@ -513,6 +566,7 @@ impl World {
                 .map(|_| TimeWeighted::new(0.0, true))
                 .collect(),
             hyp_assign: HashMap::new(),
+            suppressed_faults: vec![false; faults.len()],
             faults,
             unfinished_plans: unfinished,
             rerep_queue: Vec::new(),
@@ -650,20 +704,60 @@ impl World {
     /// Panics if the event count exceeds a safety bound (a stuck
     /// simulation) or a block becomes unreadable (all replicas dead).
     pub fn run(mut self) -> RunMetrics {
+        self.run_to_end();
+        self.finalize_mut()
+    }
+
+    /// Pops and handles exactly one event, returning `false` when the
+    /// queue is exhausted. The single-step core of [`World::run`]; the
+    /// snapshot machinery drives it directly so a fork can stop at any
+    /// event boundary.
+    ///
+    /// # Panics
+    ///
+    /// As [`World::run`].
+    pub fn step(&mut self) -> bool {
         const MAX_EVENTS: u64 = 200_000_000;
+        let Some(ev) = self.engine.pop() else {
+            return false;
+        };
         let prof = self.profiler.clone();
-        while let Some(ev) = self.engine.pop() {
-            let kind = ev.kind_name();
-            prof.measure(kind, || self.handle(ev));
-            if self.validate {
-                self.check_invariants();
-            }
-            assert!(
-                self.engine.processed() < MAX_EVENTS,
-                "simulation exceeded {MAX_EVENTS} events — likely stuck"
-            );
+        let kind = ev.kind_name();
+        prof.measure(kind, || self.handle(ev));
+        if self.validate {
+            self.check_invariants();
         }
-        self.finalize()
+        assert!(
+            self.engine.processed() < MAX_EVENTS,
+            "simulation exceeded {MAX_EVENTS} events — likely stuck"
+        );
+        true
+    }
+
+    /// Drains the event queue without finalizing, so the caller can
+    /// snapshot, inspect or finalize afterwards.
+    pub fn run_to_end(&mut self) {
+        while self.step() {}
+    }
+
+    /// Steps until the next pending event is a fault injection and
+    /// returns its index into the fault list *without firing it* — the
+    /// caller typically snapshots here, then calls [`World::step`] once
+    /// to pop the injection. Returns `None` when the queue drains first.
+    pub fn run_until_next_inject(&mut self) -> Option<usize> {
+        loop {
+            let next = match self.engine.peek() {
+                Some((_, Event::Inject(i))) => Some(Some(*i)),
+                Some(_) => None,
+                None => Some(None),
+            };
+            match next {
+                Some(result) => return result,
+                None => {
+                    self.step();
+                }
+            }
+        }
     }
 
     /// Sanitizer mode: runs to completion with a fresh
@@ -682,25 +776,187 @@ impl World {
         (metrics, recorder.events(), recorder.dropped())
     }
 
-    fn finalize(mut self) -> RunMetrics {
-        self.metrics.events_processed = self.engine.processed();
-        let end = self
-            .metrics
+    // ------------------------------------------------------------------
+    // Snapshots
+    // ------------------------------------------------------------------
+
+    /// Captures the full deterministic state at the current event
+    /// boundary. See [`WorldSnapshot`] for the capture contract; the
+    /// equivalence guarantee (restore + run-to-end is bit-identical to an
+    /// uninterrupted run) is pinned by the `snapshot_equivalence` golden
+    /// tests.
+    pub fn snapshot(&self) -> WorldSnapshot {
+        WorldSnapshot {
+            state: Box::new(self.clone()),
+            telemetry_cursor: self.telemetry.cursor(),
+            metrics_state: self.mreg.state_snapshot(),
+        }
+    }
+
+    /// Rewinds this world to a state captured by [`World::snapshot`].
+    /// The snapshot is not consumed: one capture can seed any number of
+    /// forked continuations. The telemetry sink is *not* rewound (its
+    /// records are history, not simulation state); use
+    /// [`World::swap_recorder`] to point the continuation at a fresh
+    /// recorder when the forked stream matters.
+    pub fn restore(&mut self, snap: &WorldSnapshot) {
+        *self = (*snap.state).clone();
+        // The cloned components share the telemetry/metrics interiors
+        // with the live world, so the cursors are rewound through the
+        // shared handles rather than re-propagated.
+        if let Some((now, next_seq)) = snap.telemetry_cursor {
+            self.telemetry.restore_cursor(now, next_seq);
+        }
+        self.mreg.restore_state(&snap.metrics_state);
+    }
+
+    /// Swaps the event sink every component emits into, returning the
+    /// old one. The emission cursor (seq numbering) is untouched, so a
+    /// forked continuation's records concatenate gap-free onto the
+    /// prefix the previous sink captured.
+    pub fn swap_recorder(&self, sink: Box<dyn EventSink>) -> Option<Box<dyn EventSink>> {
+        self.telemetry.replace_sink(sink)
+    }
+
+    /// Neutralizes fault `idx`: its [`Event::Inject`] still pops (the
+    /// engine's seq bookkeeping is part of snapshot equivalence) but
+    /// injects nothing and emits nothing — behaviorally identical to a
+    /// world built without the fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds of the fault list.
+    pub fn suppress_fault(&mut self, idx: usize) {
+        self.suppressed_faults[idx] = true;
+    }
+
+    /// Number of events the engine has popped so far (the "simulated
+    /// events" cost measure the minimizer bench reports).
+    pub fn events_processed(&self) -> u64 {
+        self.engine.processed()
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// The shared telemetry `(now, next_seq)` cursor, `None` when no sink
+    /// is installed. The time-travel debugger steps until this passes the
+    /// requested record seq.
+    pub fn telemetry_cursor(&self) -> Option<(SimTime, u64)> {
+        self.telemetry.cursor()
+    }
+
+    /// Renders the full world state as indented text — the time-travel
+    /// debugger's view after reconstructing a run up to a recorded event.
+    /// Everything here is read through the same accessors tests use; the
+    /// dump mutates nothing.
+    pub fn describe_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let now = self.engine.now();
+        let _ = writeln!(
+            out,
+            "world @ {now} ({} events processed, {} pending)",
+            self.engine.processed(),
+            self.engine.pending(),
+        );
+        let _ = writeln!(
+            out,
+            "  master: epoch={:?} tracked_jobs={} pending_sends={}",
+            self.master.epoch(),
+            self.master.tracked_jobs(),
+            self.master.pending_sends(),
+        );
+        for (seq, to, attempts) in self.master.pending_send_summaries() {
+            let _ = writeln!(
+                out,
+                "    in-flight send seq={:?} to=node{} attempts={attempts}",
+                seq, to.0
+            );
+        }
+        // lint: allow(D02, reason = "collected into a Vec and sorted before rendering")
+        let mut jobs: Vec<u64> = self.live_jobs.iter().map(|j| j.0).collect();
+        jobs.sort_unstable();
+        let _ = writeln!(
+            out,
+            "  jobs: live={jobs:?} unfinished_plans={}",
+            self.unfinished_plans
+        );
+        let rpc = self.rpc.stats();
+        let _ = writeln!(
+            out,
+            "  rpc: sent={} delivered={} dropped={} duplicated={} cut={}",
+            rpc.sent, rpc.delivered, rpc.dropped, rpc.duplicated, rpc.cut
+        );
+        for (id, nodes) in self.rpc.active_partitions() {
+            let _ = writeln!(out, "    partition id={id} cut_off={nodes:?}");
+        }
+        for n in 0..self.cfg.nodes {
+            let status = if self.crashed_down[n] {
+                "crashed"
+            } else if !self.node_alive[n] {
+                "dead"
+            } else if self.paused_until[n].is_some_and(|t| t > now) {
+                "paused"
+            } else {
+                "alive"
+            };
+            let mem = &self.mems[n];
+            let (mig_n, mig_b) = mem.residency_summary(Residency::Migrated);
+            let (pin_n, pin_b) = mem.residency_summary(Residency::Pinned);
+            let (cache_n, cache_b) = mem.residency_summary(Residency::Cached);
+            let slave = &self.slaves[n];
+            let _ = writeln!(
+                out,
+                "  node{n}: {status} inc={:?} hb={} mem={}/{} \
+                 migrated={mig_n}x{mig_b}B pinned={pin_n}x{pin_b}B cached={cache_n}x{cache_b}B",
+                slave.incarnation(),
+                if self.hb_live[n] { "live" } else { "down" },
+                mem.used(),
+                mem.capacity(),
+            );
+            let _ = writeln!(
+                out,
+                "    slave: queue={} in_flight={} refs={} disk_io={}",
+                slave.queue_len(),
+                slave.in_flight_migrations(),
+                slave.total_references(),
+                self.disks[n].in_flight(),
+            );
+            for (job, expiry) in slave.leases() {
+                let _ = writeln!(out, "    lease job={} expires={expiry}", job.0);
+            }
+        }
+        out
+    }
+
+    /// Assembles the run's metrics from the final world state. Borrows
+    /// rather than consumes so a snapshot-forked continuation can
+    /// finalize, be restored, and run again: the accumulated per-run
+    /// metrics are *taken* (left default), but everything else is read
+    /// non-destructively, and a subsequent [`World::restore`] reinstates
+    /// the taken state wholesale.
+    pub fn finalize_mut(&mut self) -> RunMetrics {
+        let mut metrics = std::mem::take(&mut self.metrics);
+        metrics.events_processed = self.engine.processed();
+        let end = metrics
             .jobs
             .iter()
             .map(|j| j.submitted + SimDuration::from_secs_f64(j.duration))
             .max()
             .unwrap_or(self.engine.now());
-        self.metrics.makespan = end;
-        self.metrics.mem_series = self.mems.iter().map(|m| m.occupancy_changes()).collect();
-        self.metrics.hypothetical_series = self
+        metrics.makespan = end;
+        metrics.mem_series = self.mems.iter().map(|m| m.occupancy_changes()).collect();
+        metrics.hypothetical_series = self
             .hypothetical
             .iter()
             .map(|h| h.sample_series_raw().to_vec())
             .collect();
         for s in &self.slaves {
             let st = s.stats();
-            let agg = &mut self.metrics.slave_stats;
+            let agg = &mut metrics.slave_stats;
             agg.commands += st.commands;
             agg.migrated += st.migrated;
             agg.migrated_bytes += st.migrated_bytes;
@@ -716,18 +972,18 @@ impl World {
             agg.stale_incarnations += st.stale_incarnations;
         }
         self.sync_ledger();
-        self.metrics.ledger = self.ledger.clone();
-        self.metrics.master_stats = self.master.stats();
-        self.metrics.rpc = self.rpc.stats();
+        metrics.ledger = self.ledger.clone();
+        metrics.master_stats = self.master.stats();
+        metrics.rpc = self.rpc.stats();
         for n in 0..self.cfg.nodes {
             if self.node_alive[n] {
-                self.metrics.leaked_job_refs += self.slaves[n].total_references() as u64;
-                self.metrics.final_migrated_bytes += self.mems[n].migrated_used();
+                metrics.leaked_job_refs += self.slaves[n].total_references() as u64;
+                metrics.final_migrated_bytes += self.mems[n].migrated_used();
             }
         }
-        self.metrics.disk_utilization = self.disks.iter().map(|d| d.utilization(end)).collect();
-        self.metrics.recovery = self.check_recovery();
-        self.metrics
+        metrics.disk_utilization = self.disks.iter().map(|d| d.utilization(end)).collect();
+        metrics.recovery = self.check_recovery();
+        metrics
     }
 
     // ------------------------------------------------------------------
@@ -1962,6 +2218,13 @@ impl World {
     // ------------------------------------------------------------------
 
     fn on_inject(&mut self, idx: usize) {
+        if self.suppressed_faults[idx] {
+            // A suppressed fault injects nothing and emits nothing: the
+            // continuation behaves exactly like a world built without it
+            // (the Inject pop itself only moves the processed counter,
+            // which no fingerprinted metric includes).
+            return;
+        }
         let now = self.engine.now();
         self.telemetry.emit(|| TelemetryEvent::FaultInjected {
             desc: format!("{:?}", self.faults[idx].1),

@@ -8,10 +8,14 @@
 //! identical `(seed, fault plan)` to assert bit-identical metrics
 //! (determinism).
 
-use ignem_cluster::chaos::{minimize_faults, run_chaos, run_chaos_with, ChaosConfig};
+use ignem_cluster::chaos::{
+    minimize_faults, minimize_faults_replay_with_stats, minimize_faults_with_stats, run_chaos,
+    run_chaos_with, ChaosConfig,
+};
 use ignem_cluster::experiment::{swim_files, swim_plan};
 use ignem_cluster::explain::TelemetryReport;
 use ignem_cluster::prelude::*;
+use ignem_cluster::sanitizer::hash_chain;
 use ignem_netsim::rpc::RpcConfig;
 use ignem_netsim::NodeId;
 use ignem_simcore::rng::SimRng;
@@ -327,6 +331,48 @@ fn minimizer_reproduces_legacy_seed_304_leak() {
     // Replaying the minimal schedule alone still reproduces the leak.
     let replay = run_chaos_with(&legacy, min.faults.clone());
     assert_eq!(replay.metrics.leaked_job_refs, 1);
+}
+
+/// The snapshot-forked minimizer and the full-replay baseline must agree
+/// on everything a bug report contains — minimal schedule, violation,
+/// fingerprint, event stream — while the fork simulates strictly fewer
+/// events. (`RunMetrics::events_processed` is deliberately *not* compared:
+/// a suppressed fault's `Inject` still pops inertly on the forked path,
+/// so the counter differs by the number of dropped faults.)
+#[test]
+fn forked_minimizer_matches_replay_minimizer_on_seed_304() {
+    let legacy = ChaosConfig {
+        seed: 304,
+        lease: None,
+        ..ChaosConfig::default()
+    };
+    let (forked, fork_stats) = minimize_faults_with_stats(&legacy);
+    let (replayed, replay_stats) = minimize_faults_replay_with_stats(&legacy);
+    let forked = forked.expect("legacy seed 304 must fail");
+    let replayed = replayed.expect("legacy seed 304 must fail");
+
+    assert_eq!(forked.faults, replayed.faults, "minimal schedules differ");
+    assert_eq!(forked.violation, replayed.violation);
+    assert_eq!(forked.report.fingerprint, replayed.report.fingerprint);
+    assert_eq!(forked.report.faults, replayed.report.faults);
+    assert_eq!(
+        hash_chain(&forked.report.events).last(),
+        hash_chain(&replayed.report.events).last(),
+        "final failing runs must record identical event streams"
+    );
+
+    // Same probes, strictly fewer simulated events: every forked probe
+    // skips its already-simulated prefix.
+    assert_eq!(
+        fork_stats.probes, replay_stats.probes,
+        "probe order differs"
+    );
+    assert!(
+        fork_stats.simulated_events < replay_stats.simulated_events,
+        "forking must simulate fewer events ({} vs {})",
+        fork_stats.simulated_events,
+        replay_stats.simulated_events
+    );
 }
 
 /// A replayed full schedule is bit-identical to the generated run: the

@@ -488,6 +488,16 @@ impl IgnemMaster {
         self.outbox.len()
     }
 
+    /// `(seq, destination, attempts)` of every send awaiting an ack, in
+    /// ascending sequence order — the in-flight retransmission state the
+    /// time-travel debugger renders.
+    pub fn pending_send_summaries(&self) -> Vec<(SeqNo, NodeId, u32)> {
+        self.outbox
+            .iter()
+            .map(|(seq, p)| (seq, p.to, p.attempt))
+            .collect()
+    }
+
     /// Simulates a master crash + restart: all soft state is lost. The
     /// cluster layer must subsequently call each slave's
     /// [`on_master_failed`](crate::slave::IgnemSlave::on_master_failed) so

@@ -419,6 +419,12 @@ impl IgnemSlave {
         self.lease_expiry.values().min().copied()
     }
 
+    /// Every outstanding job lease as `(job, expiry)`, ascending by job
+    /// id — rendered by the time-travel debugger.
+    pub fn leases(&self) -> Vec<(JobId, SimTime)> {
+        self.lease_expiry.iter().map(|(j, t)| (j, *t)).collect()
+    }
+
     /// Releases every job whose lease expired at or before `now`. Expired
     /// jobs are treated exactly like jobs a liveness reply declared dead:
     /// resident references are dropped (evicting emptied blocks), queued

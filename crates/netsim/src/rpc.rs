@@ -263,6 +263,16 @@ impl RpcChannel {
         self.partitions.remove(&id);
     }
 
+    /// The active partitions as `(id, cut-off node set)` pairs, ascending
+    /// by id. The time-travel debugger renders these; the sets are copied
+    /// so callers need no access to the channel's internal containers.
+    pub fn active_partitions(&self) -> Vec<(usize, Vec<u32>)> {
+        self.partitions
+            .iter()
+            .map(|(id, set)| (*id, set.iter().copied().collect()))
+            .collect()
+    }
+
     /// Whether any active partition separates the two peers.
     pub fn is_cut(&self, from: RpcPeer, to: RpcPeer) -> bool {
         let (a, b) = (from.encode(), to.encode());

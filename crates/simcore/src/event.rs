@@ -69,7 +69,7 @@ impl EventId {
 
 /// Heap key: events fire in time order; ties break by insertion order, which
 /// gives the deterministic FIFO semantics the protocols rely on.
-#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct Key {
     at: SimTime,
     seq: u64,
@@ -79,7 +79,7 @@ struct Key {
 /// payload: a small fixed-size value, so the `O(log n)` sift copies on
 /// every push/pop move ~24 bytes instead of the (potentially large) event
 /// payload itself.
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct Entry {
     key: Key,
     slot: u32,
@@ -88,6 +88,7 @@ struct Entry {
 /// One slab slot: which incarnation lives here, whether it has been
 /// cancelled while still in the heap, and the parked payload (taken on
 /// fire, dropped eagerly on cancel).
+#[derive(Clone)]
 struct Slot<E> {
     gen: u32,
     pending: bool,
@@ -100,6 +101,13 @@ struct Slot<E> {
 /// Generic over the event payload type `E` so each simulation defines its own
 /// closed event vocabulary (an enum), keeping dispatch exhaustive and
 /// allocation-free.
+///
+/// When `E: Clone` the whole engine is `Clone`: the heap's backing vector,
+/// the slot slab (with generation stamps), the free list and the root RNG
+/// all copy structurally, so a clone pops the exact same future event
+/// sequence — including insertion-order tie-breaks — as the original. This
+/// is what makes world snapshots a memcpy-style fork rather than a replay.
+#[derive(Clone)]
 pub struct Engine<E> {
     now: SimTime,
     seq: u64,
@@ -151,6 +159,11 @@ impl<E> Engine<E> {
     /// Whether any live (uncancelled) events remain.
     pub fn is_idle(&self) -> bool {
         self.heap.len() == self.cancelled_live
+    }
+
+    /// Number of live (uncancelled) events still queued.
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled_live
     }
 
     /// The engine's root RNG.
@@ -286,6 +299,35 @@ impl<E> Engine<E> {
                 continue;
             }
             return Some(entry.key.at);
+        }
+        None
+    }
+
+    /// Peeks at the next event — timestamp and a borrow of its payload —
+    /// without firing it.
+    ///
+    /// Same contract as [`Engine::peek_time`]: takes `&mut self` because
+    /// cancelled entries at the heap front are lazily removed during the
+    /// peek, while everything observable (clock, processed count, the
+    /// future pop sequence) is untouched. The driver loop uses this to
+    /// decide whether the *next* event is a branch point (e.g. a fault
+    /// injection) worth snapshotting before.
+    pub fn peek(&mut self) -> Option<(SimTime, &E)> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.slots[entry.slot as usize].cancelled {
+                let s = entry.slot;
+                self.heap.pop();
+                self.cancelled_live -= 1;
+                self.free_slot(s);
+                continue;
+            }
+            let at = entry.key.at;
+            let slot = entry.slot as usize;
+            let payload = self.slots[slot]
+                .payload
+                .as_ref()
+                .expect("pending slot without payload");
+            return Some((at, payload));
         }
         None
     }
@@ -505,6 +547,55 @@ mod tests {
         assert_eq!(e.processed(), 0);
         assert!(!e.is_idle());
         assert_eq!(e.pop(), Some(3));
+        assert_eq!(e.pop(), None);
+    }
+
+    /// `peek` must return the payload of the event `pop` would fire next,
+    /// draining cancelled prefixes exactly like `peek_time`.
+    #[test]
+    fn peek_returns_next_payload_without_firing() {
+        let mut e: Engine<u32> = Engine::new(0);
+        let a = e.schedule_at(SimTime::from_micros(1), 1);
+        e.schedule_at(SimTime::from_micros(2), 2);
+        e.cancel(a);
+        assert_eq!(e.peek(), Some((SimTime::from_micros(2), &2)));
+        // Nothing observable changed: the clock holds and pop still fires.
+        assert_eq!(e.now(), SimTime::ZERO);
+        assert_eq!(e.processed(), 0);
+        assert_eq!(e.pop(), Some(2));
+        assert_eq!(e.peek(), None);
+    }
+
+    /// A cloned engine must pop the exact same future sequence — times,
+    /// payloads and insertion-order tie-breaks — as the original, and the
+    /// two must diverge independently afterwards.
+    #[test]
+    fn cloned_engine_pops_identical_sequence() {
+        let mut e: Engine<u32> = Engine::new(7);
+        let t = SimTime::from_micros(5);
+        for i in 0..8 {
+            e.schedule_at(t, i); // all tied: insertion order must survive
+        }
+        let c = e.schedule_at(SimTime::from_micros(9), 100);
+        e.schedule_at(SimTime::from_micros(8), 99);
+        e.cancel(c);
+        assert_eq!(e.pop(), Some(0));
+
+        let mut fork = e.clone();
+        let drain = |eng: &mut Engine<u32>| {
+            let mut got = vec![];
+            while let Some(v) = eng.pop() {
+                got.push((eng.now(), v));
+            }
+            got
+        };
+        let a = drain(&mut e);
+        let b = drain(&mut fork);
+        assert_eq!(a, b);
+        assert_eq!(a.last(), Some(&(SimTime::from_micros(8), 99)));
+        // Post-fork schedules are independent.
+        fork.schedule_at(SimTime::from_micros(20), 42);
+        assert_eq!(fork.pop(), Some(42));
         assert_eq!(e.pop(), None);
     }
 

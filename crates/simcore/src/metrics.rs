@@ -271,7 +271,7 @@ impl MetricsReport {
 /// key compare beats an ordered map on the recording path; snapshots sort
 /// into `MetricKey` order at window close so exports keep the total
 /// ordering a `BTreeMap` would have given.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Table<V> {
     entries: Vec<(MetricKey, V)>,
 }
@@ -320,7 +320,7 @@ impl<V> Table<V> {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Inner {
     window: SimDuration,
     /// Start of the currently open window; window 0 always starts at t=0
@@ -387,6 +387,17 @@ struct Shared {
 #[derive(Clone, Default)]
 pub struct MetricsRegistry {
     inner: Option<Rc<Shared>>,
+}
+
+/// An opaque copy of a registry's full recording state — open window,
+/// per-window and total tables, closed-window backlog — captured by
+/// [`MetricsRegistry::state_snapshot`] and reinstated by
+/// [`MetricsRegistry::restore_state`]. World snapshots carry one of these
+/// so a restored continuation replays the exact same metrics report as an
+/// uninterrupted run.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsState {
+    inner: Option<Inner>,
 }
 
 impl std::fmt::Debug for MetricsRegistry {
@@ -465,6 +476,33 @@ impl MetricsRegistry {
     pub fn observe(&self, name: &'static str, tag: u64, v: u64) {
         if let Some(sh) = &self.inner {
             sh.state.borrow_mut().hists_cur.slot((name, tag)).observe(v);
+        }
+    }
+
+    /// Deep-copies the recording state behind this handle. Pairs with
+    /// [`MetricsRegistry::restore_state`]; a disabled handle snapshots to
+    /// an (equally inert) empty state.
+    pub fn state_snapshot(&self) -> MetricsState {
+        MetricsState {
+            inner: self.inner.as_ref().map(|sh| sh.state.borrow().clone()),
+        }
+    }
+
+    /// Reinstates a state captured by [`MetricsRegistry::state_snapshot`].
+    /// Every clone of this handle shares the same interior, so the rewind
+    /// is visible to all components at once. Restoring a snapshot taken
+    /// from a disabled handle onto an enabled one (or vice versa) is a
+    /// contract violation and panics: the enable/disable decision is made
+    /// at world construction and never changes mid-run.
+    pub fn restore_state(&self, state: &MetricsState) {
+        match (&self.inner, &state.inner) {
+            (Some(sh), Some(saved)) => {
+                let mut i = sh.state.borrow_mut();
+                *i = saved.clone();
+                sh.open_end_us.set(i.open_end_us());
+            }
+            (None, None) => {}
+            _ => panic!("metrics snapshot enable-state mismatch"),
         }
     }
 

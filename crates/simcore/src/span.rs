@@ -7,7 +7,7 @@
 //! retransmission), `queued` (acceptance → disk read start), `transfer`
 //! (read start → completion) and `resident` (completion → eviction) — and
 //! every job and crash-recovery epoch likewise. Span ids are derived from
-//! the **seq of the record that opens the span** (shifted by two bits to
+//! the **seq of the record that opens the span** (shifted by four bits to
 //! make room for sibling spans opened by the same record), so trees built
 //! from the same stream are identical by construction, and trees built
 //! from two same-seed runs are bit-identical because the streams are.
@@ -26,20 +26,32 @@ use std::collections::BTreeMap;
 use crate::telemetry::{Event, EventRecord};
 use crate::time::{SimDuration, SimTime};
 
-/// Identifier of a span: the opening record's seq shifted left by two,
-/// plus a 0..=3 disambiguator for sibling spans opened by one record.
+/// Identifier of a span: the opening record's seq shifted left by four,
+/// plus a 0..=15 disambiguator for sibling spans opened by one record.
+///
+/// The disambiguator bound is a *hard* assert (not `debug_assert!`): a
+/// silent wrap in release builds would collide span ids across siblings
+/// and corrupt the forest without any diagnostic, which is strictly worse
+/// than aborting the fold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SpanId(pub u64);
 
+/// Bits reserved below the opening seq for the sibling disambiguator.
+const SPAN_DISAMBIGUATOR_BITS: u64 = 4;
+
 impl SpanId {
     fn new(seq: u64, k: u64) -> SpanId {
-        debug_assert!(k < 4, "per-record span disambiguator overflow");
-        SpanId(seq << 2 | k)
+        assert!(
+            k < (1 << SPAN_DISAMBIGUATOR_BITS),
+            "per-record span disambiguator overflow: record seq {seq} opened more than {} sibling spans",
+            1u64 << SPAN_DISAMBIGUATOR_BITS,
+        );
+        SpanId(seq << SPAN_DISAMBIGUATOR_BITS | k)
     }
 
     /// The seq of the event record that opened this span.
     pub fn opening_seq(&self) -> u64 {
-        self.0 >> 2
+        self.0 >> SPAN_DISAMBIGUATOR_BITS
     }
 }
 
@@ -1179,6 +1191,34 @@ mod tests {
         assert!(!a.canonical_lines().is_empty());
         // Canonical lines are integer-only (no float formatting).
         assert!(!a.canonical_lines().contains('.'));
+    }
+
+    /// Regression for the release-mode sibling collision: with the old
+    /// two-bit disambiguator a fifth sibling span opened by one record
+    /// wrapped into its first sibling's id. The widened field must keep
+    /// every id distinct and round-trip the opening seq.
+    #[test]
+    fn more_than_four_siblings_get_distinct_ids() {
+        let seq = 42u64;
+        let ids: Vec<SpanId> = (0..(1 << SPAN_DISAMBIGUATOR_BITS))
+            .map(|k| SpanId::new(seq, k))
+            .collect();
+        for (i, a) in ids.iter().enumerate() {
+            assert_eq!(a.opening_seq(), seq);
+            for b in &ids[i + 1..] {
+                assert_ne!(a, b, "sibling span ids collided");
+            }
+        }
+        // Ids from the next record never overlap any sibling of this one.
+        assert!(ids.iter().all(|a| a.0 < SpanId::new(seq + 1, 0).0));
+    }
+
+    /// Overflowing the disambiguator must abort loudly in release builds
+    /// too, not silently corrupt the forest.
+    #[test]
+    #[should_panic(expected = "span disambiguator overflow")]
+    fn sibling_overflow_is_a_hard_error() {
+        let _ = SpanId::new(7, 1 << SPAN_DISAMBIGUATOR_BITS);
     }
 
     #[test]

@@ -904,6 +904,40 @@ impl Telemetry {
             inner.sink.record(&rec);
         }
     }
+
+    /// The shared `(now, next_seq)` cursor, or `None` on a disabled
+    /// handle. World snapshots capture this so a restored continuation
+    /// keeps stamping records with a gap-free sequence.
+    pub fn cursor(&self) -> Option<(SimTime, u64)> {
+        self.inner.as_ref().map(|inner| {
+            let i = inner.borrow();
+            (i.now, i.next_seq)
+        })
+    }
+
+    /// Rewinds the shared cursor to a value captured by
+    /// [`Telemetry::cursor`]. Every component clone hanging off the same
+    /// inner sees the rewound cursor — the sink itself is untouched. A
+    /// no-op on a disabled handle.
+    pub fn restore_cursor(&self, now: SimTime, next_seq: u64) {
+        if let Some(inner) = &self.inner {
+            let mut i = inner.borrow_mut();
+            i.now = now;
+            i.next_seq = next_seq;
+        }
+    }
+
+    /// Swaps the sink behind the shared handle, returning the old one.
+    /// Because master, slaves and RPC all clone one `Telemetry`, the swap
+    /// redirects every emitter at once — the restore path uses this to
+    /// point a forked continuation at a fresh recorder without rebuilding
+    /// the world. Returns `None` (and installs nothing) on a disabled
+    /// handle.
+    pub fn replace_sink(&self, sink: Box<dyn EventSink>) -> Option<Box<dyn EventSink>> {
+        self.inner
+            .as_ref()
+            .map(|inner| std::mem::replace(&mut inner.borrow_mut().sink, sink))
+    }
 }
 
 struct RecorderState {

@@ -154,6 +154,16 @@ impl<K: Ord + Copy> MemStore<K> {
             .collect()
     }
 
+    /// `(block count, total bytes)` of resident blocks with the given
+    /// residency — a single pass, for state dumps that would otherwise
+    /// materialize the key list per class.
+    pub fn residency_summary(&self, residency: Residency) -> (usize, u64) {
+        self.blocks
+            .values()
+            .filter(|(_, r)| *r == residency)
+            .fold((0, 0), |(n, bytes), (b, _)| (n + 1, bytes + b))
+    }
+
     /// Inserts a block.
     ///
     /// # Errors

@@ -5,6 +5,7 @@
 //! chaos-sweep [SEEDS] [--start N] [--out PATH] [--jobs N] [--crashes N]
 //! chaos-sweep --bench-out PATH [--bench-seeds N] [--jobs N]
 //!             [--bench-baseline PATH]
+//! chaos-sweep --bench-minimize-out PATH
 //! ```
 //!
 //! Runs seeds `start..start + SEEDS` (default 256 from 0) through the
@@ -36,12 +37,23 @@
 //! previously committed report under `"baseline"` and records the
 //! speedups against it, so one file carries both sides of a before/after
 //! comparison (see DESIGN.md §9 for how to read it).
+//!
+//! `--bench-minimize-out` benches the fault minimizer on the pinned
+//! seed-304 reference leak, interleaving the full-replay baseline
+//! (`minimize_faults_replay`) with the snapshot-forked shrink
+//! (`minimize_faults`). The per-scenario `events` field counts *simulated*
+//! events, so CI can gate on the fork doing strictly less simulation work
+//! for the same minimal schedule (the committed `BENCH_minimize.json`
+//! holds the reference report).
 
 use std::ops::ControlFlow;
 use std::process::ExitCode;
 
 use ignem_bench::wall_clock;
-use ignem_cluster::chaos::{minimize_faults, run_chaos, ChaosConfig};
+use ignem_cluster::chaos::{
+    minimize_faults, minimize_faults_replay_with_stats, minimize_faults_with_stats, run_chaos,
+    ChaosConfig,
+};
 use ignem_cluster::config::{ClusterConfig, FsMode};
 use ignem_cluster::experiment::{run_swim_observed, run_swim_recorded};
 use ignem_cluster::sweep::{default_jobs, sweep};
@@ -61,6 +73,7 @@ fn main() -> ExitCode {
     let mut bench_out: Option<String> = None;
     let mut bench_seeds: u64 = 256;
     let mut bench_baseline: Option<String> = None;
+    let mut bench_minimize_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -75,6 +88,12 @@ fn main() -> ExitCode {
                 )
             }
             "--bench-seeds" => bench_seeds = parse(args.next(), "--bench-seeds"),
+            "--bench-minimize-out" => {
+                bench_minimize_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--bench-minimize-out needs a path")),
+                )
+            }
             "--bench-baseline" => {
                 bench_baseline = Some(
                     args.next()
@@ -83,13 +102,17 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => usage(
                 "chaos-sweep [SEEDS] [--start N] [--out PATH] [--jobs N] [--crashes N]\n\
-                 chaos-sweep --bench-out PATH [--bench-seeds N] [--jobs N] [--bench-baseline PATH]",
+                 chaos-sweep --bench-out PATH [--bench-seeds N] [--jobs N] [--bench-baseline PATH]\n\
+                 chaos-sweep --bench-minimize-out PATH",
             ),
             other => seeds = parse(Some(other.to_string()), "SEEDS"),
         }
     }
     let jobs = jobs.unwrap_or_else(default_jobs);
 
+    if let Some(path) = bench_minimize_out {
+        return bench_minimize(&path);
+    }
     if let Some(path) = bench_out {
         return bench(&path, bench_seeds, jobs, bench_baseline.as_deref());
     }
@@ -378,6 +401,90 @@ fn scenario_number(text: &str, scenario: &str, field: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Benches the fault minimizer on the pinned seed-304 reference leak:
+/// the full-replay baseline vs the snapshot-forked shrink, interleaved.
+/// Each scenario's `events` counts *simulated* events (for the fork, only
+/// the suffixes after each restore point), which is the work the snapshot
+/// machinery exists to avoid — CI gates fork ≤ replay on that axis.
+fn bench_minimize(path: &str) -> ExitCode {
+    println!("bench: calibrating host…");
+    let (calib_bytes, calib_secs) = calibrate();
+    let calib_rate = calib_bytes as f64 / (1 << 20) as f64 / calib_secs;
+    println!("bench: {calib_rate:.0} MB/s FNV-1a");
+
+    // The legacy lease-free configuration whose seed-304 leak the repo
+    // pins; both minimizers must shrink it to the same single partition.
+    let legacy = ChaosConfig {
+        seed: 304,
+        lease: None,
+        ..ChaosConfig::default()
+    };
+    let schedules_agree = std::cell::Cell::new(true);
+    let (replay, fork) = time_scenario_pair(
+        "minimize_replay_304",
+        "minimize_fork_304",
+        20,
+        || {
+            let (min, stats) = minimize_faults_replay_with_stats(&legacy);
+            schedules_agree.set(schedules_agree.get() & min.is_some_and(|m| m.faults.len() == 1));
+            stats.simulated_events
+        },
+        || {
+            let (min, stats) = minimize_faults_with_stats(&legacy);
+            schedules_agree.set(schedules_agree.get() & min.is_some_and(|m| m.faults.len() == 1));
+            stats.simulated_events
+        },
+    );
+    if !schedules_agree.get() {
+        eprintln!("bench: minimizer did not reproduce the pinned 1-fault schedule");
+        return ExitCode::FAILURE;
+    }
+    let event_ratio = if replay.events > 0 {
+        fork.events as f64 / replay.events as f64
+    } else {
+        0.0
+    };
+    let wall_speedup = if fork.wall_secs > 0.0 {
+        replay.wall_secs / fork.wall_secs
+    } else {
+        0.0
+    };
+    println!(
+        "bench: minimize_replay_304 {} simulated events in {:.2}s",
+        replay.events, replay.wall_secs
+    );
+    println!(
+        "bench: minimize_fork_304 {} simulated events in {:.2}s \
+         ({event_ratio:.3}x events, {wall_speedup:.2}x wall)",
+        fork.events, fork.wall_secs
+    );
+
+    let mut json = String::from(
+        "{\n  \"schema\": 1,\n  \"generator\": \"chaos-sweep --bench-minimize-out\",\n",
+    );
+    json.push_str(&format!(
+        "  \"calibration\": {{\"bytes\": {calib_bytes}, \"wall_secs\": {calib_secs:.6}, \
+         \"mb_per_sec\": {calib_rate:.1}}},\n"
+    ));
+    json.push_str("  \"scenarios\": [\n");
+    let scenarios = [&replay, &fork];
+    for (i, sc) in scenarios.iter().enumerate() {
+        json.push_str(&sc.to_json(calib_rate));
+        json.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"fork_event_ratio\": {event_ratio:.4},\n  \"fork_wall_speedup\": {wall_speedup:.3}\n}}\n"
+    ));
+
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("bench: wrote {path}");
+    ExitCode::SUCCESS
 }
 
 fn bench(path: &str, bench_seeds: u64, jobs: usize, baseline: Option<&str>) -> ExitCode {
