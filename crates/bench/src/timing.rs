@@ -1,9 +1,12 @@
 //! The bench harness's one sanctioned wall-clock site.
 //!
 //! Everything simulated runs on [`ignem_simcore::time::SimTime`]; real time
-//! exists only to measure how fast the simulator itself executes. Lint rule
-//! D01 bans wall-clock reads everywhere else, so every bench routes its
-//! timing through [`wall_clock`] and this module carries the single allow.
+//! exists only to measure how fast the simulator itself executes. The D10
+//! taint pass treats this function as a *structural* sanitizer boundary:
+//! raw wall-clock reads anywhere else in the bench crate are violations,
+//! and the returned `Instant` is considered clean because it never feeds
+//! back into simulation scheduling, seeding, or telemetry. No string-based
+//! allow is needed — the boundary is checked, not suppressed.
 
 use std::time::Instant;
 
@@ -14,6 +17,5 @@ use std::time::Instant;
 /// loop. Simulation code must never call this — same-seed replay has to be
 /// independent of how fast the host happens to run.
 pub fn wall_clock() -> Instant {
-    // lint: allow(D01, reason = "single sanctioned wall-clock read for the bench harness")
     Instant::now()
 }

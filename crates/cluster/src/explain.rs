@@ -381,7 +381,32 @@ impl TelemetryReport {
                         r.register_lead = Some(rec.at.saturating_duration_since(r.restarted_at));
                     }
                 }
-                _ => {}
+                // The remaining events carry no pass-1 evidence. Each one
+                // is named (no catch-all) so that adding an `Event`
+                // variant forces a decision here; the X02 cross-check
+                // audits the explainer against the enum.
+                // `BlockRead` is consumed by pass 2 below.
+                Event::BlockRead { .. }
+                | Event::JobCompleted { .. }
+                | Event::TaskStarted { .. }
+                | Event::TaskFinished { .. }
+                | Event::TaskSpeculated { .. }
+                | Event::MigrationRejected { .. }
+                | Event::RpcSent { .. }
+                | Event::RpcDropped { .. }
+                | Event::RpcDuplicated { .. }
+                | Event::RpcCut { .. }
+                | Event::RpcRetried { .. }
+                | Event::RpcAcked { .. }
+                | Event::RpcGaveUp { .. }
+                | Event::LeaseExpired { .. }
+                | Event::EpochRejected { .. }
+                | Event::IncarnationRejected { .. }
+                | Event::BlockReportReceived { .. }
+                | Event::RereplicationStarted { .. }
+                | Event::RereplicationDeferred { .. }
+                | Event::FaultInjected { .. }
+                | Event::FaultHealed { .. } => {}
             }
         }
 

@@ -283,6 +283,7 @@ impl JobTracker {
     ///
     /// Panics on an unknown task.
     pub fn task(&self, task: TaskId) -> &TaskRecord {
+        // lint: allow(P02, reason = "documented accessor contract: callers pass live task ids")
         &self.tasks[&task]
     }
 
@@ -456,22 +457,26 @@ impl JobTracker {
     /// re-execution (MapReduce's standard recovery). Returns the re-queued
     /// task ids.
     pub fn fail_node(&mut self, node: NodeId) -> Vec<TaskId> {
+        // Capture (job, kind) while requeueing so the second pass never
+        // has to look the tasks back up.
         let mut requeued = Vec::new();
+        let mut hit = Vec::new();
         for rec in self.tasks.values_mut() {
             if rec.state == TaskState::Assigned(node) {
                 rec.state = TaskState::Pending;
                 rec.assigned_at = None;
                 requeued.push(rec.id);
+                hit.push((rec.id, rec.job, matches!(rec.kind, TaskKind::Map { .. })));
             }
         }
-        for &t in &requeued {
-            let job = self.tasks[&t].job;
+        for &(t, job, is_map) in &hit {
             if let Some(j) = self.jobs.get_mut(&job) {
                 j.started_running = j.started_running.saturating_sub(1);
             }
-            match self.tasks[&t].kind {
-                TaskKind::Map { .. } => self.pending_maps.push(t),
-                TaskKind::Reduce { .. } => self.pending_reduces.push(t),
+            if is_map {
+                self.pending_maps.push(t);
+            } else {
+                self.pending_reduces.push(t);
             }
         }
         requeued
@@ -490,13 +495,19 @@ impl JobTracker {
         }
         let tasks: Vec<TaskId> = j.map_tasks.iter().chain(&j.reduce_tasks).copied().collect();
         for t in tasks {
-            let rec = self.tasks.get_mut(&t).expect("job task missing");
+            let Some(rec) = self.tasks.get_mut(&t) else {
+                continue; // stale id in the job's task list
+            };
             if rec.state == TaskState::Pending {
                 rec.state = TaskState::Completed; // dropped; never ran
             }
         }
-        self.pending_maps.retain(|t| self.tasks[t].job != job);
-        self.pending_reduces.retain(|t| self.tasks[t].job != job);
+        // A task id with no record is dropped from the queues too: it can
+        // never be scheduled.
+        self.pending_maps
+            .retain(|t| self.tasks.get(t).is_some_and(|r| r.job != job));
+        self.pending_reduces
+            .retain(|t| self.tasks.get(t).is_some_and(|r| r.job != job));
         self.jobs.remove(&job);
         true
     }

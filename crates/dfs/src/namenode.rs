@@ -252,6 +252,7 @@ impl NameNode {
             .iter()
             .map(|b| BlockInfo {
                 id: *b,
+                // lint: allow(P02, reason = "file metadata and the block map are updated together")
                 bytes: self.blocks[b].bytes,
             })
             .collect())
@@ -328,6 +329,7 @@ impl NameNode {
             .get_mut(&block)
             .ok_or(DfsError::BlockNotFound(block))?;
         if !meta.replicas.contains(&node) {
+            // lint: allow(Q01, reason = "deduplicated by the contains guard; bounded by cluster size")
             meta.replicas.push(node);
         }
         Ok(())

@@ -362,6 +362,7 @@ impl IgnemMaster {
             for &target in &candidates[..k] {
                 batches
                     .entry_or_insert_with(target, || SlaveBatch::new(target, epoch))
+                    // lint: allow(Q01, reason = "batch is consumed when the RPC is sent; lives one scheduling round")
                     .migrates
                     .push(MigrateCommand {
                         job: req.job,

@@ -72,6 +72,9 @@ pub struct Scope {
     /// No `println!`/`eprintln!` in library code; output goes through
     /// telemetry sinks, bins, or the bench reporter.
     pub t01: bool,
+    /// Determinism taint flow analysis (sources → sinks), plus the bench
+    /// crate's structural wall-clock boundary check.
+    pub d10: bool,
 }
 
 impl Scope {
@@ -88,9 +91,10 @@ pub fn scope_for(rel: &str) -> Scope {
         .unwrap_or("");
     let sim = SIM_CRATES.contains(&crate_name);
     Scope {
-        // The bench harness may read the wall clock, but only through its
-        // one allow-annotated helper — so D01 still scans it.
-        d01: sim || crate_name == "bench",
+        // The bench harness's wall-clock reads are policed by D10's
+        // structural boundary (only `timing.rs::wall_clock` may read raw),
+        // so D01's blanket ban covers the simulation crates only.
+        d01: sim,
         d02: sim,
         d03: sim && rel != "crates/simcore/src/rng.rs",
         p01: P01_FILES.contains(&rel),
@@ -98,6 +102,7 @@ pub fn scope_for(rel: &str) -> Scope {
         // `trace.rs` hosts `StderrSink`, the one sanctioned place library
         // code may write to stderr (opted into explicitly by the caller).
         t01: sim && rel != "crates/simcore/src/trace.rs",
+        d10: sim || crate_name == "bench",
     }
 }
 
@@ -496,9 +501,14 @@ mod tests {
         assert!(!scope_for("crates/simcore/src/rng.rs").d03);
         assert!(scope_for("crates/ignem/src/master.rs").p01);
         assert!(!scope_for("crates/ignem/src/namenode.rs").p01);
-        assert!(scope_for("crates/bench/benches/substrates.rs").d01);
+        // Bench wall-clock discipline moved from D01 to the D10 boundary.
+        assert!(!scope_for("crates/bench/benches/substrates.rs").d01);
+        assert!(scope_for("crates/bench/benches/substrates.rs").d10);
+        assert!(scope_for("crates/bench/src/timing.rs").d10);
+        assert!(scope_for("crates/simcore/src/event.rs").d10);
         assert!(!scope_for("crates/bench/src/report.rs").d02);
         assert!(!scope_for("crates/lint/src/lib.rs").any());
+        assert!(!scope_for("crates/lint/src/lib.rs").d10);
         assert!(scope_for("crates/cluster/src/world.rs").t01);
         assert!(!scope_for("crates/simcore/src/trace.rs").t01);
         assert!(!scope_for("crates/bench/src/report.rs").t01);

@@ -138,3 +138,200 @@ fn json_report_round_trips_the_violations() {
     assert!(json.contains("\"file\":\"crates/simcore/src/fake.rs\""));
     assert!(json.contains("\"line\":3"));
 }
+
+// --- ignem-analyze parser-pass fixtures (D10, P02, Q01, X-series) ---
+
+/// Like `hits`, but keeps only one rule's findings (token rules such as
+/// D01 fire on the same fixtures and are pinned by their own tests).
+fn rule_hits(name: &str, rel: &str, rule: &str) -> Vec<u32> {
+    hits(name, rel)
+        .into_iter()
+        .filter(|(r, _)| r == rule)
+        .map(|(_, l)| l)
+        .collect()
+}
+
+/// Runs the cross-file analysis passes over fixture units + inline docs,
+/// returning (rule, file, line) triples sorted for stable comparison.
+fn analysis_hits(files: &[(&str, &str)], docs: &[(&str, &str)]) -> Vec<(String, String, u32)> {
+    let units: Vec<ignem_lint::FileUnit> = files
+        .iter()
+        .map(|(rel, name)| ignem_lint::load_unit(rel, &fixture(name)))
+        .collect();
+    let docs: Vec<ignem_lint::DocFile> = docs
+        .iter()
+        .map(|(rel, text)| ignem_lint::DocFile {
+            rel: (*rel).to_string(),
+            text: (*text).to_string(),
+        })
+        .collect();
+    let mut out: Vec<(String, String, u32)> = ignem_lint::analyze_units(&units, &docs)
+        .into_iter()
+        .map(|v| (v.rule.to_string(), v.file, v.line))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn d10_taint_reaches_all_three_sink_classes() {
+    assert_eq!(
+        rule_hits("d10_violate.rs", "crates/simcore/src/fake.rs", "D10"),
+        vec![8, 14, 19]
+    );
+}
+
+#[test]
+fn d10_sim_time_and_cleared_taint_are_clean() {
+    assert_eq!(
+        rule_hits("d10_clean.rs", "crates/simcore/src/fake.rs", "D10"),
+        Vec::<u32>::new()
+    );
+}
+
+#[test]
+fn d10_allow_suppresses_the_sink() {
+    assert_eq!(
+        rule_hits("d10_allow.rs", "crates/simcore/src/fake.rs", "D10"),
+        Vec::<u32>::new()
+    );
+}
+
+#[test]
+fn p02_panics_on_fault_paths_are_found() {
+    let world = "crates/cluster/src/world.rs";
+    assert_eq!(
+        analysis_hits(&[(world, "p02_violate.rs")], &[]),
+        vec![
+            ("P02".into(), world.into(), 14),
+            ("P02".into(), world.into(), 16),
+        ]
+    );
+}
+
+#[test]
+fn p02_recovery_and_unreachable_panics_are_clean() {
+    assert_eq!(
+        analysis_hits(&[("crates/cluster/src/world.rs", "p02_clean.rs")], &[]),
+        vec![]
+    );
+}
+
+#[test]
+fn p02_allow_suppresses_reachable_panics() {
+    assert_eq!(
+        analysis_hits(&[("crates/cluster/src/world.rs", "p02_allow.rs")], &[]),
+        vec![]
+    );
+}
+
+#[test]
+fn q01_fault_path_growth_without_drain_is_found() {
+    let world = "crates/cluster/src/world.rs";
+    assert_eq!(
+        analysis_hits(&[(world, "q01_violate.rs")], &[]),
+        vec![("Q01".into(), world.into(), 10)]
+    );
+}
+
+#[test]
+fn q01_drained_field_is_clean() {
+    assert_eq!(
+        analysis_hits(&[("crates/cluster/src/world.rs", "q01_clean.rs")], &[]),
+        vec![]
+    );
+}
+
+#[test]
+fn q01_allow_suppresses_the_growth() {
+    assert_eq!(
+        analysis_hits(&[("crates/cluster/src/world.rs", "q01_allow.rs")], &[]),
+        vec![]
+    );
+}
+
+#[test]
+fn x_series_flags_unwired_variants_everywhere() {
+    let telemetry = "crates/simcore/src/telemetry.rs";
+    let world = "crates/cluster/src/world.rs";
+    let got = analysis_hits(
+        &[
+            (telemetry, "x_event_violate.rs"),
+            ("crates/simcore/src/span.rs", "x_span_partial.rs"),
+            ("crates/cluster/src/explain.rs", "x_explain_partial.rs"),
+            (world, "x_fault_violate.rs"),
+            ("crates/cluster/src/chaos.rs", "x_chaos_partial.rs"),
+        ],
+        &[
+            ("docs/TELEMETRY_SCHEMA.md", "| `covered` | x |\n"),
+            ("DESIGN.md", "* `Wired` — handled.\n"),
+        ],
+    );
+    assert_eq!(
+        got,
+        vec![
+            ("X01".into(), telemetry.into(), 6),
+            ("X02".into(), telemetry.into(), 6),
+            ("X03".into(), telemetry.into(), 6),
+            ("X04".into(), world.into(), 6),
+            ("X04".into(), world.into(), 6),
+        ]
+    );
+}
+
+#[test]
+fn x_series_fully_wired_fixture_is_clean() {
+    assert_eq!(
+        analysis_hits(
+            &[
+                ("crates/simcore/src/telemetry.rs", "x_event_clean.rs"),
+                ("crates/simcore/src/span.rs", "x_span_partial.rs"),
+                ("crates/cluster/src/explain.rs", "x_explain_partial.rs"),
+            ],
+            &[("docs/TELEMETRY_SCHEMA.md", "| `covered` | x |\n")],
+        ),
+        vec![]
+    );
+}
+
+#[test]
+fn x01_allow_on_the_variant_line_suppresses() {
+    assert_eq!(
+        analysis_hits(
+            &[
+                ("crates/simcore/src/telemetry.rs", "x_event_allow.rs"),
+                ("crates/simcore/src/span.rs", "x_span_partial.rs"),
+                ("crates/cluster/src/explain.rs", "x_explain_full.rs"),
+            ],
+            &[(
+                "docs/TELEMETRY_SCHEMA.md",
+                "| `covered` | x |\n| `missing` | x |\n",
+            )],
+        ),
+        vec![]
+    );
+}
+
+#[test]
+fn filter_to_files_matches_the_full_run_on_the_subset() {
+    use std::collections::BTreeSet;
+    let a = "crates/simcore/src/fake_a.rs";
+    let b = "crates/simcore/src/fake_b.rs";
+    let mut violations = lint_source(a, &fixture("d01_violate.rs"));
+    violations.extend(lint_source(b, &fixture("d01_violate.rs")));
+    let full = ignem_lint::LintReport {
+        violations,
+        files_scanned: 2,
+    };
+    let subset: BTreeSet<String> = [a.to_string()].into();
+    let narrowed = full.filter_to_files(&subset);
+    let expected: Vec<_> = full
+        .violations
+        .iter()
+        .filter(|v| v.file == a)
+        .cloned()
+        .collect();
+    assert!(!expected.is_empty());
+    assert_eq!(narrowed.violations, expected);
+    assert_eq!(narrowed.files_scanned, full.files_scanned);
+}

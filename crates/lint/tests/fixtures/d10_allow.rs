@@ -1,0 +1,9 @@
+//! D10 allow fixture: the sink is suppressed with a reasoned directive.
+use std::time::Instant;
+
+pub fn sanctioned(engine: &mut Engine) {
+    let t0 = Instant::now();
+    let us = t0.elapsed().as_micros() as u64;
+    // lint: allow(D10, reason = "fixture: sanctioned wall-clock scheduling")
+    engine.schedule_in(SimDuration::from_micros(us), Event::Tick);
+}

@@ -1,0 +1,12 @@
+//! D10 negative fixture: sim-time-derived scheduling and a cleared taint.
+
+pub fn schedule_from_sim_time(engine: &mut Engine, now: SimTime) {
+    let us = now.as_micros() + 500;
+    engine.schedule_in(SimDuration::from_micros(us), Event::Tick);
+}
+
+pub fn taint_cleared(engine: &mut Engine) {
+    let mut us = std::env::var("HOME").map(|s| s.len() as u64).unwrap_or(0);
+    us = 1000;
+    engine.schedule_in(SimDuration::from_micros(us), Event::Tick);
+}

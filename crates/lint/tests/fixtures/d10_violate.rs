@@ -1,0 +1,20 @@
+//! D10 positive fixture: wall-clock, ambient-env, and pointer-address
+//! taint each reaching a determinism sink.
+use std::time::Instant;
+
+pub fn schedule_from_wall_clock(engine: &mut Engine) {
+    let t0 = Instant::now();
+    let us = t0.elapsed().as_micros() as u64;
+    engine.schedule_in(SimDuration::from_micros(us), Event::Tick);
+}
+
+pub fn seed_from_env() -> SimRng {
+    let raw = std::env::var("IGNEM_SEED").unwrap_or_default();
+    let seed = raw.len() as u64;
+    SimRng::with_seed(seed)
+}
+
+pub fn hash_pointer(v: &u64, state: &mut SomeHasher) {
+    let addr = v as *const u64 as usize;
+    addr.hash(state);
+}

@@ -1,0 +1,20 @@
+//! P02 allow fixture: reachable panics suppressed with reasoned directives.
+
+pub struct World {
+    jobs: HashMap<u64, u64>,
+}
+
+impl World {
+    pub fn on_inject(&mut self, id: u64) {
+        self.advance(id);
+    }
+
+    fn advance(&mut self, id: u64) {
+        // lint: allow(P02, reason = "fixture: invariant holds by construction")
+        let slot = self.jobs.get(&id).unwrap();
+        let _ = slot;
+        // lint: allow(P02, reason = "fixture: invariant holds by construction")
+        let direct = self.jobs[&id];
+        let _ = direct;
+    }
+}

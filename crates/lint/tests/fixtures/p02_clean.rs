@@ -1,0 +1,23 @@
+//! P02 negative fixture: the fault path recovers, and a panic in an
+//! unreachable helper is out of scope.
+
+pub struct World {
+    jobs: HashMap<u64, u64>,
+}
+
+impl World {
+    pub fn on_inject(&mut self, id: u64) {
+        self.advance(id);
+    }
+
+    fn advance(&mut self, id: u64) {
+        let Some(slot) = self.jobs.get(&id) else {
+            return;
+        };
+        let _ = slot;
+    }
+
+    fn never_called_from_an_entry(&self) -> u64 {
+        *self.jobs.get(&0).unwrap()
+    }
+}

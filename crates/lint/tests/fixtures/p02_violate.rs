@@ -1,0 +1,19 @@
+//! P02 positive fixture: a panic and a map-field index reachable from a
+//! fault-path entry point (linted under the world.rs path).
+
+pub struct World {
+    jobs: HashMap<u64, u64>,
+}
+
+impl World {
+    pub fn on_inject(&mut self, id: u64) {
+        self.advance(id);
+    }
+
+    fn advance(&mut self, id: u64) {
+        let slot = self.jobs.get(&id).unwrap();
+        let _ = slot;
+        let direct = self.jobs[&id];
+        let _ = direct;
+    }
+}

@@ -1,0 +1,12 @@
+//! Q01 allow fixture: the growth is suppressed with a reasoned directive.
+
+pub struct World {
+    backlog: Vec<u64>,
+}
+
+impl World {
+    pub fn fail_node(&mut self, id: u64) {
+        // lint: allow(Q01, reason = "fixture: bounded by the fault plan")
+        self.backlog.push(id);
+    }
+}

@@ -1,0 +1,16 @@
+//! Q01 negative fixture: the same push, but the file also drains the
+//! field.
+
+pub struct World {
+    backlog: Vec<u64>,
+}
+
+impl World {
+    pub fn fail_node(&mut self, id: u64) {
+        self.backlog.push(id);
+    }
+
+    pub fn drain_backlog(&mut self) {
+        self.backlog.clear();
+    }
+}

@@ -1,0 +1,12 @@
+//! Q01 positive fixture: a fault-path push with no drain anywhere in the
+//! file.
+
+pub struct World {
+    backlog: Vec<u64>,
+}
+
+impl World {
+    pub fn fail_node(&mut self, id: u64) {
+        self.backlog.push(id);
+    }
+}

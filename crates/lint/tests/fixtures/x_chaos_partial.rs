@@ -1,0 +1,5 @@
+//! X04 companion: a chaos injector generating only `Fault::Wired`.
+
+pub fn generate() -> Fault {
+    Fault::Wired
+}

@@ -1,0 +1,5 @@
+//! X-series negative fixture: every variant is fully wired.
+
+pub enum Event {
+    Covered { job: u64 },
+}

@@ -1,0 +1,7 @@
+//! X-series positive fixture: an `Event` enum (linted under the
+//! telemetry.rs path) with a variant the handler surfaces miss.
+
+pub enum Event {
+    Covered { job: u64 },
+    Missing { job: u64 },
+}

@@ -1,0 +1,8 @@
+//! X-series companion: an explainer handling every fixture variant.
+
+pub fn fold(e: &Event) {
+    match e {
+        Event::Covered { .. } => {}
+        Event::Missing { .. } => {}
+    }
+}

@@ -1,0 +1,5 @@
+//! X-series companion: an explainer handling only `Event::Covered`.
+
+pub fn fold(e: &Event) {
+    if let Event::Covered { .. } = e {}
+}

@@ -1,0 +1,7 @@
+//! X04 positive fixture: a `Fault` enum (linted under the world.rs path)
+//! with a variant the chaos injector and DESIGN.md both miss.
+
+pub enum Fault {
+    Wired,
+    Loose,
+}

@@ -1,0 +1,5 @@
+//! X-series companion: a span builder handling only `Event::Covered`.
+
+pub fn handle(e: &Event) {
+    if let Event::Covered { .. } = e {}
+}

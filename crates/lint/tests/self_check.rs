@@ -1,25 +1,44 @@
-//! Tier-1 self-check: the workspace at HEAD must be lint-clean. This is
-//! the test that makes the determinism rules load-bearing — a PR that
-//! introduces a wall-clock read or a hash-map sweep into a sim crate
-//! fails `cargo test` locally, not just the CI lint step.
+//! Tier-1 self-check: the workspace at HEAD must be clean under the full
+//! ignem-analyze run (token rules + taint + cross-crate + reachability),
+//! measured against the committed baseline. This is the test that makes
+//! the determinism rules load-bearing — a PR that introduces a wall-clock
+//! read, an unwired `Event` variant, or a panic on a fault path fails
+//! `cargo test` locally, not just the CI analyze step.
+//!
+//! The baseline is diffed in both directions: a finding missing from the
+//! baseline is a regression, and a baseline entry that no longer fires is
+//! stale and must be removed (so the accepted-findings list can only
+//! shrink).
+
+use std::fs;
 
 #[test]
-fn workspace_is_lint_clean() {
+fn workspace_is_clean_against_the_committed_baseline() {
     let root = ignem_lint::default_root();
-    let report = ignem_lint::run_lint(&root).expect("scan workspace");
+    let report = ignem_lint::run_analysis(&root).expect("scan workspace");
     assert!(
         report.files_scanned > 40,
         "suspiciously few files scanned ({}); was the scan rooted correctly?",
         report.files_scanned
     );
-    let rendered: Vec<String> = report
-        .violations
+    let text = fs::read_to_string(root.join("ANALYZE_BASELINE.json"))
+        .expect("read ANALYZE_BASELINE.json at the workspace root");
+    let baseline = ignem_lint::parse_baseline(&text).expect("parse baseline");
+    let diff = ignem_lint::baseline_diff(&report, &baseline);
+    let new: Vec<String> = diff
+        .new
         .iter()
         .map(|v| format!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message))
         .collect();
+    let stale: Vec<String> = diff
+        .stale
+        .iter()
+        .map(|b| format!("{}:{}: [{}]", b.file, b.line, b.rule))
+        .collect();
     assert!(
-        report.is_clean(),
-        "workspace has lint violations:\n{}",
-        rendered.join("\n")
+        diff.is_clean(),
+        "analysis differs from ANALYZE_BASELINE.json\nnew findings:\n{}\nstale baseline entries (remove them):\n{}",
+        new.join("\n"),
+        stale.join("\n")
     );
 }

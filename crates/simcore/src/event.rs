@@ -182,7 +182,9 @@ impl<E> Engine<E> {
                 s
             }
             None => {
+                // lint: allow(P02, reason = "capacity guard: 2^32 pending events means a runaway schedule loop")
                 let s = u32::try_from(self.slots.len()).expect("more than u32::MAX pending events");
+                // lint: allow(Q01, reason = "slot slab reuses freed slots via the free list; growth tracks peak pending events")
                 self.slots.push(Slot {
                     gen: 0,
                     pending: true,

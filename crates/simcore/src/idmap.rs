@@ -54,6 +54,7 @@ impl DenseId for usize {
 
 impl DenseId for u64 {
     fn index(self) -> usize {
+        // lint: allow(P02, reason = "cannot fail on 64-bit targets; a guard against 32-bit truncation")
         usize::try_from(self).expect("id exceeds the address space")
     }
     fn from_index(index: usize) -> Self {
@@ -217,7 +218,9 @@ impl<K: DenseId, V> IdMap<K, V> {
         if !self.contains_key(&key) {
             self.insert(key, V::default());
         }
+        // lint: allow(P02, reason = "post-insert invariant: the key was inserted two lines up")
         let p = self.pos(key).expect("just inserted");
+        // lint: allow(P02, reason = "post-insert invariant: the key was inserted three lines up")
         self.slots[p].as_mut().expect("just inserted")
     }
 
@@ -260,7 +263,9 @@ impl<K: DenseId, V> IdMap<K, V> {
         if !self.contains_key(&key) {
             self.insert(key, make());
         }
+        // lint: allow(P02, reason = "post-insert invariant: the key was inserted two lines up")
         let p = self.pos(key).expect("just inserted");
+        // lint: allow(P02, reason = "post-insert invariant: the key was inserted three lines up")
         self.slots[p].as_mut().expect("just inserted")
     }
 
@@ -356,6 +361,7 @@ impl<K: DenseId, V> std::ops::Index<&K> for IdMap<K, V> {
 
     /// Panics if `key` is absent, mirroring `BTreeMap`'s `Index`.
     fn index(&self, key: &K) -> &V {
+        // lint: allow(P02, reason = "documented Index contract, mirroring BTreeMap")
         self.get(key).expect("no entry found for key")
     }
 }

@@ -824,7 +824,29 @@ impl Builder {
                     }
                 }
             }
-            _ => {}
+            // The remaining events carry no span evidence. Each one is
+            // named (no catch-all) so that adding an `Event` variant
+            // forces a decision here; the X01 cross-check audits this
+            // match against the enum.
+            Event::JobSubmitted { .. }
+            | Event::TaskStarted { .. }
+            | Event::TaskSpeculated { .. }
+            | Event::BlockRead { .. }
+            | Event::MigrationRejected { .. }
+            | Event::RpcSent { .. }
+            | Event::RpcDropped { .. }
+            | Event::RpcDuplicated { .. }
+            | Event::RpcCut { .. }
+            | Event::RpcAcked { .. }
+            | Event::RpcGaveUp { .. }
+            | Event::LeaseExpired { .. }
+            | Event::EpochRejected { .. }
+            | Event::IncarnationRejected { .. }
+            | Event::NodeCrashed { .. }
+            | Event::RereplicationStarted { .. }
+            | Event::RereplicationDeferred { .. }
+            | Event::FaultInjected { .. }
+            | Event::FaultHealed { .. } => {}
         }
     }
 

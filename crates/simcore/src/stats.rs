@@ -321,6 +321,7 @@ impl Histogram {
     /// Records a sample.
     pub fn record(&mut self, x: f64) {
         let lo = self.edges[0];
+        // lint: allow(P02, reason = "constructor rejects empty edge lists, so last() always exists")
         let hi = *self.edges.last().expect("edges nonempty");
         if x < lo {
             self.underflow += 1;
@@ -411,6 +412,7 @@ impl TimeWeighted {
         self.value = value;
         self.peak = self.peak.max(value);
         if self.keep_history && self.history.last().map(|&(_, v)| v) != Some(value) {
+            // lint: allow(Q01, reason = "opt-in reporting series, deduplicated per value change")
             self.history.push((now, value));
         }
     }
