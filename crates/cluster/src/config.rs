@@ -67,6 +67,13 @@ pub struct ClusterConfig {
     /// flushes caches before runs; the `extension-caching` experiment turns
     /// it on to show why caching alone cannot help singly-read data.
     pub cache_reads: bool,
+    /// Replace per-node heartbeat chains with one cluster-wide sweep per
+    /// heartbeat interval (rotating start node, short-circuited when no
+    /// tasks are pending). At 12k nodes per-node chains alone are ~10^10
+    /// events per simulated month; the sweep makes datacenter-scale runs
+    /// feasible. Off by default: the paper-scale worlds keep per-node
+    /// beats so every pinned stream is untouched.
+    pub heartbeat_sweep: bool,
     /// Root seed: every run with the same seed and inputs is bit-identical.
     pub seed: u64,
 }
@@ -89,6 +96,7 @@ impl Default for ClusterConfig {
             master: MasterConfig::default(),
             compute: ComputeConfig::default(),
             cache_reads: false,
+            heartbeat_sweep: false,
             seed: 0x16E3,
         }
     }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod columns;
 pub mod config;
 pub mod experiment;
 pub mod explain;
@@ -48,7 +49,7 @@ pub mod prelude {
     };
     pub use crate::sanitizer::{bisect_divergence, double_run, Divergence, DoubleRun};
     pub use crate::sweep::{default_jobs, parallel_map, sweep};
-    pub use crate::world::{Fault, PlannedJob, World};
+    pub use crate::world::{ArrivalSource, Fault, PlannedJob, World};
 }
 
 pub use config::{ClusterConfig, FsMode};

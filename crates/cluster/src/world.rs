@@ -115,6 +115,7 @@ use ignem_simcore::trace::TraceSink;
 use ignem_storage::disk::{Completion, Disk, IoKind, RequestId};
 use ignem_storage::memstore::{MemStore, Residency};
 
+use crate::columns::BitCol;
 use crate::config::{ClusterConfig, FsMode};
 use crate::metrics::{BlockRead, JobResult, PlanResult, ReadKind, ResidencyLedger, RunMetrics};
 
@@ -137,6 +138,44 @@ impl PlannedJob {
             submit,
             stages: vec![spec],
         }
+    }
+}
+
+/// A pull-based source of planned jobs in nondecreasing submit order — the
+/// streaming front-end to [`World`].
+///
+/// A world built with [`World::with_arrivals`] admits one job at a time:
+/// only the *next* pending arrival is materialized, and the source is
+/// pulled again when that arrival's event fires. Memory stays proportional
+/// to live jobs rather than trace length, which is what makes a
+/// month-long, hundreds-of-thousands-of-jobs replay feasible.
+///
+/// Blanket-implemented for any `Clone + Send` iterator of [`PlannedJob`]s.
+/// Cloning must fork the exact sequence position: [`World`] is `Clone` and
+/// the snapshot machinery captures the source mid-stream.
+pub trait ArrivalSource: Send {
+    /// The next arrival, or `None` once the trace is exhausted.
+    fn next_arrival(&mut self) -> Option<PlannedJob>;
+    /// Forks this source at its current position.
+    fn clone_source(&self) -> Box<dyn ArrivalSource>;
+}
+
+impl<I> ArrivalSource for I
+where
+    I: Iterator<Item = PlannedJob> + Clone + Send + 'static,
+{
+    fn next_arrival(&mut self) -> Option<PlannedJob> {
+        self.next()
+    }
+
+    fn clone_source(&self) -> Box<dyn ArrivalSource> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn ArrivalSource> {
+    fn clone(&self) -> Self {
+        self.clone_source()
     }
 }
 
@@ -210,6 +249,15 @@ enum Event {
     /// Deferred re-replication backoff timer (generation-guarded).
     RerepRetry(u64),
     CleanupSweep,
+    /// The next streamed arrival is due: admit it and pull the following
+    /// one from the [`ArrivalSource`]. Carries no payload — the pending
+    /// plan lives in `World::next_arrival` (exactly one `Arrival` event is
+    /// in flight whenever that field is `Some`).
+    Arrival,
+    /// One cluster-wide heartbeat round (carries the round counter for the
+    /// rotating start offset); replaces per-node [`Event::Heartbeat`]
+    /// chains when [`ClusterConfig::heartbeat_sweep`] is on.
+    HeartbeatSweep(u64),
     Inject(usize),
 }
 
@@ -240,6 +288,8 @@ impl Event {
             Event::RegisterRetry(..) => "register_retry",
             Event::RerepRetry(..) => "rerep_retry",
             Event::CleanupSweep => "cleanup_sweep",
+            Event::Arrival => "arrival",
+            Event::HeartbeatSweep(..) => "heartbeat_sweep",
             Event::Inject(..) => "inject",
         }
     }
@@ -286,6 +336,70 @@ struct PlanState {
     stage1_input: u64,
 }
 
+/// Struct-of-arrays per-node hot state (see [`crate::columns`]): the
+/// fields every heartbeat, sweep and cancellation pass scans, kept as
+/// dense columns — booleans packed one bit per node, the pause column
+/// sentinel-encoded — so a 12k-node world's liveness scan stays in a few
+/// cache lines.
+#[derive(Debug, Clone)]
+struct NodeColumns {
+    /// Node is up (not dead, not crashed-dark).
+    alive: BitCol,
+    /// Nodes currently dark from a [`Fault::NodeCrash`] (restart pending).
+    crashed_down: BitCol,
+    /// Nodes that crashed at least once; invariant 8 audits exactly these.
+    crashed_ever: BitCol,
+    /// Whether node `n`'s heartbeat chain is still self-rescheduling; a
+    /// chain dies when a beat fires on a dead node, and a restart re-arms
+    /// it exactly once (two chains would double task assignment).
+    hb_live: BitCol,
+    /// Control-plane pause end (gray fault); `SimTime::MAX` = responsive.
+    paused_until: Vec<SimTime>,
+    /// Disk-completion timer generation (guards stale [`Event::DiskTimer`]).
+    disk_gen: Vec<u64>,
+    /// RAM-completion timer generation (guards stale [`Event::RamTimer`]).
+    ram_gen: Vec<u64>,
+    /// Lease-timer generation; bumped on every reschedule so superseded
+    /// [`Event::LeaseCheck`]s are ignored.
+    lease_gen: Vec<u64>,
+    /// `(slave, mem)` version stamps at the last clean audit; `u64::MAX`
+    /// sentinels force the first per-event validation pass.
+    validated: Vec<(u64, u64)>,
+    /// Per-node IO request counter. [`RequestId`]s only ever meet
+    /// per-node maps (`disk_owner`/`ram_owner`, per-disk queues), so
+    /// per-node allocation keeps each [`IdMap`] window as wide as one
+    /// node's in-flight IO instead of the whole cluster's — the
+    /// difference between kilobytes and megabytes per node at 12k nodes.
+    next_req: Vec<u64>,
+}
+
+impl NodeColumns {
+    fn new(nodes: usize) -> Self {
+        NodeColumns {
+            alive: BitCol::new(nodes, true),
+            crashed_down: BitCol::new(nodes, false),
+            crashed_ever: BitCol::new(nodes, false),
+            hb_live: BitCol::new(nodes, true),
+            paused_until: vec![SimTime::MAX; nodes],
+            disk_gen: vec![0; nodes],
+            ram_gen: vec![0; nodes],
+            lease_gen: vec![0; nodes],
+            validated: vec![(u64::MAX, u64::MAX); nodes],
+            next_req: vec![0; nodes],
+        }
+    }
+
+    /// The pause end of node `n`, `None` when responsive.
+    fn paused(&self, n: usize) -> Option<SimTime> {
+        let t = self.paused_until[n];
+        (t != SimTime::MAX).then_some(t)
+    }
+
+    fn set_paused(&mut self, n: usize, until: Option<SimTime>) {
+        self.paused_until[n] = until.unwrap_or(SimTime::MAX);
+    }
+}
+
 /// The integrated simulator (see module docs).
 ///
 /// `Clone` copies the *deterministic* state structurally — engine queue
@@ -308,34 +422,25 @@ pub struct World {
     disks: Vec<Disk>,
     rams: Vec<Disk>,
     net: Fabric,
-    node_alive: Vec<bool>,
+    /// Columnar per-node hot state (liveness bitmaps, pause sentinels,
+    /// timer generations, request counters); see [`NodeColumns`].
+    cols: NodeColumns,
     /// Control-plane channel; its RNG is a dedicated fork so fault
     /// injection never perturbs the main stream.
     rpc: RpcChannel,
     rpc_rng: SimRng,
-    /// Per-node control-plane pause end (gray fault); `None` = responsive.
-    paused_until: Vec<Option<SimTime>>,
     /// Check slave/memstore invariants after every event (chaos harness).
     validate: bool,
 
-    disk_gen: Vec<u64>,
-    ram_gen: Vec<u64>,
     net_gen: u64,
-    /// Per-node lease-timer generation; bumped on every reschedule so
-    /// superseded [`Event::LeaseCheck`]s are ignored.
-    lease_gen: Vec<u64>,
     /// Per-node residency accounts, mirrored from the slaves' counters
     /// (see module docs).
     ledger: ResidencyLedger,
-    /// Per-node `(slave, mem)` version stamps at the last clean audit;
-    /// `u64::MAX` sentinels force the first per-event validation pass.
-    validated: Vec<(u64, u64)>,
 
     tracker: JobTracker,
     slots: Slots,
 
     next_job: u64,
-    next_req: u64,
     next_xfer: u64,
 
     /// Owner maps are per-node dense [`IdMap`]s: cancellation sweeps iterate
@@ -350,6 +455,11 @@ pub struct World {
 
     plans: Vec<PlannedJob>,
     plan_state: Vec<PlanState>,
+    /// Streaming admission (None = fully preloaded workload). The source
+    /// yields arrivals lazily; `next_arrival` holds the one whose
+    /// [`Event::Arrival`] is currently scheduled.
+    arrivals: Option<Box<dyn ArrivalSource>>,
+    next_arrival: Option<PlannedJob>,
     job_to_plan: IdMap<JobId, (usize, usize)>,
     task_launched_at: HashMap<TaskId, SimTime>,
     job_submit_time: HashMap<JobId, SimTime>,
@@ -378,14 +488,6 @@ pub struct World {
     rerep_attempt: u32,
     /// Guards stale [`Event::RerepRetry`] timers.
     rerep_retry_gen: u64,
-    /// Nodes currently dark from a [`Fault::NodeCrash`] (restart pending).
-    crashed_down: Vec<bool>,
-    /// Nodes that crashed at least once; invariant 8 audits exactly these.
-    crashed_ever: Vec<bool>,
-    /// Whether node `n`'s heartbeat chain is still self-rescheduling; a
-    /// chain dies when a beat fires on a dead node, and a restart re-arms
-    /// it exactly once (two chains would double task assignment).
-    hb_live: Vec<bool>,
     /// Shared typed-event handle (disabled unless a sink is installed);
     /// clones of it live inside the master, every slave and the RPC
     /// channel, all stamping events off the same now-cursor.
@@ -502,9 +604,15 @@ impl World {
             engine.schedule_at(SimTime::ZERO + p.submit, Event::Submit(i));
         }
         let hb = cfg.compute.heartbeat;
-        for n in 0..cfg.nodes {
-            let offset = SimDuration::from_micros(hb.as_micros() * n as u64 / cfg.nodes as u64);
-            engine.schedule_at(SimTime::ZERO + offset, Event::Heartbeat(n as u32));
+        if cfg.heartbeat_sweep {
+            // Datacenter scale: one sweep event per interval for the whole
+            // cluster instead of `nodes` staggered chains.
+            engine.schedule_at(SimTime::ZERO, Event::HeartbeatSweep(0));
+        } else {
+            for n in 0..cfg.nodes {
+                let offset = SimDuration::from_micros(hb.as_micros() * n as u64 / cfg.nodes as u64);
+                engine.schedule_at(SimTime::ZERO + offset, Event::Heartbeat(n as u32));
+            }
         }
         for (i, (at, _)) in faults.iter().enumerate() {
             engine.schedule_at(*at, Event::Inject(i));
@@ -534,21 +642,15 @@ impl World {
             disks,
             rams,
             net,
-            node_alive: vec![true; cfg.nodes],
+            cols: NodeColumns::new(cfg.nodes),
             rpc: RpcChannel::new(cfg.rpc),
             rpc_rng,
-            paused_until: vec![None; cfg.nodes],
             validate: false,
-            disk_gen: vec![0; cfg.nodes],
-            ram_gen: vec![0; cfg.nodes],
             net_gen: 0,
-            lease_gen: vec![0; cfg.nodes],
             ledger: ResidencyLedger::new(cfg.nodes),
-            validated: vec![(u64::MAX, u64::MAX); cfg.nodes],
             tracker: JobTracker::new(),
             slots,
             next_job: 0,
-            next_req: 0,
             next_xfer: 0,
             disk_owner: (0..cfg.nodes).map(|_| IdMap::new()).collect(),
             ram_owner: (0..cfg.nodes).map(|_| IdMap::new()).collect(),
@@ -556,6 +658,8 @@ impl World {
             migration_req: HashMap::new(),
             plans,
             plan_state,
+            arrivals: None,
+            next_arrival: None,
             job_to_plan: IdMap::new(),
             task_launched_at: HashMap::new(),
             job_submit_time: HashMap::new(),
@@ -574,15 +678,32 @@ impl World {
             rerep_deferred: Vec::new(),
             rerep_attempt: 0,
             rerep_retry_gen: 0,
-            crashed_down: vec![false; cfg.nodes],
-            crashed_ever: vec![false; cfg.nodes],
-            hb_live: vec![true; cfg.nodes],
             telemetry: Telemetry::default(),
             mreg: MetricsRegistry::default(),
             profiler: HostProfiler::disabled(),
             metrics: RunMetrics::default(),
             cfg,
         }
+    }
+
+    /// Attaches a streaming [`ArrivalSource`]: jobs are admitted lazily,
+    /// one [`Event::Arrival`] at a time, instead of being preloaded as a
+    /// `Vec`. Composable with a preloaded plan list (streamed arrivals are
+    /// appended after the preloaded plans as they arrive).
+    ///
+    /// The source must yield arrivals in nondecreasing submit order
+    /// (checked as each is pulled). Input files must still be preloaded
+    /// via `files` in [`World::new`] — DFS namespace creation draws from
+    /// the main RNG stream, so creating files lazily would perturb every
+    /// later draw.
+    pub fn with_arrivals(mut self, source: Box<dyn ArrivalSource>) -> Self {
+        assert!(
+            self.arrivals.is_none() && self.next_arrival.is_none(),
+            "arrival source already installed"
+        );
+        self.arrivals = Some(source);
+        self.pull_next_arrival();
+        self
     }
 
     /// Installs a legacy string-trace sink; every major state transition
@@ -674,7 +795,7 @@ impl World {
             // bumps it again via `IgnemSlave::restart` plus the MemStore
             // version via the crash wipe.)
             let stamp = (self.slaves[n].version(), self.mems[n].version());
-            if self.validated[n] == stamp {
+            if self.cols.validated[n] == stamp {
                 continue;
             }
             let st = self.slaves[n].stats();
@@ -685,7 +806,7 @@ impl World {
             if let Err(e) = self.ledger.reconcile(n, self.mems[n].migrated_used()) {
                 panic!("ledger violated at {}: {e}", self.engine.now());
             }
-            if self.node_alive[n] {
+            if self.cols.alive.get(n) {
                 if let Err(e) = self.slaves[n].check_consistency(&self.mems[n]) {
                     panic!(
                         "slave invariant violated on node{n} at {}: {e}",
@@ -693,7 +814,7 @@ impl World {
                     );
                 }
             }
-            self.validated[n] = stamp;
+            self.cols.validated[n] = stamp;
         }
     }
 
@@ -894,11 +1015,11 @@ impl World {
             let _ = writeln!(out, "    partition id={id} cut_off={nodes:?}");
         }
         for n in 0..self.cfg.nodes {
-            let status = if self.crashed_down[n] {
+            let status = if self.cols.crashed_down.get(n) {
                 "crashed"
-            } else if !self.node_alive[n] {
+            } else if !self.cols.alive.get(n) {
                 "dead"
-            } else if self.paused_until[n].is_some_and(|t| t > now) {
+            } else if self.cols.paused(n).is_some_and(|t| t > now) {
                 "paused"
             } else {
                 "alive"
@@ -913,7 +1034,11 @@ impl World {
                 "  node{n}: {status} inc={:?} hb={} mem={}/{} \
                  migrated={mig_n}x{mig_b}B pinned={pin_n}x{pin_b}B cached={cache_n}x{cache_b}B",
                 slave.incarnation(),
-                if self.hb_live[n] { "live" } else { "down" },
+                if self.cols.hb_live.get(n) {
+                    "live"
+                } else {
+                    "down"
+                },
                 mem.used(),
                 mem.capacity(),
             );
@@ -976,7 +1101,7 @@ impl World {
         metrics.master_stats = self.master.stats();
         metrics.rpc = self.rpc.stats();
         for n in 0..self.cfg.nodes {
-            if self.node_alive[n] {
+            if self.cols.alive.get(n) {
                 metrics.leaked_job_refs += self.slaves[n].total_references() as u64;
                 metrics.final_migrated_bytes += self.mems[n].migrated_used();
             }
@@ -1026,8 +1151,66 @@ impl World {
             Event::RegisterRetry(n, attempt) => self.on_register_retry(n, attempt),
             Event::RerepRetry(gen) => self.on_rerep_retry(gen),
             Event::CleanupSweep => self.on_cleanup_sweep(),
+            Event::Arrival => self.on_arrival(),
+            Event::HeartbeatSweep(round) => self.on_heartbeat_sweep(round),
             Event::Inject(i) => self.on_inject(i),
         }
+    }
+
+    /// Is there (or might there be) more workload to run? Self-sustaining
+    /// timers (heartbeats, cleanup sweeps) re-arm only while this holds:
+    /// unfinished admitted plans, or a streamed arrival yet to be admitted.
+    fn work_remaining(&self) -> bool {
+        self.unfinished_plans > 0 || self.next_arrival.is_some()
+    }
+
+    /// Pulls the next arrival from the streaming source (if any) and
+    /// schedules its [`Event::Arrival`]; drops the source when exhausted.
+    fn pull_next_arrival(&mut self) {
+        let Some(src) = self.arrivals.as_mut() else {
+            return;
+        };
+        match src.next_arrival() {
+            Some(plan) => {
+                let at = SimTime::ZERO + plan.submit;
+                assert!(
+                    at >= self.engine.now(),
+                    "arrival stream out of order: {at:?} < {:?}",
+                    self.engine.now()
+                );
+                self.engine.schedule_at(at, Event::Arrival);
+                self.next_arrival = Some(plan);
+            }
+            None => {
+                self.arrivals = None;
+                self.next_arrival = None;
+            }
+        }
+    }
+
+    /// Admits the pending streamed arrival as a plan and submits it. The
+    /// submission runs inline (not via a separate [`Event::Submit`]) so
+    /// the RNG draw order matches a preloaded world exactly.
+    fn on_arrival(&mut self) {
+        let plan = self
+            .next_arrival
+            .take()
+            .expect("Arrival event with no pending arrival");
+        let idx = self.plans.len();
+        assert!(!plan.stages.is_empty(), "streamed plan {idx} has no stages");
+        self.plans.push(plan);
+        self.plan_state.push(PlanState {
+            current_stage: 0,
+            submitted_at: None,
+            finished: false,
+            stage1_input: 0,
+        });
+        self.unfinished_plans += 1;
+        // Pull the successor before submitting: if the submission finishes
+        // the whole workload synchronously, `work_remaining` must already
+        // see the next arrival.
+        self.pull_next_arrival();
+        self.on_submit(idx);
     }
 
     fn on_submit(&mut self, plan: usize) {
@@ -1169,15 +1352,15 @@ impl World {
     // ------------------------------------------------------------------
 
     fn on_heartbeat(&mut self, n: u32) {
-        if !self.node_alive[n as usize] {
+        if !self.cols.alive.get(n as usize) {
             // The chain dies here; a crash-restart re-arms it exactly once.
-            self.hb_live[n as usize] = false;
+            self.cols.hb_live.set(n as usize, false);
             return;
         }
-        if self.paused_until[n as usize].is_some() {
+        if self.cols.paused(n as usize).is_some() {
             // A paused node misses its heartbeat (no new work assigned)
             // but keeps beating once responsive again.
-            if self.unfinished_plans > 0 {
+            if self.work_remaining() {
                 self.engine
                     .schedule_in(self.cfg.compute.heartbeat, Event::Heartbeat(n));
             }
@@ -1188,9 +1371,41 @@ impl World {
             // One straggler sweep per heartbeat round (node 0's beat).
             self.check_stragglers();
         }
-        if self.unfinished_plans > 0 {
+        if self.work_remaining() {
             self.engine
                 .schedule_in(self.cfg.compute.heartbeat, Event::Heartbeat(n));
+        }
+    }
+
+    /// One cluster-wide heartbeat round ([`ClusterConfig::heartbeat_sweep`]
+    /// mode): visits every live, unpaused node in rotating order and runs
+    /// the same per-beat assignment a node's own chain would. The rotation
+    /// (`round % nodes`) keeps slot priority fair across rounds the way
+    /// staggered chains are fair in expectation; the pending-task
+    /// short-circuit skips the whole O(nodes) walk on quiet rounds, which
+    /// at 12k nodes is nearly all of them.
+    fn on_heartbeat_sweep(&mut self, round: u64) {
+        if self.cfg.compute.speculation {
+            self.check_stragglers();
+        }
+        let nodes = self.cfg.nodes;
+        let start = (round % nodes as u64) as usize;
+        for i in 0..nodes {
+            if self.tracker.pending_maps().is_empty() && self.tracker.pending_reduces().is_empty() {
+                break; // nothing left for any node's beat to assign
+            }
+            let n = (start + i) % nodes;
+            if !self.cols.alive.get(n) || self.cols.paused(n).is_some() {
+                continue;
+            }
+            if self.slots.free(NodeId(n as u32)) == 0 {
+                continue;
+            }
+            self.assign_tasks(NodeId(n as u32), false);
+        }
+        if self.work_remaining() {
+            self.engine
+                .schedule_in(self.cfg.compute.heartbeat, Event::HeartbeatSweep(round + 1));
         }
     }
 
@@ -1305,12 +1520,12 @@ impl World {
                 break;
             }
             let mems = &self.mems;
-            let alive = &self.node_alive;
+            let alive = &self.cols.alive;
             let namenode = &self.namenode;
             let pick = choose_map_task(
                 &self.tracker,
                 node,
-                |nd, b| alive[nd.0 as usize] && mems[nd.0 as usize].contains(&b),
+                |nd, b| alive.get(nd.0 as usize) && mems[nd.0 as usize].contains(&b),
                 |nd, b| namenode.has_alive_replica(b, nd),
             )
             .or_else(|| choose_reduce_task(&self.tracker));
@@ -1381,12 +1596,12 @@ impl World {
         };
         let source = {
             let mems = &self.mems;
-            let alive = &self.node_alive;
+            let alive = &self.cols.alive;
             match plan_read(
                 &self.namenode,
                 node,
                 b,
-                |nd, blk| alive[nd.0 as usize] && mems[nd.0 as usize].contains(&blk),
+                |nd, blk| alive.get(nd.0 as usize) && mems[nd.0 as usize].contains(&blk),
                 &mut self.rng,
             ) {
                 Ok(s) => s,
@@ -1464,7 +1679,7 @@ impl World {
         // Pick a random alive source other than the reducer's node.
         let sources: Vec<NodeId> = (0..self.cfg.nodes as u32)
             .map(NodeId)
-            .filter(|&nd| nd != node && self.node_alive[nd.0 as usize])
+            .filter(|&nd| nd != node && self.cols.alive.get(nd.0 as usize))
             .collect();
         if sources.is_empty() {
             self.schedule_reduce_compute(task, job, share);
@@ -1480,7 +1695,7 @@ impl World {
     }
 
     fn schedule_reduce_compute(&mut self, task: TaskId, job: JobId, share: u64) {
-        // lint: allow(P02, reason = "job specs are inserted at submission and never removed")
+        // lint: allow(P02, reason = "specs are inserted at submission and live until the job finishes")
         let spec = &self.job_spec[&job];
         let secs = share as f64 / spec.reduce_cpu_rate * self.jitter();
         self.engine.schedule_in(
@@ -1527,7 +1742,7 @@ impl World {
             self.task_launched_at.remove(&loser);
             self.cancel_task_io(loser);
             if let Some(nd) = loser_node {
-                if self.node_alive[nd.0 as usize] {
+                if self.cols.alive.get(nd.0 as usize) {
                     self.slots.release(nd);
                     // The freed container can take new work immediately.
                     self.assign_tasks(nd, true);
@@ -1545,7 +1760,7 @@ impl World {
             self.on_job_finished(rec.job);
         }
         // Tez container reuse: the freed slot takes another task at once.
-        if self.node_alive[node.0 as usize] {
+        if self.cols.alive.get(node.0 as usize) {
             self.assign_tasks(node, true);
         }
     }
@@ -1601,7 +1816,17 @@ impl World {
                 duration: now.duration_since(started).as_secs_f64(),
             });
             self.unfinished_plans -= 1;
+            // A finished plan is never submitted or killed again (both
+            // paths gate on `finished`); dropping its stage specs keeps a
+            // streamed month-long run's footprint proportional to *live*
+            // jobs, not total jobs admitted.
+            self.plans[plan].stages = Vec::new();
         }
+        // Same reasoning for the per-job records: every later lookup
+        // (re-ignition, stragglers, task paths) filters on live jobs.
+        self.job_spec.remove(&job);
+        self.job_submit_time.remove(&job);
+        self.job_to_plan.remove(&job);
     }
 
     // ------------------------------------------------------------------
@@ -1683,7 +1908,7 @@ impl World {
     /// Whether the node's control plane is paused; if so, re-queues `ev` for
     /// the resume instant and returns true.
     fn defer_if_paused(&mut self, n: u32, ev: Event) -> bool {
-        if let Some(until) = self.paused_until[n as usize] {
+        if let Some(until) = self.cols.paused(n as usize) {
             self.engine.schedule_at(until, ev);
             return true;
         }
@@ -1698,7 +1923,7 @@ impl World {
         inc: Incarnation,
         cmds: Vec<MigrateCommand>,
     ) {
-        if !self.node_alive[n as usize] {
+        if !self.cols.alive.get(n as usize) {
             return; // dead node never acks; the master retries, then gives up
         }
         if self.defer_if_paused(n, Event::DeliverMigrates(n, seq, epoch, inc, cmds.clone())) {
@@ -1726,7 +1951,7 @@ impl World {
     }
 
     fn on_deliver_evict(&mut self, n: u32, seq: SeqNo, epoch: Epoch, inc: Incarnation, job: JobId) {
-        if !self.node_alive[n as usize] {
+        if !self.cols.alive.get(n as usize) {
             return;
         }
         if self.defer_if_paused(n, Event::DeliverEvict(n, seq, epoch, inc, job)) {
@@ -1772,7 +1997,7 @@ impl World {
     // with no references, where both the dead and alive verdicts are
     // no-ops. Fencing them would only cost an extra stamp on the wire.
     fn on_liveness_reply(&mut self, n: u32, epoch: Epoch, dead: Vec<JobId>, alive: Vec<JobId>) {
-        if !self.node_alive[n as usize] {
+        if !self.cols.alive.get(n as usize) {
             return;
         }
         if self.defer_if_paused(
@@ -1800,7 +2025,7 @@ impl World {
     /// stale generation means a renewal superseded this timer; a paused
     /// control plane defers expiry the same way it defers deliveries.
     fn on_lease_check(&mut self, n: u32, gen: u64) {
-        if gen != self.lease_gen[n as usize] || !self.node_alive[n as usize] {
+        if gen != self.cols.lease_gen[n as usize] || !self.cols.alive.get(n as usize) {
             return;
         }
         if self.defer_if_paused(n, Event::LeaseCheck(n, gen)) {
@@ -1817,8 +2042,8 @@ impl World {
         if self.cfg.ignem.lease.is_none() {
             return;
         }
-        self.lease_gen[n as usize] += 1;
-        let gen = self.lease_gen[n as usize];
+        self.cols.lease_gen[n as usize] += 1;
+        let gen = self.cols.lease_gen[n as usize];
         if let Some(at) = self.slaves[n as usize].next_lease_expiry() {
             self.engine
                 .schedule_at(at.max(self.engine.now()), Event::LeaseCheck(n, gen));
@@ -1836,7 +2061,13 @@ impl World {
     fn on_cleanup_sweep(&mut self) {
         let epoch = self.master.epoch();
         for n in 0..self.cfg.nodes as u32 {
-            if !self.node_alive[n as usize] || self.paused_until[n as usize].is_some() {
+            if !self.cols.alive.get(n as usize) || self.cols.paused(n as usize).is_some() {
+                continue;
+            }
+            if !self.slaves[n as usize].has_interest() {
+                // O(1) skip: at 12k nodes almost every node holds no
+                // references on any given sweep, and materializing an
+                // empty Vec per node per sweep would dominate the pass.
                 continue;
             }
             let (alive, dead): (Vec<JobId>, Vec<JobId>) = self.slaves[n as usize]
@@ -1861,9 +2092,9 @@ impl World {
         }
         // Keep sweeping while work may still create references, or any
         // alive slave still holds interest (a reply may have been lost).
-        let interest = (0..self.cfg.nodes)
-            .any(|n| self.node_alive[n] && !self.slaves[n].interested_jobs().is_empty());
-        if self.unfinished_plans > 0 || interest {
+        let interest =
+            (0..self.cfg.nodes).any(|n| self.cols.alive.get(n) && self.slaves[n].has_interest());
+        if self.work_remaining() || interest {
             self.engine
                 .schedule_in(self.cfg.cleanup_sweep, Event::CleanupSweep);
         }
@@ -1919,15 +2150,20 @@ impl World {
     // IO plumbing
     // ------------------------------------------------------------------
 
-    fn alloc_req(&mut self) -> RequestId {
-        let id = RequestId(self.next_req);
-        self.next_req += 1;
+    /// Allocates a [`RequestId`] from node `n`'s counter. Ids only ever
+    /// meet per-node structures, so per-node allocation is safe and keeps
+    /// each owner map's [`IdMap`] window node-local (see
+    /// [`NodeColumns::next_req`]); within a node the allocation order —
+    /// and therefore the cancellation-sweep order — is unchanged.
+    fn alloc_req(&mut self, n: u32) -> RequestId {
+        let id = RequestId(self.cols.next_req[n as usize]);
+        self.cols.next_req[n as usize] += 1;
         id
     }
 
     fn submit_disk(&mut self, n: u32, kind: IoKind, bytes: u64, owner: DiskOwner) -> RequestId {
         let now = self.engine.now();
-        let id = self.alloc_req();
+        let id = self.alloc_req(n);
         self.disk_owner[n as usize].insert(id, owner);
         let done = self.disks[n as usize].submit(now, id, kind, bytes.max(1));
         self.process_disk(n, done);
@@ -1937,7 +2173,7 @@ impl World {
 
     fn submit_ram(&mut self, n: u32, bytes: u64, owner: DiskOwner) -> RequestId {
         let now = self.engine.now();
-        let id = self.alloc_req();
+        let id = self.alloc_req(n);
         self.ram_owner[n as usize].insert(id, owner);
         let done = self.rams[n as usize].submit(now, id, IoKind::Read, bytes.max(1));
         self.process_ram(n, done);
@@ -1946,16 +2182,16 @@ impl World {
     }
 
     fn resched_disk(&mut self, n: u32) {
-        self.disk_gen[n as usize] += 1;
-        let gen = self.disk_gen[n as usize];
+        self.cols.disk_gen[n as usize] += 1;
+        let gen = self.cols.disk_gen[n as usize];
         if let Some(t) = self.disks[n as usize].next_event() {
             self.engine.schedule_at(t, Event::DiskTimer(n, gen));
         }
     }
 
     fn resched_ram(&mut self, n: u32) {
-        self.ram_gen[n as usize] += 1;
-        let gen = self.ram_gen[n as usize];
+        self.cols.ram_gen[n as usize] += 1;
+        let gen = self.cols.ram_gen[n as usize];
         if let Some(t) = self.rams[n as usize].next_event() {
             self.engine.schedule_at(t, Event::RamTimer(n, gen));
         }
@@ -1970,7 +2206,7 @@ impl World {
     }
 
     fn on_disk_timer(&mut self, n: u32, gen: u64) {
-        if gen != self.disk_gen[n as usize] {
+        if gen != self.cols.disk_gen[n as usize] {
             return;
         }
         let now = self.engine.now();
@@ -1980,7 +2216,7 @@ impl World {
     }
 
     fn on_ram_timer(&mut self, n: u32, gen: u64) {
-        if gen != self.ram_gen[n as usize] {
+        if gen != self.cols.ram_gen[n as usize] {
             return;
         }
         let now = self.engine.now();
@@ -2030,7 +2266,7 @@ impl World {
                 } => self.finish_map_read(task, kind, block, serving, started, c.bytes),
                 DiskOwner::Rereplicate { block, target } => {
                     self.rerep_active = false;
-                    if self.node_alive[target as usize] {
+                    if self.cols.alive.get(target as usize) {
                         let now = self.engine.now();
                         let done = self.disks[target as usize].buffered_write(now, c.bytes);
                         self.process_disk(target, done);
@@ -2071,7 +2307,7 @@ impl World {
             let holders: Vec<NodeId> = locations;
             let candidates: Vec<NodeId> = (0..self.cfg.nodes as u32)
                 .map(NodeId)
-                .filter(|n| self.node_alive[n.0 as usize] && !holders.contains(n))
+                .filter(|n| self.cols.alive.get(n.0 as usize) && !holders.contains(n))
                 .collect();
             if candidates.is_empty() {
                 self.defer_rereplication(block);
@@ -2142,7 +2378,7 @@ impl World {
                 NetOwner::Shuffle { task } => {
                     let rec = *self.tracker.task(task);
                     if let ignem_compute::tracker::TaskState::Assigned(_) = rec.state {
-                        // lint: allow(P02, reason = "job specs are inserted at submission and never removed")
+                        // lint: allow(P02, reason = "specs are inserted at submission and live until the job finishes")
                         let spec = &self.job_spec[&rec.job];
                         let share = spec.shuffle_bytes / spec.reducers.max(1) as u64;
                         self.schedule_reduce_compute(task, rec.job, share);
@@ -2195,7 +2431,7 @@ impl World {
             );
         }
         // Optional PACMan-style page cache on the serving node.
-        if self.cfg.cache_reads && self.node_alive[serving as usize] {
+        if self.cfg.cache_reads && self.cols.alive.get(serving as usize) {
             if let Some(b) = block {
                 match kind {
                     ReadKind::Memory => self.mems[serving as usize].touch(&b),
@@ -2209,7 +2445,7 @@ impl World {
         // eviction / missed-read cleanup).
         if self.mode == FsMode::Ignem {
             if let Some(b) = block {
-                if self.node_alive[serving as usize] {
+                if self.cols.alive.get(serving as usize) {
                     let actions = self.slaves[serving as usize].on_block_read(
                         now,
                         b,
@@ -2220,7 +2456,7 @@ impl World {
                 }
             }
         }
-        // lint: allow(P02, reason = "job specs are inserted at submission and never removed")
+        // lint: allow(P02, reason = "specs are inserted at submission and live until the job finishes")
         let rate = self.job_spec[&rec.job].map_cpu_rate;
         let secs = bytes as f64 / rate * self.jitter();
         self.engine.schedule_in(
@@ -2250,7 +2486,7 @@ impl World {
                 self.master.fail();
                 let epoch = self.master.epoch();
                 for n in 0..self.cfg.nodes {
-                    if self.node_alive[n] {
+                    if self.cols.alive.get(n) {
                         let actions =
                             self.slaves[n].on_master_failed(now, epoch, &mut self.mems[n]);
                         self.process_slave_actions(n as u32, actions);
@@ -2259,7 +2495,7 @@ impl World {
             }
             Fault::SlaveRestart(node) => {
                 let n = node.0 as usize;
-                if self.node_alive[n] {
+                if self.cols.alive.get(n) {
                     let actions = self.slaves[n].fail(now, &mut self.mems[n]);
                     self.process_slave_actions(node.0, actions);
                 }
@@ -2269,7 +2505,7 @@ impl World {
             Fault::DiskDegrade(node, percent, duration) => {
                 let n = node.0 as usize;
                 assert!(percent > 0 && percent <= 100, "bad degrade percent");
-                if self.node_alive[n] {
+                if self.cols.alive.get(n) {
                     let factor = percent as f64 / 100.0;
                     let done = self.disks[n].set_speed_factor(now, factor);
                     self.process_disk(node.0, done);
@@ -2280,8 +2516,8 @@ impl World {
             }
             Fault::NodePause(node, duration) => {
                 let n = node.0 as usize;
-                if self.node_alive[n] {
-                    self.paused_until[n] = Some(now + duration);
+                if self.cols.alive.get(n) {
+                    self.cols.set_paused(n, Some(now + duration));
                     self.engine.schedule_in(duration, Event::NodeResume(node.0));
                 }
             }
@@ -2293,7 +2529,7 @@ impl World {
             }
             Fault::NodeCrash(node, down_for) => {
                 let n = node.0 as usize;
-                if !self.node_alive[n] {
+                if !self.cols.alive.get(n) {
                     return; // already dead (failed or mid-crash): no-op
                 }
                 // Emitted before the purge so the BlockEvicted events the
@@ -2302,8 +2538,8 @@ impl World {
                 self.telemetry
                     .emit(|| TelemetryEvent::NodeCrashed { node: node.0 });
                 self.metrics.crashes += 1;
-                self.crashed_down[n] = true;
-                self.crashed_ever[n] = true;
+                self.cols.crashed_down.set(n, true);
+                self.cols.crashed_ever.set(n, true);
                 // Down is down: the full node-failure machinery (NameNode
                 // death mark, slave purge, task re-execution, IO
                 // cancellation with read re-issue, re-replication).
@@ -2313,7 +2549,7 @@ impl World {
                 // purge already debited. Durable disk blocks survive.
                 self.mems[n].wipe(now);
                 // A rebooting machine has no GC stall to wait out.
-                self.paused_until[n] = None;
+                self.cols.set_paused(n, None);
                 // The NIC is dark for the outage. Partition ids at or
                 // above `faults.len()` are reserved for crash NIC-downs
                 // (fault indices key the injected partitions), and one
@@ -2327,7 +2563,7 @@ impl World {
     }
 
     fn on_disk_restore(&mut self, n: u32) {
-        if !self.node_alive[n as usize] {
+        if !self.cols.alive.get(n as usize) {
             return;
         }
         self.telemetry.emit(|| TelemetryEvent::FaultHealed {
@@ -2343,7 +2579,7 @@ impl World {
         self.telemetry.emit(|| TelemetryEvent::FaultHealed {
             desc: format!("node{n} control plane resumed"),
         });
-        self.paused_until[n as usize] = None;
+        self.cols.set_paused(n as usize, None);
     }
 
     fn on_partition_heal(&mut self, id: usize) {
@@ -2365,12 +2601,12 @@ impl World {
     /// a dark node.
     fn on_node_restart(&mut self, n: u32) {
         let idx = n as usize;
-        if !self.crashed_down[idx] {
+        if !self.cols.crashed_down.get(idx) {
             return;
         }
         let now = self.engine.now();
-        self.crashed_down[idx] = false;
-        self.node_alive[idx] = true;
+        self.cols.crashed_down.set(idx, false);
+        self.cols.alive.set(idx, true);
         // NIC up *before* the registration send, or the channel would cut
         // it. A reboot also clears any lingering disk-speed degradation
         // (a later DiskRestore for a healed degrade is idempotent).
@@ -2387,8 +2623,10 @@ impl World {
         // Heartbeats: the node's chain died while it was dark; re-arm it
         // once (guarded so a short outage that never dropped a beat does
         // not end up with two concurrent chains).
-        if self.unfinished_plans > 0 && !self.hb_live[idx] {
-            self.hb_live[idx] = true;
+        if !self.cfg.heartbeat_sweep && self.work_remaining() && !self.cols.hb_live.get(idx) {
+            // In sweep mode the cluster-wide round covers restarted nodes
+            // automatically; only per-node chains need re-arming.
+            self.cols.hb_live.set(idx, true);
             self.engine
                 .schedule_in(self.cfg.compute.heartbeat, Event::Heartbeat(n));
         }
@@ -2425,7 +2663,7 @@ impl World {
         let idx = n as usize;
         // Inert once the master has absorbed this (or a newer) boot of the
         // node, or the node died again while the timer was pending.
-        if !self.node_alive[idx]
+        if !self.cols.alive.get(idx)
             || self.master.slave_incarnation(NodeId(n)) >= self.slaves[idx].incarnation()
         {
             return;
@@ -2440,7 +2678,7 @@ impl World {
     /// re-replication re-examines what is still short, and migration is
     /// re-admitted for live jobs.
     fn on_deliver_register(&mut self, n: u32, incarnation: Incarnation) {
-        if !self.node_alive[n as usize] {
+        if !self.cols.alive.get(n as usize) {
             return; // crashed again while the registration was in flight
         }
         if !self.master.handle_register(NodeId(n), incarnation) {
@@ -2485,7 +2723,7 @@ impl World {
             .map(|(j, _)| j)
             .collect();
         for job in jobs {
-            // lint: allow(P02, reason = "job specs are inserted at submission and never removed")
+            // lint: allow(P02, reason = "specs are inserted at submission and live until the job finishes")
             let spec = self.job_spec[&job].clone();
             let (Some(mode), JobInput::DfsFiles(files)) = (spec.submit.migrate, &spec.input) else {
                 continue;
@@ -2570,10 +2808,10 @@ impl World {
             return None;
         }
         for n in 0..self.cfg.nodes {
-            if self.crashed_down[n] {
+            if self.cols.crashed_down.get(n) {
                 return Some(format!("node{n} still dark at end of run"));
             }
-            if !self.crashed_ever[n] || !self.node_alive[n] {
+            if !self.cols.crashed_ever.get(n) || !self.cols.alive.get(n) {
                 // Never crashed, or permanently failed after recovering:
                 // out of scope for convergence.
                 continue;
@@ -2612,11 +2850,11 @@ impl World {
 
     fn fail_node(&mut self, node: NodeId) {
         let n = node.0 as usize;
-        if !self.node_alive[n] {
+        if !self.cols.alive.get(n) {
             return;
         }
         let now = self.engine.now();
-        self.node_alive[n] = false;
+        self.cols.alive.set(n, false);
         // The node is registered in every normal construction path; if a
         // test built an exotic topology, dying twice must stay harmless.
         let _ = self.namenode.mark_dead(node);

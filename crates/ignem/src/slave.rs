@@ -313,6 +313,13 @@ impl IgnemSlave {
         self.job_blocks.keys().collect()
     }
 
+    /// Whether any job holds a reference — `interested_jobs().is_empty()`
+    /// without the allocation. Cluster-wide sweeps test this per node, so
+    /// at datacenter scale it must stay O(1).
+    pub fn has_interest(&self) -> bool {
+        !self.job_blocks.is_empty()
+    }
+
     /// Total `(job, block)` reference entries on resident migrated blocks
     /// (the leak-freedom quantity: zero once every job's data is reclaimed).
     pub fn total_references(&self) -> usize {

@@ -20,27 +20,54 @@
 //! assert_eq!(engine.now().as_secs_f64(), 1.0);
 //! ```
 //!
+//! ## The hierarchical timing wheel
+//!
+//! The queue is a hierarchical timing wheel (a calendar queue), not a
+//! binary heap: 11 levels of 64 slots each, 6 bits of the microsecond
+//! tick per level, covering the whole `u64` tick space. An event at
+//! absolute tick `t` lives at the level of the most significant bit in
+//! which `t` differs from the wheel's floor `elapsed` (the granularity at
+//! which its deadline is still "far"), in the slot indexed by `t`'s 6-bit
+//! digit at that level. Scheduling is O(1): one XOR, one leading-zeros,
+//! one `Vec::push`. Popping promotes the earliest occupied slot — found
+//! by scanning 11 per-level occupancy bitmaps — jumps the floor straight
+//! to that slot's earliest tick (which is the global minimum, so one
+//! promotion always yields ready work), and *cascades*: entries due at
+//! the new floor become ready (sorted by insertion `seq`, so equal-time
+//! events still fire in FIFO order), the rest re-insert at a strictly
+//! lower level. Each entry cascades through at most `LEVELS` slots over
+//! its lifetime, so schedule/pop are O(1) amortized — the `O(log n)`
+//! heap sifts are gone, which is what lets a 12k-node world carry
+//! millions of pending timers without the queue dominating the run.
+//! Promotion recycles two scratch buffers (the swapped-out slot vector
+//! and the due batch), so the steady-state hot path allocates nothing.
+//!
+//! Determinism is unchanged from the heap engine: the pop order is
+//! *exactly* `(time, insertion seq)` — the wheel only ever reorders
+//! storage, never the fire sequence — and `Clone` copies the wheel
+//! (levels, bitmaps, floor, ready queue) structurally, so a cloned
+//! engine pops the identical future sequence. World snapshots capture
+//! the wheel cursors for free.
+//!
 //! ## Cancellation bookkeeping
 //!
-//! Cancellation is lazy: the heap entry stays where it is and is dropped
+//! Cancellation is lazy: the wheel entry stays where it is and is dropped
 //! when it surfaces. The bookkeeping lives in a generation-stamped slot
 //! slab rather than a set of cancelled sequence numbers: every scheduled
 //! event borrows a slot (its [`EventId`] packs slot index + generation)
-//! that parks the payload — heap entries carry only the `(time, seq)` key
-//! and the slot index, so sift copies stay small however large `E` is —
-//! and popping — fired or cancelled — returns the slot to a free list and
-//! bumps its generation. That makes every operation O(1) amortized,
-//! bounds the slab by the maximum number of *concurrently pending*
-//! events (it self-compacts via slot reuse instead of growing like the
-//! old unbounded `cancelled: BTreeSet` did), and makes cancelling an
-//! already-fired or never-scheduled id a structural no-op: its
-//! generation no longer matches. Slot indices are handed out
-//! deterministically (LIFO free list driven by the event order), so the
-//! scheme adds no iteration-order hazards — the heap is still ordered
-//! purely by `(time, insertion seq)`.
+//! that parks the payload — wheel entries carry only the `(time, seq)`
+//! key and the slot index, so cascade copies stay small however large `E`
+//! is — and popping — fired or cancelled — returns the slot to a free
+//! list and bumps its generation. That makes every operation O(1)
+//! amortized, bounds the slab by the maximum number of *concurrently
+//! pending* events (it self-compacts via slot reuse), and makes
+//! cancelling an already-fired or never-scheduled id a structural no-op:
+//! its generation no longer matches. Live (`pending()`) and stored
+//! counts are tracked explicitly, so idle checks are O(1) and peeking is
+//! a pure read — unlike the old heap engine, `peek_time`/`peek` no
+//! longer compact cancelled prefixes as a side effect.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -67,26 +94,18 @@ impl EventId {
     }
 }
 
-/// Heap key: events fire in time order; ties break by insertion order, which
-/// gives the deterministic FIFO semantics the protocols rely on.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct Key {
+/// A wheel entry is the ordering key plus the slab slot holding the
+/// payload: a small fixed-size value, so cascades move ~24 bytes instead
+/// of the (potentially large) event payload itself.
+#[derive(Debug, Clone)]
+struct Entry {
     at: SimTime,
     seq: u64,
-}
-
-/// A heap entry is just the ordering key plus the slab slot holding the
-/// payload: a small fixed-size value, so the `O(log n)` sift copies on
-/// every push/pop move ~24 bytes instead of the (potentially large) event
-/// payload itself.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct Entry {
-    key: Key,
     slot: u32,
 }
 
 /// One slab slot: which incarnation lives here, whether it has been
-/// cancelled while still in the heap, and the parked payload (taken on
+/// cancelled while still in the wheel, and the parked payload (taken on
 /// fire, dropped eagerly on cancel).
 #[derive(Clone)]
 struct Slot<E> {
@@ -96,27 +115,178 @@ struct Slot<E> {
     payload: Option<E>,
 }
 
+/// Bits of the tick consumed per wheel level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level (`2^LEVEL_BITS`).
+const LEVEL_SLOTS: usize = 1 << LEVEL_BITS;
+/// Levels needed to cover a full `u64` of microsecond ticks
+/// (`11 × 6 = 66 ≥ 64`).
+const LEVELS: usize = 11;
+
+/// The calendar-queue structure: per-level slot vectors, occupancy
+/// bitmaps, the wheel floor, and the ready queue of entries at the floor.
+///
+/// Invariants (between public engine operations):
+/// - every stored entry has `at > elapsed` (levels) or `at == elapsed`
+///   (ready queue);
+/// - all level-`l` entries share `elapsed`'s tick digits above level `l`,
+///   so within a level, slot index order is time order and every occupied
+///   slot index is strictly greater than `elapsed`'s digit at that level;
+/// - all level-`l` entries fire strictly before any level-`l+1` entry;
+/// - `ready` is sorted by `seq` (cascades sort the batch they promote;
+///   later schedules at the floor append with strictly larger seqs);
+/// - `elapsed <= now` whenever the engine is quiescent.
+#[derive(Clone)]
+struct Wheel {
+    /// `LEVELS × LEVEL_SLOTS` slot vectors, row-major by level.
+    levels: Vec<Vec<Entry>>,
+    /// Per-level occupancy bitmap: bit `s` set ⇔ `levels[l*64+s]` nonempty.
+    occupied: [u64; LEVELS],
+    /// Entries at tick `elapsed`, in seq order; `pop` drains from the front.
+    ready: VecDeque<Entry>,
+    /// The wheel floor in ticks: every level entry is strictly later.
+    elapsed: u64,
+    /// Recycled cascade buffer: swapped with the promoted slot's vector so
+    /// steady-state promotion allocates nothing (a `mem::take` would throw
+    /// the slot's capacity away on every cascade).
+    cascade: Vec<Entry>,
+    /// Recycled batch buffer for the entries due at the new floor.
+    due: Vec<Entry>,
+}
+
+impl Wheel {
+    fn new() -> Self {
+        Wheel {
+            levels: vec![Vec::new(); LEVELS * LEVEL_SLOTS],
+            occupied: [0; LEVELS],
+            ready: VecDeque::new(),
+            elapsed: 0,
+            cascade: Vec::new(),
+            due: Vec::new(),
+        }
+    }
+
+    /// The level and slot index for an entry at tick `at`, relative to
+    /// the current floor. Caller guarantees `at > self.elapsed`.
+    fn level_slot(&self, at: u64) -> (usize, usize) {
+        let diff = at ^ self.elapsed;
+        debug_assert!(diff != 0, "floor ticks belong in the ready queue");
+        let msb = 63 - diff.leading_zeros();
+        let level = (msb / LEVEL_BITS) as usize;
+        let slot = ((at >> (LEVEL_BITS * level as u32)) & (LEVEL_SLOTS as u64 - 1)) as usize;
+        (level, slot)
+    }
+
+    /// Files an entry: ready queue if it is due at the floor, otherwise
+    /// the level/slot its tick digits select.
+    fn insert(&mut self, entry: Entry) {
+        let at = entry.at.as_micros();
+        if at == self.elapsed {
+            // Fresh schedules carry a seq larger than everything already
+            // queued, so appending keeps `ready` seq-sorted; cascades only
+            // reach here via `promote_earliest`, which sorts its batch.
+            self.ready.push_back(entry);
+        } else {
+            let (level, slot) = self.level_slot(at);
+            self.levels[level * LEVEL_SLOTS + slot].push(entry);
+            self.occupied[level] |= 1 << slot;
+        }
+    }
+
+    /// The earliest occupied `(level, slot)`, if any level holds entries.
+    fn earliest_slot(&self) -> Option<(usize, usize)> {
+        self.occupied
+            .iter()
+            .position(|&occ| occ != 0)
+            .map(|level| (level, self.occupied[level].trailing_zeros() as usize))
+    }
+
+    /// Jumps the floor to the earliest stored tick and promotes every
+    /// entry due there into `ready` (seq-sorted); later entries from the
+    /// same slot re-file at a strictly lower level. Returns `false` when
+    /// every level is empty — otherwise `ready` is guaranteed nonempty,
+    /// so the caller never loops.
+    ///
+    /// Correctness of the timestamp jump: `earliest_slot` picks the
+    /// lowest occupied level (all lower levels empty) and its lowest
+    /// occupied slot, and slot order within a level is time order, so the
+    /// minimum tick in that slot is the global minimum. Jumping `elapsed`
+    /// to it only changes digits at or below the promoted level, which
+    /// preserves the digit-sharing invariant for every other stored
+    /// entry. Re-filed entries share the promoted slot's digit with the
+    /// new floor, so `level_slot` sends them strictly lower; each entry
+    /// still cascades at most `LEVELS` times over its lifetime.
+    fn promote_earliest(&mut self) -> bool {
+        let Some((level, slot)) = self.earliest_slot() else {
+            return false;
+        };
+        // Swap the slot's vector with the recycled cascade buffer instead
+        // of `mem::take`-ing it, so slot capacity survives the promotion.
+        let idx = level * LEVEL_SLOTS + slot;
+        // Sparse timers dominate: most promotions move a lone entry, which
+        // needs no min-scan, no partition and no sort.
+        if self.levels[idx].len() == 1 {
+            let entry = self.levels[idx].pop().expect("len checked above");
+            self.occupied[level] &= !(1 << slot);
+            debug_assert!(entry.at.as_micros() > self.elapsed);
+            self.elapsed = entry.at.as_micros();
+            debug_assert!(self.ready.is_empty(), "cascade only runs when drained");
+            self.ready.push_back(entry);
+            return true;
+        }
+        let mut batch = std::mem::take(&mut self.cascade);
+        std::mem::swap(&mut batch, &mut self.levels[idx]);
+        self.occupied[level] &= !(1 << slot);
+        let min_at = batch
+            .iter()
+            .map(|e| e.at.as_micros())
+            .min()
+            .expect("occupied bitmap pointed at an empty slot");
+        debug_assert!(min_at > self.elapsed, "slots always lie beyond the floor");
+        self.elapsed = min_at;
+        let mut due = std::mem::take(&mut self.due);
+        for entry in batch.drain(..) {
+            if entry.at.as_micros() == min_at {
+                due.push(entry);
+            } else {
+                self.insert(entry);
+            }
+        }
+        // Cascaded batches arrive in storage order; equal-time events must
+        // still fire in insertion order. Seqs are unique so an unstable
+        // (allocation-free) sort is exact.
+        due.sort_unstable_by_key(|e| e.seq);
+        debug_assert!(self.ready.is_empty(), "cascade only runs when drained");
+        self.ready.extend(due.drain(..));
+        self.cascade = batch;
+        self.due = due;
+        true
+    }
+}
+
 /// The discrete-event simulation engine.
 ///
 /// Generic over the event payload type `E` so each simulation defines its own
 /// closed event vocabulary (an enum), keeping dispatch exhaustive and
 /// allocation-free.
 ///
-/// When `E: Clone` the whole engine is `Clone`: the heap's backing vector,
-/// the slot slab (with generation stamps), the free list and the root RNG
-/// all copy structurally, so a clone pops the exact same future event
-/// sequence — including insertion-order tie-breaks — as the original. This
-/// is what makes world snapshots a memcpy-style fork rather than a replay.
+/// When `E: Clone` the whole engine is `Clone`: the wheel (levels,
+/// occupancy bitmaps, floor cursor, ready queue), the slot slab (with
+/// generation stamps), the free list and the root RNG all copy
+/// structurally, so a clone pops the exact same future event sequence —
+/// including insertion-order tie-breaks — as the original. This is what
+/// makes world snapshots a memcpy-style fork rather than a replay.
 #[derive(Clone)]
 pub struct Engine<E> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Reverse<Entry>>,
+    wheel: Wheel,
     slots: Vec<Slot<E>>,
     free: Vec<u32>,
-    /// Cancelled entries still sitting in the heap; `is_idle` subtracts
-    /// them and lazy removal decrements as they surface.
-    cancelled_live: usize,
+    /// Entries still in the wheel, cancelled ones included.
+    stored: usize,
+    /// Live (uncancelled) entries in the wheel; `pending()` in O(1).
+    live: usize,
     rng: SimRng,
     processed: u64,
 }
@@ -125,7 +295,7 @@ impl<E> std::fmt::Debug for Engine<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("now", &self.now)
-            .field("pending", &self.heap.len())
+            .field("pending", &self.live)
             .field("processed", &self.processed)
             .finish()
     }
@@ -137,10 +307,11 @@ impl<E> Engine<E> {
         Engine {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            wheel: Wheel::new(),
             slots: Vec::new(),
             free: Vec::new(),
-            cancelled_live: 0,
+            stored: 0,
+            live: 0,
             rng: SimRng::new(seed),
             processed: 0,
         }
@@ -156,14 +327,17 @@ impl<E> Engine<E> {
         self.processed
     }
 
-    /// Whether any live (uncancelled) events remain.
+    /// Whether any live (uncancelled) events remain. O(1).
     pub fn is_idle(&self) -> bool {
-        self.heap.len() == self.cancelled_live
+        self.live == 0
     }
 
-    /// Number of live (uncancelled) events still queued.
+    /// Number of live (uncancelled) events still queued. O(1): the count
+    /// is tracked explicitly, not derived from queue length, so it is
+    /// exact regardless of how many cancelled entries still sit in the
+    /// wheel awaiting lazy removal.
     pub fn pending(&self) -> usize {
-        self.heap.len() - self.cancelled_live
+        self.live
     }
 
     /// The engine's root RNG.
@@ -196,7 +370,7 @@ impl<E> Engine<E> {
         }
     }
 
-    /// Retires a slot as its heap entry surfaces: bump the generation (so
+    /// Retires a slot as its wheel entry surfaces: bump the generation (so
     /// stale [`EventId`]s miss) and recycle the index.
     fn free_slot(&mut self, s: u32) {
         let slot = &mut self.slots[s as usize];
@@ -221,10 +395,9 @@ impl<E> Engine<E> {
         let seq = self.seq;
         self.seq += 1;
         let s = self.alloc_slot(payload);
-        self.heap.push(Reverse(Entry {
-            key: Key { at, seq },
-            slot: s,
-        }));
+        self.wheel.insert(Entry { at, seq, slot: s });
+        self.stored += 1;
+        self.live += 1;
         EventId::new(s, self.slots[s as usize].gen)
     }
 
@@ -248,10 +421,10 @@ impl<E> Engine<E> {
         match self.slots.get_mut(s) {
             Some(slot) if slot.gen == id.gen() && slot.pending && !slot.cancelled => {
                 slot.cancelled = true;
-                // Drop the payload now rather than when the dead heap
+                // Drop the payload now rather than when the dead wheel
                 // entry eventually surfaces.
                 slot.payload = None;
-                self.cancelled_live += 1;
+                self.live -= 1;
             }
             _ => {}
         }
@@ -261,77 +434,98 @@ impl<E> Engine<E> {
     ///
     /// Returns `None` when no (uncancelled) events remain.
     pub fn pop(&mut self) -> Option<E> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.slots[entry.slot as usize].cancelled {
-                self.cancelled_live -= 1;
+        loop {
+            while let Some(entry) = self.wheel.ready.pop_front() {
+                self.stored -= 1;
+                if self.slots[entry.slot as usize].cancelled {
+                    self.free_slot(entry.slot);
+                    continue;
+                }
+                let payload = self.slots[entry.slot as usize]
+                    .payload
+                    .take()
+                    .expect("pending slot without payload");
                 self.free_slot(entry.slot);
-                continue;
+                debug_assert!(entry.at >= self.now, "time went backwards");
+                self.now = entry.at;
+                self.live -= 1;
+                self.processed += 1;
+                return Some(payload);
             }
-            let payload = self.slots[entry.slot as usize]
-                .payload
-                .take()
-                .expect("pending slot without payload");
-            self.free_slot(entry.slot);
-            debug_assert!(entry.key.at >= self.now, "time went backwards");
-            self.now = entry.key.at;
-            self.processed += 1;
-            return Some(payload);
+            if self.stored == 0 {
+                // Re-anchor the floor at the clock so an engine that went
+                // idle mid-span files future schedules at full precision.
+                self.wheel.elapsed = self.now.as_micros();
+                return None;
+            }
+            let advanced = self.wheel.promote_earliest();
+            debug_assert!(advanced, "stored entries but no occupied slot");
+        }
+    }
+
+    /// The `(time, seq, slot)` key of the next event `pop` would fire,
+    /// skipping cancelled entries, without mutating anything.
+    ///
+    /// Cancelled entries stay put (lazy removal happens in `pop`); the
+    /// scan walks the ready queue, then the earliest occupied slots in
+    /// level order — levels are strictly layered in time, and within a
+    /// level slot index order is time order, so the first slot containing
+    /// a live entry holds the minimum.
+    fn peek_key(&self) -> Option<(SimTime, u32)> {
+        for entry in &self.wheel.ready {
+            if !self.slots[entry.slot as usize].cancelled {
+                return Some((entry.at, entry.slot));
+            }
+        }
+        for level in 0..LEVELS {
+            let mut occ = self.wheel.occupied[level];
+            while occ != 0 {
+                let slot = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let mut best: Option<&Entry> = None;
+                for entry in &self.wheel.levels[level * LEVEL_SLOTS + slot] {
+                    if self.slots[entry.slot as usize].cancelled {
+                        continue;
+                    }
+                    if best
+                        .map(|b| (entry.at, entry.seq) < (b.at, b.seq))
+                        .unwrap_or(true)
+                    {
+                        best = Some(entry);
+                    }
+                }
+                if let Some(entry) = best {
+                    return Some((entry.at, entry.slot));
+                }
+            }
         }
         None
     }
 
     /// Peeks at the timestamp of the next event without firing it.
     ///
-    /// Takes `&mut self` on purpose: peeking *lazily removes* cancelled
-    /// entries it finds at the front of the heap (returning their slots
-    /// to the free list), exactly as [`Engine::pop`] would. This keeps
-    /// the answer honest — the time returned is always that of an event
-    /// that will actually fire — and means a cancel-heavy simulation
-    /// compacts during its idle checks instead of carrying dead heap
-    /// entries to the end. Observable engine state (clock, processed
-    /// count, live events, future pop sequence) is unchanged; the
-    /// behavior is pinned by `peek_drains_cancelled_prefix`.
+    /// A pure read: unlike the old heap engine, the peek does not compact
+    /// cancelled entries — those are removed lazily by [`Engine::pop`] —
+    /// and the live/pending accounting is maintained by explicit counters,
+    /// so nothing observable (or hidden) changes. The `&mut` receiver is
+    /// kept for API stability with existing call sites.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.slots[entry.slot as usize].cancelled {
-                let s = entry.slot;
-                self.heap.pop();
-                self.cancelled_live -= 1;
-                self.free_slot(s);
-                continue;
-            }
-            return Some(entry.key.at);
-        }
-        None
+        self.peek_key().map(|(at, _)| at)
     }
 
     /// Peeks at the next event — timestamp and a borrow of its payload —
     /// without firing it.
     ///
-    /// Same contract as [`Engine::peek_time`]: takes `&mut self` because
-    /// cancelled entries at the heap front are lazily removed during the
-    /// peek, while everything observable (clock, processed count, the
-    /// future pop sequence) is untouched. The driver loop uses this to
-    /// decide whether the *next* event is a branch point (e.g. a fault
-    /// injection) worth snapshotting before.
+    /// Same contract as [`Engine::peek_time`]: a pure read. The driver
+    /// loop uses this to decide whether the *next* event is a branch
+    /// point (e.g. a fault injection) worth snapshotting before.
     pub fn peek(&mut self) -> Option<(SimTime, &E)> {
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.slots[entry.slot as usize].cancelled {
-                let s = entry.slot;
-                self.heap.pop();
-                self.cancelled_live -= 1;
-                self.free_slot(s);
-                continue;
-            }
-            let at = entry.key.at;
-            let slot = entry.slot as usize;
-            let payload = self.slots[slot]
-                .payload
-                .as_ref()
-                .expect("pending slot without payload");
-            return Some((at, payload));
-        }
-        None
+        let (at, slot) = self.peek_key()?;
+        let payload = self.slots[slot as usize]
+            .payload
+            .as_ref()
+            .expect("pending slot without payload");
+        Some((at, payload))
     }
 
     /// Runs the simulation to completion, dispatching each event to
@@ -407,6 +601,42 @@ mod tests {
         assert_eq!(got, (0..10).collect::<Vec<_>>());
     }
 
+    /// Ties must survive a cascade: events scheduled at the same distant
+    /// tick start out in a coarse slot together with differently-timed
+    /// neighbours and are only separated (and seq-ordered) as the wheel
+    /// promotes them level by level.
+    #[test]
+    fn ties_fire_in_insertion_order_across_cascades() {
+        let mut e: Engine<u32> = Engine::new(0);
+        let far = SimTime::from_micros(1_000_003);
+        // Interleave two tied groups plus scattered neighbours.
+        e.schedule_at(far, 0);
+        e.schedule_at(SimTime::from_micros(1_000_001), 100);
+        e.schedule_at(far, 1);
+        e.schedule_at(SimTime::from_micros(999_999), 99);
+        e.schedule_at(far, 2);
+        let mut got = vec![];
+        e.run(|_, v| got.push(v));
+        assert_eq!(got, vec![99, 100, 0, 1, 2]);
+    }
+
+    /// Long-horizon schedules exercise every wheel level; order must hold
+    /// across widely spread timestamps, including the top levels.
+    #[test]
+    fn long_horizon_events_fire_in_order() {
+        let mut e: Engine<u64> = Engine::new(0);
+        let mut ticks: Vec<u64> = (0..40).map(|i| 7u64 << i).collect();
+        ticks.push(1);
+        ticks.push(u64::MAX / 2);
+        for &t in ticks.iter().rev() {
+            e.schedule_at(SimTime::from_micros(t), t);
+        }
+        let mut got = vec![];
+        e.run(|_, v| got.push(v));
+        ticks.sort_unstable();
+        assert_eq!(got, ticks);
+    }
+
     #[test]
     fn cancellation_suppresses_events() {
         let mut e: Engine<u32> = Engine::new(0);
@@ -437,16 +667,16 @@ mod tests {
         assert_eq!(e.pop(), Some(1));
         e.cancel(a);
         assert!(e.is_idle(), "stale cancel must not count as pending work");
-        assert_eq!(e.cancelled_live, 0);
+        assert_eq!(e.stored - e.live, 0);
 
         // Double-cancel of a live event counts once; firing clears it.
         let b = e.schedule_at(SimTime::from_micros(2), 2);
         e.cancel(b);
         e.cancel(b);
-        assert_eq!(e.cancelled_live, 1);
+        assert_eq!(e.stored - e.live, 1);
         assert!(e.is_idle());
         assert_eq!(e.pop(), None);
-        assert_eq!(e.cancelled_live, 0);
+        assert_eq!(e.stored - e.live, 0);
 
         // A stale handle whose slot was re-used must not cancel the new
         // tenant: generations differ.
@@ -516,6 +746,20 @@ mod tests {
         assert_eq!(got, vec![1, 2]);
     }
 
+    /// Scheduling after `run_until` advanced the clock past the wheel
+    /// floor must file correctly relative to the stale floor.
+    #[test]
+    fn schedule_after_run_until_keeps_order() {
+        let mut e: Engine<u32> = Engine::new(0);
+        e.schedule_at(SimTime::from_micros(10_000_000), 3);
+        e.run_until(SimTime::from_micros(1_234_567), |_, _| {});
+        e.schedule_at(SimTime::from_micros(1_234_568), 1);
+        e.schedule_at(SimTime::from_micros(2_000_000), 2);
+        let mut got = vec![];
+        e.run(|_, v| got.push(v));
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
     #[test]
     fn peek_skips_cancelled() {
         let mut e: Engine<u32> = Engine::new(0);
@@ -525,35 +769,38 @@ mod tests {
         assert_eq!(e.peek_time(), Some(SimTime::from_micros(2)));
     }
 
-    /// Pins `peek_time`'s hidden mutation: cancelled entries at the heap
-    /// front are *removed* during the peek (their slots recycled), while
-    /// everything observable — clock, processed count, the events pop
-    /// later returns — is untouched.
+    /// Peeking is now a pure read: cancelled entries stay in the wheel
+    /// until `pop` surfaces them, and the O(1) `pending()`/`is_idle`
+    /// counters are exact throughout — no hidden compaction required.
+    /// (The heap engine drained cancelled prefixes inside `peek_time`;
+    /// this pins the replacement contract.)
     #[test]
-    fn peek_drains_cancelled_prefix() {
+    fn peek_is_pure_and_pending_counters_are_exact() {
         let mut e: Engine<u32> = Engine::new(0);
         let a = e.schedule_at(SimTime::from_micros(1), 1);
         let b = e.schedule_at(SimTime::from_micros(2), 2);
         e.schedule_at(SimTime::from_micros(3), 3);
         e.cancel(a);
         e.cancel(b);
-        assert_eq!(e.heap.len(), 3);
-        assert_eq!(e.cancelled_live, 2);
+        assert_eq!(e.stored, 3);
+        assert_eq!(e.pending(), 1);
 
         assert_eq!(e.peek_time(), Some(SimTime::from_micros(3)));
-        // The two cancelled entries are gone from the heap…
-        assert_eq!(e.heap.len(), 1);
-        assert_eq!(e.cancelled_live, 0);
-        // …but nothing observable changed.
+        // The peek changed nothing — the cancelled entries are still
+        // stored, the counters still exact, the clock untouched.
+        assert_eq!(e.stored, 3);
+        assert_eq!(e.pending(), 1);
         assert_eq!(e.now(), SimTime::ZERO);
         assert_eq!(e.processed(), 0);
         assert!(!e.is_idle());
         assert_eq!(e.pop(), Some(3));
         assert_eq!(e.pop(), None);
+        assert_eq!(e.stored, 0);
+        assert_eq!(e.pending(), 0);
     }
 
     /// `peek` must return the payload of the event `pop` would fire next,
-    /// draining cancelled prefixes exactly like `peek_time`.
+    /// skipping cancelled entries exactly like `peek_time`.
     #[test]
     fn peek_returns_next_payload_without_firing() {
         let mut e: Engine<u32> = Engine::new(0);
@@ -618,5 +865,109 @@ mod tests {
         e.schedule_at(SimTime::from_secs(5), 1);
         e.pop();
         e.schedule_at(SimTime::from_secs(1), 2);
+    }
+
+    /// Property test: the wheel against a reference model with the binary
+    /// heap's ordering semantics — a sorted `(time, seq)` list. Random
+    /// interleavings of schedule / cancel / pop / peek / clone-restore
+    /// must produce the identical pop sequence, tie-breaks included, and
+    /// identical O(1) pending counts throughout.
+    #[test]
+    fn wheel_matches_reference_heap_model() {
+        for seed in 0..32u64 {
+            let mut rng = SimRng::new(0xF1EE_D00D ^ seed);
+            let mut e: Engine<u64> = Engine::new(1);
+            // Model entry: (at, seq, payload, cancelled), sorted on demand.
+            type Model = Vec<(SimTime, u64, u64, bool)>;
+            let mut model: Model = Vec::new();
+            let mut ids: Vec<(EventId, u64)> = Vec::new(); // (handle, seq)
+            let mut next_seq = 0u64;
+            let mut snapshot: Option<(Engine<u64>, Model)> = None;
+
+            for step in 0..4_000 {
+                match rng.index(100) {
+                    // Schedule at a horizon spanning several wheel levels;
+                    // small ranges force frequent exact-time ties.
+                    0..=49 => {
+                        let horizon = match rng.index(4) {
+                            0 => 8,
+                            1 => 1_000,
+                            2 => 1_000_000,
+                            _ => 40_000_000_000,
+                        };
+                        let at = e.now() + SimDuration::from_micros(rng.index(horizon) as u64);
+                        let id = e.schedule_at(at, next_seq);
+                        model.push((at, next_seq, next_seq, false));
+                        ids.push((id, next_seq));
+                        next_seq += 1;
+                    }
+                    50..=59 => {
+                        if !ids.is_empty() {
+                            let (id, seq) = ids[rng.index(ids.len())];
+                            e.cancel(id);
+                            if let Some(m) = model.iter_mut().find(|m| m.1 == seq) {
+                                m.3 = true;
+                            }
+                        }
+                    }
+                    60..=64 => {
+                        // Clone both sides; later restore swaps them in.
+                        snapshot = Some((e.clone(), model.clone()));
+                    }
+                    65..=67 => {
+                        if let Some((se, sm)) = snapshot.take() {
+                            e = se;
+                            model = sm;
+                            // Handles from the other timeline are stale;
+                            // dropping them only loses cancel coverage.
+                            ids.clear();
+                        }
+                    }
+                    _ => {
+                        model.sort_by_key(|&(at, seq, _, _)| (at, seq));
+                        let expect = model.iter().position(|m| !m.3);
+                        let peeked = e.peek_time();
+                        assert_eq!(
+                            peeked,
+                            expect.map(|i| model[i].0),
+                            "peek mismatch at step {step} (seed {seed})"
+                        );
+                        let popped = e.pop();
+                        match expect {
+                            Some(i) => {
+                                let (at, _, payload, _) = model[i];
+                                assert_eq!(popped, Some(payload), "pop payload (seed {seed})");
+                                assert_eq!(e.now(), at, "pop clock (seed {seed})");
+                                model.drain(..=i);
+                            }
+                            None => {
+                                assert_eq!(popped, None, "pop on empty (seed {seed})");
+                                model.clear();
+                            }
+                        }
+                    }
+                }
+                let live = model.iter().filter(|m| !m.3).count();
+                assert_eq!(
+                    e.pending(),
+                    live,
+                    "pending count at step {step} (seed {seed})"
+                );
+                assert_eq!(e.is_idle(), live == 0);
+            }
+
+            // Drain: the full remaining sequence must match the model's.
+            model.sort_by_key(|&(at, seq, _, _)| (at, seq));
+            let expected: Vec<u64> = model
+                .iter()
+                .filter(|m| !m.3)
+                .map(|&(_, _, p, _)| p)
+                .collect();
+            let mut got = Vec::new();
+            while let Some(v) = e.pop() {
+                got.push(v);
+            }
+            assert_eq!(got, expected, "drain order (seed {seed})");
+        }
     }
 }

@@ -6,6 +6,8 @@
 //! chaos-sweep --bench-out PATH [--bench-seeds N] [--jobs N]
 //!             [--bench-baseline PATH]
 //! chaos-sweep --bench-minimize-out PATH
+//! chaos-sweep --bench-scale-out PATH [--scale-nodes N] [--scale-days N]
+//!             [--scale-smoke-only]
 //! ```
 //!
 //! Runs seeds `start..start + SEEDS` (default 256 from 0) through the
@@ -31,12 +33,26 @@
 //! `--bench-out` switches to bench mode: instead of sweeping for
 //! violations it times representative scenarios (single fault-free world,
 //! single chaos world, the SWIM run with and without the sim-time metrics
-//! registry, serial and parallel verification sweeps), writes
+//! registry, and a jobs ∈ {1, 2, 4, `--jobs`} verification-sweep scaling
+//! curve timed round-robin so host-frequency drift cannot bias one worker
+//! count against another), writes
 //! events/sec, total events and wall time per scenario as JSON to PATH,
 //! and prints a short summary. `--bench-baseline OLD.json` embeds a
 //! previously committed report under `"baseline"` and records the
 //! speedups against it, so one file carries both sides of a before/after
 //! comparison (see DESIGN.md §9 for how to read it).
+//!
+//! `--bench-scale-out` benches the datacenter-scale streaming path: a
+//! Google-trace replay ([`ignem_workloads::stream`]) admitted lazily into
+//! a cluster running the sweep heartbeat
+//! ([`ClusterConfig::heartbeat_sweep`]). It times two scenarios — a
+//! reduced `scale_smoke` world (1024 nodes, one simulated day, the CI
+//! gate) and the full `scale_full` world (12 288 nodes, one simulated
+//! month, the paper's §II datacenter) — recording events/sec, simulated
+//! seconds per wall second, per-world resident bytes (RSS delta across
+//! construction) and the process peak RSS. `--scale-smoke-only` skips the
+//! full world so CI stays fast; `--scale-nodes`/`--scale-days` resize the
+//! full scenario. The committed reference lives in `BENCH_scale.json`.
 //!
 //! `--bench-minimize-out` benches the fault minimizer on the pinned
 //! seed-304 reference leak, interleaving the full-replay baseline
@@ -62,6 +78,7 @@ use ignem_compute::job::{JobInput, JobSpec, SubmitOptions};
 use ignem_simcore::rng::SimRng;
 use ignem_simcore::time::SimDuration;
 use ignem_simcore::units::MB;
+use ignem_workloads::stream::{replay_files, JobArrival, ReplayConfig, ReplayStream};
 use ignem_workloads::swim::{SwimConfig, SwimTrace};
 
 fn main() -> ExitCode {
@@ -74,6 +91,10 @@ fn main() -> ExitCode {
     let mut bench_seeds: u64 = 256;
     let mut bench_baseline: Option<String> = None;
     let mut bench_minimize_out: Option<String> = None;
+    let mut bench_scale_out: Option<String> = None;
+    let mut scale_nodes: usize = 12_288;
+    let mut scale_days: u64 = 30;
+    let mut scale_smoke_only = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -94,6 +115,15 @@ fn main() -> ExitCode {
                         .unwrap_or_else(|| usage("--bench-minimize-out needs a path")),
                 )
             }
+            "--bench-scale-out" => {
+                bench_scale_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--bench-scale-out needs a path")),
+                )
+            }
+            "--scale-nodes" => scale_nodes = parse(args.next(), "--scale-nodes").max(1) as usize,
+            "--scale-days" => scale_days = parse(args.next(), "--scale-days").max(1),
+            "--scale-smoke-only" => scale_smoke_only = true,
             "--bench-baseline" => {
                 bench_baseline = Some(
                     args.next()
@@ -103,7 +133,9 @@ fn main() -> ExitCode {
             "--help" | "-h" => usage(
                 "chaos-sweep [SEEDS] [--start N] [--out PATH] [--jobs N] [--crashes N]\n\
                  chaos-sweep --bench-out PATH [--bench-seeds N] [--jobs N] [--bench-baseline PATH]\n\
-                 chaos-sweep --bench-minimize-out PATH",
+                 chaos-sweep --bench-minimize-out PATH\n\
+                 chaos-sweep --bench-scale-out PATH [--scale-nodes N] [--scale-days N] \
+                 [--scale-smoke-only]",
             ),
             other => seeds = parse(Some(other.to_string()), "SEEDS"),
         }
@@ -112,6 +144,9 @@ fn main() -> ExitCode {
 
     if let Some(path) = bench_minimize_out {
         return bench_minimize(&path);
+    }
+    if let Some(path) = bench_scale_out {
+        return bench_scale(&path, scale_nodes, scale_days, scale_smoke_only);
     }
     if let Some(path) = bench_out {
         return bench(&path, bench_seeds, jobs, bench_baseline.as_deref());
@@ -355,38 +390,57 @@ fn time_scenario_pair(
 /// mostly noise.
 const SWEEP_REPS: u64 = 8;
 
-/// Runs the full per-seed verification over `seeds` seeds with `jobs`
-/// workers, `SWEEP_REPS` times over, timing it as one scenario.
-fn time_sweep(name: &'static str, seeds: u64, jobs: usize) -> Scenario {
-    let t = wall_clock();
-    let mut events = 0u64;
+/// Times the full per-seed verification over `seeds` seeds once per
+/// `(name, jobs)` entry, `SWEEP_REPS` rounds over, **interleaved**: each
+/// round times every entry back to back before the next round starts, so
+/// slow host-frequency drift hits all worker counts equally. The old
+/// back-to-back blocks biased the comparison against whichever sweep ran
+/// last — the committed `sweep_parallel_speedup: 0.938` "regression" was
+/// exactly that bias, measured between two identical jobs=1 loops.
+fn time_sweep_curve(seeds: u64, entries: &[(&'static str, usize)]) -> Vec<Scenario> {
+    let mut events = vec![0u64; entries.len()];
+    let mut walls = vec![0f64; entries.len()];
     let mut violations = 0u64;
-    for _ in 0..SWEEP_REPS {
-        sweep(
-            0,
-            seeds,
-            jobs,
-            |seed| seed_outcome(seed, 0),
-            |_seed, outcome| {
-                events += outcome.events;
-                if outcome.verdict.is_err() {
-                    violations += 1;
-                }
-                ControlFlow::<()>::Continue(())
-            },
-        );
+    for rep in 0..SWEEP_REPS as usize {
+        // Rotate the starting entry each rep so no scenario always runs
+        // in the same position (e.g. right after a pool teardown, whose
+        // reclamation would otherwise tax the same follower every time).
+        for k in 0..entries.len() {
+            let i = (rep + k) % entries.len();
+            let (_, jobs) = entries[i];
+            let t = wall_clock();
+            sweep(
+                0,
+                seeds,
+                jobs,
+                |seed| seed_outcome(seed, 0),
+                |_seed, outcome| {
+                    events[i] += outcome.events;
+                    if outcome.verdict.is_err() {
+                        violations += 1;
+                    }
+                    ControlFlow::<()>::Continue(())
+                },
+            );
+            walls[i] += t.elapsed().as_secs_f64();
+        }
     }
     if violations > 0 {
-        eprintln!("{name}: {violations} seed violation(s) during bench");
+        eprintln!("sweep curve: {violations} seed violation(s) during bench");
     }
-    Scenario {
-        name,
-        seeds: Some(seeds),
-        jobs: Some(jobs),
-        runs: 2 * seeds * SWEEP_REPS, // each seed runs twice (determinism check)
-        events,
-        wall_secs: t.elapsed().as_secs_f64(),
-    }
+    entries
+        .iter()
+        .zip(events)
+        .zip(walls)
+        .map(|((&(name, jobs), events), wall_secs)| Scenario {
+            name,
+            seeds: Some(seeds),
+            jobs: Some(jobs),
+            runs: 2 * seeds * SWEEP_REPS, // each seed runs twice (determinism check)
+            events,
+            wall_secs,
+        })
+        .collect()
 }
 
 /// Pulls `"field": <number>` out of the object that contains
@@ -401,6 +455,206 @@ fn scenario_number(text: &str, scenario: &str, field: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+// ---------------------------------------------------------------------
+// Scale-out bench mode
+// ---------------------------------------------------------------------
+
+/// Seed of the replayed arrival stream — arbitrary but fixed, so the
+/// committed `BENCH_scale.json` event counts are reproducible bit-for-bit.
+const SCALE_STREAM_SEED: u64 = 0x5CA1_E001;
+
+/// One timed scale-out scenario, serialized into `BENCH_scale.json`.
+struct ScaleScenario {
+    name: &'static str,
+    nodes: usize,
+    sim_days: u64,
+    jobs: u64,
+    jobs_completed: u64,
+    events: u64,
+    wall_secs: f64,
+    sim_secs: f64,
+    /// RSS growth across world construction + DFS preload — the resident
+    /// footprint one streamed world costs the process.
+    world_resident_bytes: u64,
+    /// `VmHWM` after the run: the process-wide peak, including the run
+    /// itself (metrics accumulation, occupancy change logs).
+    peak_rss_bytes: u64,
+}
+
+impl ScaleScenario {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self, calib_mb_per_sec: f64) -> String {
+        format!(
+            "    {{\"name\": \"{}\", \"nodes\": {}, \"sim_days\": {}, \"jobs\": {}, \
+             \"jobs_completed\": {}, \"events\": {}, \"wall_secs\": {:.6}, \
+             \"events_per_sec\": {:.1}, \"events_per_mb_hashed\": {:.3}, \
+             \"sim_secs\": {:.1}, \"sim_secs_per_wall_sec\": {:.1}, \
+             \"world_resident_bytes\": {}, \"peak_rss_bytes\": {}}}",
+            self.name,
+            self.nodes,
+            self.sim_days,
+            self.jobs,
+            self.jobs_completed,
+            self.events,
+            self.wall_secs,
+            self.events_per_sec(),
+            if calib_mb_per_sec > 0.0 {
+                self.events_per_sec() / calib_mb_per_sec
+            } else {
+                0.0
+            },
+            self.sim_secs,
+            if self.wall_secs > 0.0 {
+                self.sim_secs / self.wall_secs
+            } else {
+                0.0
+            },
+            self.world_resident_bytes,
+            self.peak_rss_bytes,
+        )
+    }
+}
+
+/// A `VmRSS:`/`VmHWM:`-style field of `/proc/self/status`, in bytes.
+/// Returns 0 where procfs is unavailable (the JSON then records zeros
+/// rather than the bench failing on a non-Linux host).
+fn proc_status_bytes(field: &str) -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix(field))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse::<u64>().ok())
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// Adapter from a streamed [`JobArrival`] to the world's planned-job
+/// shape. A plain `fn` so the mapped stream stays `Clone` (the arrival
+/// source is cloned into world snapshots).
+fn arrival_plan(a: JobArrival) -> PlannedJob {
+    PlannedJob::single(a.name, a.submit, a.spec)
+}
+
+/// Builds and runs one streamed trace-replay world: `days` of Google-trace
+/// arrivals over a `nodes`-node Ignem cluster with the cluster-wide
+/// heartbeat sweep. The DFS namespace is preloaded (file creation draws
+/// from the world rng); the jobs themselves are admitted lazily from the
+/// pull-based stream, so no full job plan ever materialises.
+fn run_scale(name: &'static str, nodes: usize, days: u64) -> ScaleScenario {
+    let rcfg = ReplayConfig::default();
+    let jobs = (rcfg.arrivals_per_sec * (days * 86_400) as f64).round() as u64;
+    let rcfg = ReplayConfig {
+        jobs: Some(jobs),
+        ..rcfg
+    };
+    let cfg = ClusterConfig {
+        nodes,
+        heartbeat_sweep: true,
+        ..ClusterConfig::default()
+    };
+    let rss_before = proc_status_bytes("VmRSS:");
+    let files = replay_files(&rcfg, jobs);
+    let stream = ReplayStream::new(rcfg, SCALE_STREAM_SEED)
+        .map(arrival_plan as fn(JobArrival) -> PlannedJob);
+    let mut world =
+        World::new(cfg, FsMode::Ignem, &files, vec![], vec![]).with_arrivals(Box::new(stream));
+    drop(files);
+    let rss_built = proc_status_bytes("VmRSS:");
+    let t = wall_clock();
+    world.run_to_end();
+    let wall_secs = t.elapsed().as_secs_f64();
+    let events = world.events_processed();
+    let sim_secs = world.now().as_secs_f64();
+    let metrics = world.finalize_mut();
+    ScaleScenario {
+        name,
+        nodes,
+        sim_days: days,
+        jobs,
+        jobs_completed: metrics.jobs.len() as u64,
+        events,
+        wall_secs,
+        sim_secs,
+        world_resident_bytes: rss_built.saturating_sub(rss_before),
+        peak_rss_bytes: proc_status_bytes("VmHWM:"),
+    }
+}
+
+/// Benches the datacenter-scale streaming path and writes
+/// `BENCH_scale.json`-shaped output: the reduced `scale_smoke` world CI
+/// gates on, plus (unless `smoke_only`) the full 12k-node / one-month
+/// world the success criterion of DESIGN.md §9 pins.
+fn bench_scale(path: &str, nodes: usize, days: u64, smoke_only: bool) -> ExitCode {
+    println!("bench: calibrating host…");
+    let (calib_bytes, calib_secs) = calibrate();
+    let calib_rate = calib_bytes as f64 / (1 << 20) as f64 / calib_secs;
+    println!("bench: {calib_rate:.0} MB/s FNV-1a");
+
+    let mut scenarios: Vec<ScaleScenario> = Vec::new();
+    for (name, n, d) in [
+        ("scale_smoke", 1024usize, 1u64),
+        ("scale_full", nodes, days),
+    ] {
+        if smoke_only && name != "scale_smoke" {
+            continue;
+        }
+        println!("bench: {name} — {n} nodes, {d} simulated day(s)…");
+        let sc = run_scale(name, n, d);
+        println!(
+            "bench: {name} {} jobs, {} events in {:.1}s wall \
+             ({:.0} events/sec, {:.0} sim-secs/sec, world {} MiB resident, peak RSS {} MiB)",
+            sc.jobs_completed,
+            sc.events,
+            sc.wall_secs,
+            sc.events_per_sec(),
+            if sc.wall_secs > 0.0 {
+                sc.sim_secs / sc.wall_secs
+            } else {
+                0.0
+            },
+            sc.world_resident_bytes >> 20,
+            sc.peak_rss_bytes >> 20,
+        );
+        if sc.jobs_completed < sc.jobs {
+            eprintln!(
+                "bench: {name} completed only {} of {} admitted jobs",
+                sc.jobs_completed, sc.jobs
+            );
+            return ExitCode::FAILURE;
+        }
+        scenarios.push(sc);
+    }
+
+    let mut json =
+        String::from("{\n  \"schema\": 1,\n  \"generator\": \"chaos-sweep --bench-scale-out\",\n");
+    json.push_str(&format!(
+        "  \"calibration\": {{\"bytes\": {calib_bytes}, \"wall_secs\": {calib_secs:.6}, \
+         \"mb_per_sec\": {calib_rate:.1}}},\n"
+    ));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, sc) in scenarios.iter().enumerate() {
+        json.push_str(&sc.to_json(calib_rate));
+        json.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("bench: wrote {path}");
+    ExitCode::SUCCESS
 }
 
 /// Benches the fault minimizer on the pinned seed-304 reference leak:
@@ -493,8 +747,12 @@ fn bench(path: &str, bench_seeds: u64, jobs: usize, baseline: Option<&str>) -> E
     let calib_rate = calib_bytes as f64 / (1 << 20) as f64 / calib_secs;
     println!("bench: {calib_rate:.0} MB/s FNV-1a");
 
+    // World construction (DFS preload, per-node setup) is not the event
+    // loop the scenario measures; building the template once and cloning
+    // it per repetition keeps the per-run cost to the clone + the run.
+    let template = default_world();
     let single_default = time_scenario("single_default", 1000, || {
-        default_world().run().events_processed
+        template.clone().run().events_processed
     });
     println!(
         "bench: single_default {:.0} events/sec",
@@ -548,16 +806,28 @@ fn bench(path: &str, bench_seeds: u64, jobs: usize, baseline: Option<&str>) -> E
         "bench: single_swim_metrics {:.0} events/sec",
         single_swim_metrics.events_per_sec()
     );
-    let sweep_serial = time_sweep("sweep_serial", bench_seeds, 1);
-    println!(
-        "bench: sweep_serial {} seeds in {:.2}s",
-        bench_seeds, sweep_serial.wall_secs
+    // The scaling curve: jobs=1 (the inline serial loop `sweep` routes
+    // single-worker requests to), 2 and 4 pooled workers, and the
+    // requested `--jobs` count — all interleaved within each timing round.
+    let curve = time_sweep_curve(
+        bench_seeds,
+        &[
+            ("sweep_serial", 1),
+            ("sweep_jobs2", 2),
+            ("sweep_jobs4", 4),
+            ("sweep_parallel", jobs),
+        ],
     );
-    let sweep_parallel = time_sweep("sweep_parallel", bench_seeds, jobs);
-    println!(
-        "bench: sweep_parallel {} seeds in {:.2}s ({jobs} jobs)",
-        bench_seeds, sweep_parallel.wall_secs
-    );
+    for sc in &curve {
+        println!(
+            "bench: {} {} seeds in {:.2}s ({} jobs)",
+            sc.name,
+            bench_seeds,
+            sc.wall_secs,
+            sc.jobs.unwrap_or(1)
+        );
+    }
+    let (sweep_serial, sweep_parallel) = (&curve[0], &curve[curve.len() - 1]);
     let parallel_speedup = if sweep_parallel.wall_secs > 0.0 {
         sweep_serial.wall_secs / sweep_parallel.wall_secs
     } else {
@@ -574,14 +844,13 @@ fn bench(path: &str, bench_seeds: u64, jobs: usize, baseline: Option<&str>) -> E
          \"mb_per_sec\": {calib_rate:.1}}},\n"
     ));
     json.push_str("  \"scenarios\": [\n");
-    let scenarios = [
+    let mut scenarios: Vec<&Scenario> = vec![
         &single_default,
         &single_chaos,
         &single_swim,
         &single_swim_metrics,
-        &sweep_serial,
-        &sweep_parallel,
     ];
+    scenarios.extend(curve.iter());
     for (i, sc) in scenarios.iter().enumerate() {
         json.push_str(&sc.to_json(calib_rate));
         json.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
